@@ -1,0 +1,83 @@
+"""F2 — Fig. 2: today's transport pipeline (UDP + tuned TCP).
+
+Measures the properties §4.1 attributes to the status quo across a WAN
+RTT x loss sweep: per-message latency to storage and to the researcher,
+flow completion, and where retransmissions come from (always the
+stream's source — the termination point before the lossy segment).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import ResultTable, format_duration, percentile
+from repro.netsim.units import MILLISECOND
+from repro.wan import ScenarioConfig, TodayScenario
+
+SWEEP = [
+    # (one-way wan delay, loss rate)
+    (5 * MILLISECOND, 0.0),
+    (25 * MILLISECOND, 0.0),
+    (25 * MILLISECOND, 1e-4),
+    (25 * MILLISECOND, 1e-3),
+    (50 * MILLISECOND, 1e-3),
+]
+
+
+#: Offered load: one 8 kB message every 128 us = 512 Mb/s, sustained
+#: for 4000 messages (~0.5 s) so TCP's ramp-up transient is a minority
+#: of the run and steady-state behaviour is measurable.
+MESSAGES = 4000
+INTERVAL_NS = 128_000
+
+
+def steady(latencies):
+    """The steady-state half of the per-message latency series."""
+    return latencies[len(latencies) // 2 :]
+
+
+def run_sweep():
+    results = []
+    for delay, loss in SWEEP:
+        cfg = ScenarioConfig(
+            message_count=MESSAGES,
+            message_interval_ns=INTERVAL_NS,
+            wan_delay_ns=delay,
+            campus_delay_ns=5 * MILLISECOND,
+            wan_loss_rate=loss,
+        )
+        results.append(((delay, loss), TodayScenario(config=cfg).run()))
+    return results
+
+
+def test_fig2_today_pipeline(once):
+    results = once(run_sweep)
+    table = ResultTable(
+        "Figure 2 — today's pipeline (UDP DAQ leg + tuned TCP WAN legs),"
+        " steady-state half of a 512 Mb/s stream",
+        ["WAN delay", "Loss", "Storage p50", "Storage p99",
+         "Researcher p50", "TCP retx", "Delivered"],
+    )
+    for (delay, loss), r in results:
+        storage = steady(r.storage_latencies_ns)
+        table.add_row(
+            format_duration(delay),
+            f"{loss:g}",
+            format_duration(percentile(storage, 0.5)),
+            format_duration(percentile(storage, 0.99)),
+            format_duration(percentile(steady(r.researcher_latencies_ns), 0.5)),
+            r.extras["tcp_wan_retransmits"],
+            f"{r.storage_delivered}/{r.sent}",
+        )
+        assert r.storage_delivered == r.sent  # TCP is reliable (Req 4)
+    table.show()
+    # Shape: storage latency grows with RTT; loss inflates the tail.
+    by_key = dict(results)
+    clean = by_key[(25 * MILLISECOND, 0.0)]
+    lossy = by_key[(25 * MILLISECOND, 1e-3)]
+    assert percentile(steady(lossy.storage_latencies_ns), 0.99) > percentile(
+        steady(clean.storage_latencies_ns), 0.99
+    )
+    assert lossy.extras["tcp_wan_retransmits"] > 0
+    slow = by_key[(50 * MILLISECOND, 1e-3)]
+    assert percentile(steady(slow.storage_latencies_ns), 0.5) > percentile(
+        steady(clean.storage_latencies_ns), 0.5
+    )

@@ -1,0 +1,111 @@
+"""F3 — Fig. 3: the multi-modal goal scenario vs today's pipeline.
+
+Head-to-head over the same topology, workload, and loss: MMT with
+in-network buffers (and optionally in-network duplication) against the
+Fig. 2 UDP+TCP pipeline. The paper's claimed shape: MMT recovery costs
+one last-segment RTT instead of a full source round trip, so p99
+latency and completion time separate as loss and RTT grow; duplication
+gets fresh data to researchers without the storage detour.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import ResultTable, format_duration, percentile
+from repro.netsim.units import MILLISECOND
+from repro.wan import MultimodalScenario, ScenarioConfig, TodayScenario
+
+SWEEP = [
+    (25 * MILLISECOND, 0.0),
+    (25 * MILLISECOND, 1e-3),
+    (50 * MILLISECOND, 1e-3),
+    (50 * MILLISECOND, 5e-3),
+]
+
+
+MESSAGES = 4000
+INTERVAL_NS = 128_000  # 512 Mb/s of 8 kB messages, matching bench_fig2
+
+
+def steady(latencies):
+    """The steady-state half of the per-message latency series."""
+    return latencies[len(latencies) // 2 :]
+
+
+def config_for(delay, loss, duplicate=False):
+    return ScenarioConfig(
+        message_count=MESSAGES,
+        message_interval_ns=INTERVAL_NS,
+        wan_delay_ns=delay,
+        campus_delay_ns=5 * MILLISECOND,
+        wan_loss_rate=loss,
+        duplicate_to_researcher=duplicate,
+    )
+
+
+#: Ingest/batch time at the storage facility before distribution —
+#: what a fresh-data consumer waits for on the store-then-distribute
+#: path but not on the in-network duplicate.
+STORAGE_PROCESSING_NS = 20 * MILLISECOND
+
+
+def run_headtohead():
+    rows = []
+    for delay, loss in SWEEP:
+        today = TodayScenario(config=config_for(delay, loss)).run()
+        mmt = MultimodalScenario(config=config_for(delay, loss)).run()
+        rows.append(((delay, loss), today, mmt))
+    dup_cfg = config_for(25 * MILLISECOND, 1e-3, duplicate=True)
+    dup_cfg.storage_forward_delay_ns = STORAGE_PROCESSING_NS
+    dup = MultimodalScenario(config=dup_cfg).run()
+    relay_cfg = config_for(25 * MILLISECOND, 1e-3)
+    relay_cfg.storage_forward_delay_ns = STORAGE_PROCESSING_NS
+    relayed = MultimodalScenario(config=relay_cfg).run()
+    return rows, dup, relayed
+
+
+def test_fig3_multimodal_vs_today(once):
+    rows, dup, relayed = once(run_headtohead)
+    table = ResultTable(
+        "Figure 3 — multi-modal vs today (same topology/workload/loss)",
+        ["WAN delay", "Loss", "Today p50", "MMT p50", "Today p99", "MMT p99",
+         "MMT NAKs", "Speedup p99"],
+    )
+    for (delay, loss), today, mmt in rows:
+        t99 = percentile(steady(today.storage_latencies_ns), 0.99)
+        m99 = percentile(steady(mmt.storage_latencies_ns), 0.99)
+        table.add_row(
+            format_duration(delay),
+            f"{loss:g}",
+            format_duration(percentile(steady(today.storage_latencies_ns), 0.5)),
+            format_duration(percentile(steady(mmt.storage_latencies_ns), 0.5)),
+            format_duration(t99),
+            format_duration(m99),
+            mmt.extras["naks"],
+            f"{t99 / m99:.1f}x",
+        )
+        assert mmt.storage_delivered == mmt.sent
+        assert mmt.extras["unrecovered"] == 0
+        # MMT must win on both medians and tails in this regime.
+        assert m99 <= t99
+    table.show()
+
+    dup_table = ResultTable(
+        "Figure 3 (cont.) — freshness at the researcher (20 ms storage "
+        "ingest on the store-then-distribute path)",
+        ["Path", "Researcher p50", "Researcher p99"],
+    )
+    dup_table.add_row(
+        "store-then-distribute",
+        format_duration(percentile(steady(relayed.researcher_latencies_ns), 0.5)),
+        format_duration(percentile(steady(relayed.researcher_latencies_ns), 0.99)),
+    )
+    dup_table.add_row(
+        "in-network duplicate",
+        format_duration(percentile(steady(dup.researcher_latencies_ns), 0.5)),
+        format_duration(percentile(steady(dup.researcher_latencies_ns), 0.99)),
+    )
+    dup_table.show()
+    # The duplicate path skips storage termination + ingest entirely.
+    assert percentile(steady(dup.researcher_latencies_ns), 0.5) + 15 * MILLISECOND < (
+        percentile(steady(relayed.researcher_latencies_ns), 0.5)
+    )

@@ -1,0 +1,54 @@
+"""A4 — Req 10: multi-domain supernova early warning (DUNE → Rubin).
+
+Identical physics (seeded candidate stream with a burst) through both
+dataflows: today's store-and-forward detection at the HPC facility vs
+in-network duplication of trigger primitives to a telescope-side
+broker. Reported: time from burst start to pointing alert in the
+telescope's hands, against the neutrino→photon lead-time budget.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import ResultTable, format_duration
+from repro.daq import SUPERNOVA_LEAD_TIME_MIN_NS
+from repro.integration import SupernovaConfig, compare
+from repro.netsim.units import MILLISECOND, SECOND
+
+SEEDS = [11, 12, 13]
+
+
+def run_comparison():
+    config = SupernovaConfig(
+        background_rate_hz=100.0,
+        burst_rate_hz=20_000.0,
+        burst_start_ns=2 * SECOND,
+        burst_duration_ns=1 * SECOND,
+        trigger_threshold=50,
+        trigger_window_ns=200 * MILLISECOND,
+    )
+    return [(seed, compare(config, seed=seed)) for seed in SEEDS]
+
+
+def test_supernova_early_warning(once):
+    runs = once(run_comparison)
+    table = ResultTable(
+        "A4 — supernova early-warning latency (burst start -> pointing "
+        "alert at the telescope)",
+        ["Seed", "Today", "Multi-modal", "Improvement", "Budget used (mmt)"],
+    )
+    for seed, results in runs:
+        today = results["today"].warning_latency_ns
+        mmt = results["mmt"].warning_latency_ns
+        assert today is not None and mmt is not None
+        table.add_row(
+            seed,
+            format_duration(today),
+            format_duration(mmt),
+            format_duration(today - mmt),
+            f"{mmt / SUPERNOVA_LEAD_TIME_MIN_NS * 100:.3f}%",
+        )
+        # Shape: the duplicated fresh path always warns earlier, and
+        # both land far inside the minimum lead time (~1 minute).
+        assert mmt < today
+        assert today < SUPERNOVA_LEAD_TIME_MIN_NS / 10
+    table.show()

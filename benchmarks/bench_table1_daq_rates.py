@@ -1,0 +1,47 @@
+"""T1 — Table 1: DAQ rates of the experiment catalog.
+
+Regenerates the paper's Table 1 by *measuring* each catalog workload's
+offered load (at a laptop-tractable scale factor) and scaling back up.
+The printed rate must match the paper's published figure for every
+experiment; the shape column reports the generator pattern.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis import ResultTable, format_rate
+from repro.daq import catalog
+from repro.netsim.units import MILLISECOND, SECOND, gbps
+
+
+def measure_catalog():
+    rows = []
+    for spec in catalog():
+        scale = 1e-4 if spec.daq_rate_bps > gbps(500) else 1e-2
+        window = 4 * SECOND if spec.pattern in ("spill", "cadence") else 50 * MILLISECOND
+        process = spec.workload(scale=scale)
+        messages = list(process.generate(window, random.Random(42)))
+        offered = sum(m.size_bytes for m in messages) * 8 * SECOND / window
+        measured_full_scale = offered / scale
+        rows.append((spec, measured_full_scale, len(messages)))
+    return rows
+
+
+def test_table1_daq_rates(once):
+    rows = once(measure_catalog)
+    table = ResultTable(
+        "Table 1 — DAQ rates (paper vs measured offered load)",
+        ["Experiment", "Paper rate", "Measured", "Pattern", "Error"],
+    )
+    for spec, measured, _count in rows:
+        error = abs(measured - spec.daq_rate_bps) / spec.daq_rate_bps
+        table.add_row(
+            spec.name,
+            format_rate(spec.daq_rate_bps),
+            format_rate(measured),
+            spec.pattern,
+            f"{error * 100:.1f}%",
+        )
+        assert error < 0.1, f"{spec.name} offered load off by {error:.2%}"
+    table.show()

@@ -1,0 +1,26 @@
+"""Shared benchmark helpers.
+
+Every bench runs its experiment exactly once (simulations are
+deterministic; repetition adds nothing but wall time) via
+``benchmark.pedantic(..., rounds=1)`` and prints the paper-style table
+so EXPERIMENTS.md rows can be read straight off the output. Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark ``fn`` with a single round and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    def runner(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return runner

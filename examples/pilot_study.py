@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""The paper's pilot study (Fig. 4), end to end with real payloads.
+
+Reproduces §5.4: an ICEBERG-like LArTPC source streams synthetic WIB
+frames through the three-mode pipeline —
+
+  mode 0 (identify)      sensor → DTN 1, raw over Ethernet, unreliable
+  mode 1 (age-recover)   DTN 1 → DTN 2, via Alveo U280 (seq + buffer)
+                         and Tofino2 (age update, nearest buffer)
+  mode 2 (deliver-check) deadline checked at DTN 2
+
+with 1% WAN corruption loss. The run verifies every frame arrives (or
+is recovered from the U280 — never the sensor), decodes the payloads
+back into ADC counts, and prints the report.
+
+Run:  python examples/pilot_study.py
+"""
+
+from repro.analysis import LatencySummary, format_duration
+from repro.daq import LArTpcWaveformSynth, WibFrame, parse_message
+from repro.dataplane import PilotConfig, PilotTestbed
+from repro.netsim import Simulator
+from repro.netsim.units import MILLISECOND
+
+
+def main() -> None:
+    config = PilotConfig(
+        wan_delay_ns=10 * MILLISECOND,
+        wan_loss_rate=0.01,
+        age_budget_ns=50 * MILLISECOND,
+        deadline_offset_ns=5 * MILLISECOND,
+    )
+    pilot = PilotTestbed(sim=Simulator(seed=2024), config=config)
+
+    # Feed byte-real LArTPC frames (pedestal + noise + hits).
+    synth = LArTpcWaveformSynth(seed=7)
+    decoded_frames = []
+
+    original = pilot.dtn2_receiver.on_message
+
+    def decode_at_dtn2(packet, header):
+        original(packet, header)
+        if packet.payload:
+            daq_header, payload = parse_message(packet.payload)
+            decoded_frames.append(WibFrame.decode(payload))
+
+    pilot.dtn2_receiver.on_message = decode_at_dtn2
+
+    frames = 2000
+    for i in range(frames):
+        message = synth.message(
+            detector_id=7, slice_id=0, timestamp_ticks=i, hits=1 if i % 50 == 0 else 0
+        )
+        pilot.sim.schedule(i * 2_000, pilot.sensor_sender.send, len(message), message)
+        pilot.messages_sent += 1
+
+    report = pilot.run()
+
+    print("=== Pilot study (Fig. 4) ===")
+    print(f"frames sent            : {report.messages_sent}")
+    print(f"frames delivered       : {report.delivered} (complete={report.complete})")
+    print(f"recovered via NAK      : {report.retransmissions} "
+          f"({report.naks_sent} NAKs, all served by the U280 buffer)")
+    print(f"mode transitions       : 0->1 at U280: {report.mode_transitions_u280}, "
+          f"1->2 at U55C: {report.mode_transitions_u55c}")
+    print(f"age updates at Tofino2 : {report.age_updates_tofino}")
+    print(f"aged frames            : {report.aged_packets}")
+    print(f"deadline ok / missed   : {report.deadline_ok} / {report.deadline_misses}")
+    summary = LatencySummary.of(report.delivery_latencies_ns)
+    print(f"sensor->DTN2 latency   : p50 {format_duration(summary.p50_ns)}, "
+          f"p99 {format_duration(summary.p99_ns)}")
+    print(f"payloads decoded       : {len(decoded_frames)} WIB frames, "
+          f"{len(decoded_frames[0].adc_counts)} channels each")
+    pedestal = sum(decoded_frames[0].adc_counts) / len(decoded_frames[0].adc_counts)
+    print(f"mean ADC of frame 0    : {pedestal:.0f} counts (pedestal ~2300)")
+    assert report.complete
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Quickstart: a multi-modal DAQ stream in ~60 lines.
+
+Builds sensor → switch → DTN over a lossy WAN-ish link, streams
+sequenced DAQ messages with a local retransmission buffer, and shows
+NAK-based recovery plus the delivered statistics.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.analysis import LatencySummary, format_duration, format_rate
+from repro.core import MmtStack, make_experiment_id
+from repro.netsim import Simulator, Topology, units
+
+EXPERIMENT = 7
+
+
+def main() -> None:
+    sim = Simulator(seed=42)
+    topo = Topology(sim)
+
+    # A sensor site and a receiving DTN joined through one router, with
+    # 0.5% random loss on the wide-area hop.
+    sensor = topo.add_host("sensor")
+    dtn = topo.add_host("dtn")
+    router = topo.add_router("wan")
+    topo.connect(sensor, router, units.gbps(100), units.microseconds(10))
+    topo.connect(router, dtn, units.gbps(100), units.milliseconds(5), loss_rate=0.005)
+    topo.install_routes()
+
+    # MMT endpoints: the sensor keeps a local retransmission buffer and
+    # announces itself as the recovery point ("age-recover" mode).
+    sensor_stack = MmtStack(sensor)
+    dtn_stack = MmtStack(dtn)
+    delivered = []
+    receiver = dtn_stack.bind_receiver(
+        EXPERIMENT, on_message=lambda pkt, hdr: delivered.append((sim.now, hdr.seq))
+    )
+    # The buffer must hold at least one NAK round trip's worth of
+    # stream (here: the whole 82 MB run, comfortably).
+    sensor_stack.attach_buffer(512 * 1024 * 1024)
+    sender = sensor_stack.create_sender(
+        experiment_id=make_experiment_id(EXPERIMENT),
+        mode="age-recover",
+        dst_ip=dtn.ip,
+        age_budget_ns=units.milliseconds(100),
+        buffer_local=True,
+    )
+
+    # Stream 10,000 jumbo-frame-sized messages, one every 2 us (~33 Gb/s).
+    for i in range(10_000):
+        sim.schedule(i * 2_000, sender.send, 8192)
+    sim.schedule(10_000 * 2_000, sender.finish)
+    sim.run()
+
+    stats = receiver.stats
+    latencies = [t for _now, t in receiver.delivery_log]
+    summary = LatencySummary.of(latencies)
+    print(f"messages delivered : {stats.messages_delivered} / 10000")
+    print(f"losses recovered   : {stats.retransmissions_received} "
+          f"(via {stats.naks_sent} NAKs, {stats.unrecovered} unrecovered)")
+    print(f"goodput            : "
+          f"{format_rate(stats.bytes_delivered * 8 * 1e9 / (delivered[-1][0] - delivered[0][0]))}")
+    print(f"delivery latency   : p50 {format_duration(summary.p50_ns)}, "
+          f"p99 {format_duration(summary.p99_ns)}")
+    assert receiver.complete(make_experiment_id(EXPERIMENT), 10_000)
+    print("stream complete: every sequence number accounted for")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Multi-domain supernova early warning: DUNE alerts Vera Rubin.
+
+The integration story from §1/§3 (Req 10): neutrinos from a collapsing
+star reach DUNE minutes-to-days before the photons reach telescopes.
+This example runs the same seeded burst through both dataflows —
+
+  today : candidates ride UDP+TCP to the HPC facility, burst detection
+          happens there, the pointing alert crosses another WAN to Chile
+  mmt   : trigger primitives are duplicated *in the network* toward a
+          broker beside the telescope; detection happens on fresh data
+
+and prints how much earlier the telescope can start slewing.
+
+Run:  python examples/supernova_alert.py
+"""
+
+from repro.analysis import format_duration
+from repro.daq import SUPERNOVA_LEAD_TIME_MIN_NS, SupernovaAlert
+from repro.integration import SupernovaConfig, compare
+from repro.netsim.units import MILLISECOND, SECOND
+
+
+def main() -> None:
+    config = SupernovaConfig(
+        background_rate_hz=100.0,       # radiological background
+        burst_rate_hz=20_000.0,         # the neutrino burst
+        burst_start_ns=2 * SECOND,
+        burst_duration_ns=1 * SECOND,
+        trigger_threshold=50,
+        trigger_window_ns=200 * MILLISECOND,
+        wan_to_hpc_ns=20 * MILLISECOND,      # South Dakota -> Illinois
+        hpc_to_scope_ns=60 * MILLISECOND,    # Illinois -> Chile
+        element_to_scope_ns=50 * MILLISECOND,  # direct duplicate path
+    )
+    results = compare(config, seed=2024)
+
+    print("=== Supernova early warning (DUNE -> Vera Rubin) ===")
+    for mode, result in results.items():
+        latency = result.warning_latency_ns
+        print(f"{mode:6s}: burst detected at "
+              f"{format_duration(result.trigger_fired_ns - result.burst_start_ns)}"
+              f" after onset; pointing alert at the telescope after "
+              f"{format_duration(latency)}")
+    gained = results["today"].warning_latency_ns - results["mmt"].warning_latency_ns
+    print(f"\nmulti-modal path warns {format_duration(gained)} earlier")
+    budget = results["mmt"].warning_latency_ns / SUPERNOVA_LEAD_TIME_MIN_NS
+    print(f"lead-time budget used: {budget * 100:.3f}% of the ~1 minute minimum")
+
+    # The alert itself is a compact, codec-checked message:
+    alert = SupernovaAlert(
+        detection_time_ns=results["mmt"].trigger_fired_ns,
+        right_ascension_mdeg=161_265,   # toward the Large Magellanic Cloud
+        declination_mdeg=-69_380,
+        confidence_pct=98,
+        neutrino_count=1842,
+    )
+    wire = alert.encode()
+    print(f"pointing alert on the wire: {len(wire)} bytes -> {SupernovaAlert.decode(wire)}")
+
+
+if __name__ == "__main__":
+    main()

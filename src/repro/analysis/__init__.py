@@ -1,0 +1,23 @@
+"""Metrics and report-table helpers."""
+
+from .metrics import (
+    AgeOfInformation,
+    LatencySummary,
+    completion_fraction,
+    goodput_bps,
+    jains_fairness,
+    percentile,
+)
+from .tables import ResultTable, format_duration, format_rate
+
+__all__ = [
+    "AgeOfInformation",
+    "LatencySummary",
+    "ResultTable",
+    "completion_fraction",
+    "format_duration",
+    "format_rate",
+    "goodput_bps",
+    "jains_fairness",
+    "percentile",
+]

@@ -1,0 +1,70 @@
+"""Plain-text result tables.
+
+Benches print the same rows/series the paper reports; this module
+keeps that rendering in one place: fixed-width columns, SI-scaled
+rates, and a caption convention (``Table/Figure id — description``)
+matching DESIGN.md's experiment index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def format_rate(bps: float) -> str:
+    """Scale a bits/s value to the natural SI unit (as the paper does)."""
+    if bps >= 1e12:
+        return f"{bps / 1e12:.1f} Tbps"
+    if bps >= 1e9:
+        return f"{bps / 1e9:.1f} Gbps"
+    if bps >= 1e6:
+        return f"{bps / 1e6:.1f} Mbps"
+    if bps >= 1e3:
+        return f"{bps / 1e3:.1f} Kbps"
+    return f"{bps:.0f} bps"
+
+
+def format_duration(ns: float) -> str:
+    """Scale nanoseconds to a readable unit."""
+    if ns >= 1e9:
+        return f"{ns / 1e9:.2f} s"
+    if ns >= 1e6:
+        return f"{ns / 1e6:.2f} ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:.2f} us"
+    return f"{ns:.0f} ns"
+
+
+@dataclass
+class ResultTable:
+    """A fixed-width text table with a caption."""
+
+    caption: str
+    columns: list[str]
+    rows: list[list[str]] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append([str(c) for c in cells])
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def line(cells: list[str]) -> str:
+            return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+        rule = "-" * (sum(widths) + 2 * (len(widths) - 1))
+        parts = [self.caption, rule, line(self.columns), rule]
+        parts.extend(line(row) for row in self.rows)
+        parts.append(rule)
+        return "\n".join(parts)
+
+    def show(self) -> None:
+        print()
+        print(self.render())

@@ -1,0 +1,48 @@
+"""Today's DAQ transports (§4): tuned TCP and UDP baselines."""
+
+from .tcp import (
+    BbrLiteCC,
+    CongestionControl,
+    CubicCC,
+    RenoCC,
+    TcpConfig,
+    TcpConnection,
+    TcpError,
+    TcpStack,
+    TcpStats,
+    make_congestion_control,
+)
+from .tuning import (
+    JUMBO_MSS,
+    STANDARD_MSS,
+    profile,
+    tuned_10g,
+    tuned_100g,
+    tuned_100g_bbr,
+    untuned,
+)
+from .udp import UdpError, UdpSocket, UdpStack, remote_address
+
+__all__ = [
+    "BbrLiteCC",
+    "CongestionControl",
+    "CubicCC",
+    "JUMBO_MSS",
+    "RenoCC",
+    "STANDARD_MSS",
+    "TcpConfig",
+    "TcpConnection",
+    "TcpError",
+    "TcpStack",
+    "TcpStats",
+    "UdpError",
+    "UdpSocket",
+    "UdpStack",
+    "make_congestion_control",
+    "profile",
+    "remote_address",
+    "tuned_10g",
+    "tuned_100g",
+    "tuned_100g_bbr",
+    "untuned",
+]

@@ -1,0 +1,189 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Installed as the ``repro`` console script::
+
+    repro catalog                         # Table 1
+    repro pilot --loss 0.01 --wan-ms 10   # the Fig. 4 pilot study
+    repro compare --loss 0.001            # Fig. 2 vs Fig. 3 head-to-head
+    repro supernova                       # DUNE -> Rubin early warning
+    repro header                          # per-mode wire-format costs
+
+Every subcommand prints the same tables the benchmark suite produces,
+so quick shell exploration and recorded experiments stay consistent.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis import LatencySummary, ResultTable, format_duration, format_rate, percentile
+from .core import MmtHeader, TransitionContext, extended_registry, transition
+from .daq import catalog
+from .dataplane import PilotConfig, PilotTestbed
+from .integration import SupernovaConfig, compare as supernova_compare
+from .netsim import Simulator
+from .netsim.units import MILLISECOND
+from .wan import MultimodalScenario, ScenarioConfig, TodayScenario
+
+
+def _cmd_catalog(_args: argparse.Namespace) -> int:
+    table = ResultTable(
+        "Table 1 — DAQ rates of large instruments",
+        ["Experiment", "DAQ rate", "Pattern", "Description"],
+    )
+    for spec in catalog():
+        table.add_row(
+            spec.name, format_rate(spec.daq_rate_bps), spec.pattern, spec.description
+        )
+    table.show()
+    return 0
+
+
+def _cmd_pilot(args: argparse.Namespace) -> int:
+    config = PilotConfig(
+        wan_delay_ns=round(args.wan_ms * MILLISECOND),
+        wan_loss_rate=args.loss,
+        age_budget_ns=round(args.age_budget_ms * MILLISECOND),
+        deadline_offset_ns=round(args.deadline_ms * MILLISECOND),
+    )
+    pilot = PilotTestbed(sim=Simulator(seed=args.seed), config=config)
+    pilot.send_stream(args.messages, payload_size=args.size, interval_ns=round(args.interval_us * 1000))
+    report = pilot.run()
+    table = ResultTable(
+        "Pilot study (Fig. 4)",
+        ["Metric", "Value"],
+    )
+    latencies = report.delivery_latencies_ns
+    rows = [
+        ("messages sent", report.messages_sent),
+        ("delivered", report.delivered),
+        ("complete", report.complete),
+        ("NAKs sent / served", f"{report.naks_sent} / {report.naks_served}"),
+        ("retransmissions", report.retransmissions),
+        ("unrecovered", report.unrecovered),
+        ("aged packets", report.aged_packets),
+        ("deadline ok / miss", f"{report.deadline_ok} / {report.deadline_misses}"),
+        ("p50 latency", format_duration(percentile(latencies, 0.5)) if latencies else "-"),
+        ("p99 latency", format_duration(percentile(latencies, 0.99)) if latencies else "-"),
+    ]
+    for name, value in rows:
+        table.add_row(name, value)
+    table.show()
+    return 0 if report.complete else 1
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    config = ScenarioConfig(
+        message_count=args.messages,
+        message_interval_ns=round(args.interval_us * 1000),
+        wan_delay_ns=round(args.wan_ms * MILLISECOND),
+        wan_loss_rate=args.loss,
+    )
+    today = TodayScenario(config=config).run()
+    mmt = MultimodalScenario(config=config).run()
+    table = ResultTable(
+        "Fig. 2 (today) vs Fig. 3 (multi-modal)",
+        ["Pipeline", "Delivered", "Storage p50", "Storage p99", "Notes"],
+    )
+    table.add_row(
+        "today (UDP+TCP)",
+        f"{today.storage_delivered}/{today.sent}",
+        format_duration(percentile(today.storage_latencies_ns, 0.5)),
+        format_duration(percentile(today.storage_latencies_ns, 0.99)),
+        f"TCP retx {today.extras['tcp_wan_retransmits']}",
+    )
+    table.add_row(
+        "multi-modal (MMT)",
+        f"{mmt.storage_delivered}/{mmt.sent}",
+        format_duration(percentile(mmt.storage_latencies_ns, 0.5)),
+        format_duration(percentile(mmt.storage_latencies_ns, 0.99)),
+        f"NAKs {mmt.extras['naks']}, unrecovered {mmt.extras['unrecovered']}",
+    )
+    table.show()
+    return 0
+
+
+def _cmd_supernova(args: argparse.Namespace) -> int:
+    results = supernova_compare(SupernovaConfig(), seed=args.seed)
+    table = ResultTable(
+        "Supernova early warning (DUNE -> Vera Rubin)",
+        ["Dataflow", "Warning latency"],
+    )
+    for mode, result in results.items():
+        latency = result.warning_latency_ns
+        table.add_row(mode, format_duration(latency) if latency is not None else "no alert")
+    table.show()
+    return 0
+
+
+def _cmd_header(_args: argparse.Namespace) -> int:
+    registry = extended_registry()
+    table = ResultTable(
+        "MMT wire format per mode (§5.2)",
+        ["Mode", "Config id", "Header bytes", "Active features"],
+    )
+    ctx = TransitionContext(
+        now_ns=0, seq=0, buffer_addr="10.0.0.1", deadline_ns=1,
+        notify_addr="10.0.0.2", age_budget_ns=1, pace_rate_mbps=1,
+        source_addr="10.0.0.3", dup_group=0, dup_copies=1,
+    )
+    for mode in registry:
+        header = MmtHeader(config_id=0, experiment_id=0)
+        transition(header, mode, ctx)
+        features = [f.name.lower() for f in type(header.features) if f and header.features & f]
+        table.add_row(mode.name, mode.config_id, header.size_bytes, ", ".join(features) or "-")
+    table.show()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro`` argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Multi-modal DAQ transport — paper experiments from the shell.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("catalog", help="print the Table 1 experiment catalog")
+
+    pilot = sub.add_parser("pilot", help="run the Fig. 4 pilot study")
+    pilot.add_argument("--messages", type=int, default=1000)
+    pilot.add_argument("--size", type=int, default=8000)
+    pilot.add_argument("--interval-us", type=float, default=2.0)
+    pilot.add_argument("--wan-ms", type=float, default=10.0)
+    pilot.add_argument("--loss", type=float, default=0.0)
+    pilot.add_argument("--age-budget-ms", type=float, default=50.0)
+    pilot.add_argument("--deadline-ms", type=float, default=5.0)
+    pilot.add_argument("--seed", type=int, default=42)
+
+    comparison = sub.add_parser("compare", help="Fig. 2 vs Fig. 3 head-to-head")
+    comparison.add_argument("--messages", type=int, default=1000)
+    comparison.add_argument("--interval-us", type=float, default=128.0)
+    comparison.add_argument("--wan-ms", type=float, default=25.0)
+    comparison.add_argument("--loss", type=float, default=0.001)
+
+    supernova = sub.add_parser("supernova", help="DUNE -> Rubin early warning")
+    supernova.add_argument("--seed", type=int, default=11)
+
+    sub.add_parser("header", help="wire-format cost per mode")
+    return parser
+
+
+_COMMANDS = {
+    "catalog": _cmd_catalog,
+    "pilot": _cmd_pilot,
+    "compare": _cmd_compare,
+    "supernova": _cmd_supernova,
+    "header": _cmd_header,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Console entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""Control plane for multi-modal transport (§6, challenge 1).
+
+Resource discovery and work distribution: elements advertise their
+capabilities into a :class:`ResourceMap`; :class:`MapSpeaker` s share
+maps across operator domains (the paper's piggy-back-on-BGP idea);
+:func:`plan_flow` distributes a flow's required features over the
+discovered resources and :func:`install_plan` realizes the result as
+dataplane programs.
+"""
+
+from .bgp import MapSpeaker, MapUpdate, converge
+from .placement import (
+    FlowIntent,
+    NodePlan,
+    PlacementError,
+    PlacementPlan,
+    install_plan,
+    plan_flow,
+)
+from .resourcemap import Capability, ResourceDescriptor, ResourceMap
+
+__all__ = [
+    "Capability",
+    "FlowIntent",
+    "MapSpeaker",
+    "MapUpdate",
+    "NodePlan",
+    "PlacementError",
+    "PlacementPlan",
+    "ResourceDescriptor",
+    "ResourceMap",
+    "converge",
+    "install_plan",
+    "plan_flow",
+]

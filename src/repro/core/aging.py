@@ -1,0 +1,62 @@
+"""Age-of-information tracking (§5.4).
+
+"Age-sensitivity involves tracking a time budget as DAQ data travels
+through the network [...] An element updates an 'age' field, and it
+additionally updates an 'aged' flag if a maximum age threshold was
+exceeded by the time the packet reached that network element."
+
+In deployment, elements compute age from a PTP-synchronized activation
+timestamp carried with the packet. The simulator's clock is globally
+synchronous, so the activation instant is stamped in packet ``meta``
+(``mmt_age_epoch``) when AGE_TRACKING turns on, and every programmable
+element rewrites the header's ``age_ns`` from it — the header field is
+what travels and what downstream elements/receivers read, exactly as on
+hardware.
+"""
+
+from __future__ import annotations
+
+from ..netsim.packet import Packet
+from .features import Feature
+from .header import MmtHeader
+
+AGE_EPOCH_META = "mmt_age_epoch"
+
+
+def activate_age_tracking(
+    header: MmtHeader, packet: Packet, now_ns: int, budget_ns: int
+) -> None:
+    """Start the age clock for a packet (called at mode transition)."""
+    header.age_ns = 0
+    header.age_budget_ns = budget_ns
+    header.aged = False
+    packet.meta[AGE_EPOCH_META] = now_ns
+
+
+def update_age(header: MmtHeader, packet: Packet, now_ns: int) -> bool:
+    """Refresh ``age_ns``/``aged`` at a network element.
+
+    Returns True when this update newly set the ``aged`` flag. A packet
+    without AGE_TRACKING (or without an activation stamp) is untouched.
+    """
+    if not header.has(Feature.AGE_TRACKING):
+        return False
+    epoch = packet.meta.get(AGE_EPOCH_META)
+    if epoch is None:
+        return False
+    age = now_ns - epoch
+    if age < header.age_ns:
+        # Ages never decrease; guard against duplicated/stale stamps.
+        return False
+    header.age_ns = age
+    if not header.aged and header.age_budget_ns is not None and age > header.age_budget_ns:
+        header.aged = True
+        return True
+    return False
+
+
+def remaining_budget_ns(header: MmtHeader) -> int | None:
+    """Age budget left, or None when the packet is not age-tracked."""
+    if not header.has(Feature.AGE_TRACKING):
+        return None
+    return header.age_budget_ns - header.age_ns

@@ -1,0 +1,233 @@
+"""Payload codecs for MMT control messages.
+
+Control messages (NAK, deadline-miss, backpressure, heartbeat) travel
+as MMT packets whose ``msg_type`` marks them; their small, fixed-format
+payloads are encoded here. Data payloads are never interpreted by the
+network (header-only processing, §5), but control payloads are consumed
+by *endpoints and buffers*, which may be DTNs or smartNICs.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+
+class ControlCodecError(ValueError):
+    """Raised on malformed control payloads."""
+
+
+@dataclass(frozen=True)
+class SeqRange:
+    """An inclusive range of missing sequence numbers."""
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.start <= self.end <= 0xFFFFFFFF:
+            raise ControlCodecError(f"bad seq range [{self.start}, {self.end}]")
+
+    def __len__(self) -> int:
+        return self.end - self.start + 1
+
+    def __iter__(self):
+        return iter(range(self.start, self.end + 1))
+
+
+@dataclass
+class NakPayload:
+    """A negative acknowledgement: ranges of sequence numbers to resend.
+
+    Sent by a receiver to the header's ``buffer_addr`` — the nearest
+    upstream retransmission buffer, not necessarily the source (§5.3).
+    """
+
+    ranges: list[SeqRange] = field(default_factory=list)
+
+    MAX_RANGES = 0xFFFF
+
+    @property
+    def missing_count(self) -> int:
+        return sum(len(r) for r in self.ranges)
+
+    def encode(self) -> bytes:
+        if len(self.ranges) > self.MAX_RANGES:
+            raise ControlCodecError(f"too many ranges: {len(self.ranges)}")
+        out = bytearray(struct.pack(">H", len(self.ranges)))
+        for item in self.ranges:
+            out += struct.pack(">II", item.start, item.end)
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "NakPayload":
+        if len(data) < 2:
+            raise ControlCodecError("truncated NAK payload")
+        (count,) = struct.unpack(">H", data[:2])
+        expected = 2 + count * 8
+        if len(data) != expected:
+            raise ControlCodecError(
+                f"NAK payload length {len(data)} != expected {expected}"
+            )
+        ranges = []
+        for i in range(count):
+            start, end = struct.unpack_from(">II", data, 2 + i * 8)
+            ranges.append(SeqRange(start, end))
+        return cls(ranges=ranges)
+
+    @classmethod
+    def from_sequence_numbers(cls, missing: list[int]) -> "NakPayload":
+        """Coalesce a sorted-or-not list of seqnos into ranges."""
+        if not missing:
+            return cls()
+        ordered = sorted(set(missing))
+        ranges: list[SeqRange] = []
+        start = prev = ordered[0]
+        for seq in ordered[1:]:
+            if seq == prev + 1:
+                prev = seq
+                continue
+            ranges.append(SeqRange(start, prev))
+            start = prev = seq
+        ranges.append(SeqRange(start, prev))
+        return cls(ranges=ranges)
+
+
+@dataclass
+class DeadlineMissPayload:
+    """Report that a packet missed its delivery deadline (§5.3)."""
+
+    seq: int
+    deadline_ns: int
+    observed_ns: int
+    experiment_id: int
+
+    _FORMAT = ">IQQI"
+
+    def encode(self) -> bytes:
+        return struct.pack(
+            self._FORMAT, self.seq, self.deadline_ns, self.observed_ns, self.experiment_id
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "DeadlineMissPayload":
+        expected = struct.calcsize(cls._FORMAT)
+        if len(data) != expected:
+            raise ControlCodecError(
+                f"deadline-miss payload length {len(data)} != {expected}"
+            )
+        seq, deadline_ns, observed_ns, experiment_id = struct.unpack(cls._FORMAT, data)
+        return cls(seq, deadline_ns, observed_ns, experiment_id)
+
+
+@dataclass
+class BackpressurePayload:
+    """Ask the source to slow down to ``advised_rate_mbps`` (§5.1)."""
+
+    advised_rate_mbps: int
+    origin: str
+    #: 0 = advisory, 1 = loss observed, 2 = severe (sustained loss).
+    severity: int = 0
+
+    _FORMAT = ">IB"
+
+    def encode(self) -> bytes:
+        from .header import pack_ipv4
+
+        return struct.pack(
+            ">IIB", self.advised_rate_mbps, pack_ipv4(self.origin), self.severity
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "BackpressurePayload":
+        from .header import unpack_ipv4
+
+        expected = struct.calcsize(">IIB")
+        if len(data) != expected:
+            raise ControlCodecError(
+                f"backpressure payload length {len(data)} != {expected}"
+            )
+        rate, origin, severity = struct.unpack(">IIB", data)
+        return cls(rate, unpack_ipv4(origin), severity)
+
+
+@dataclass
+class ModeAnnouncePayload:
+    """An on-path element tells the source how its stream is being
+    carried downstream (§4.2: "exchanging control messaging about
+    multi-modal transports can provide a foundation for reasoning
+    about end-to-end behavior in terms of hop-by-hop behavior")."""
+
+    #: The mode the element rewrote the stream into.
+    config_id: int
+    #: The element's address (who is processing the stream).
+    element: str
+    #: When the transition happened (element-local clock).
+    at_ns: int
+
+    _FORMAT = ">BIQ"
+
+    def encode(self) -> bytes:
+        from .header import pack_ipv4
+
+        return struct.pack(self._FORMAT, self.config_id, pack_ipv4(self.element), self.at_ns)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "ModeAnnouncePayload":
+        from .header import unpack_ipv4
+
+        expected = struct.calcsize(cls._FORMAT)
+        if len(data) != expected:
+            raise ControlCodecError(
+                f"mode-announce payload length {len(data)} != {expected}"
+            )
+        config_id, element, at_ns = struct.unpack(cls._FORMAT, data)
+        return cls(config_id, unpack_ipv4(element), at_ns)
+
+
+@dataclass
+class WindowUpdatePayload:
+    """Receiver-granted credits (FLOW_CONTROL): the sender may emit
+    this many further messages. Credits are cumulative grants, not a
+    window edge, so updates may arrive out of order harmlessly."""
+
+    credits: int
+    #: Receiver's delivered-message count when granting (diagnostics).
+    delivered_total: int
+
+    _FORMAT = ">IQ"
+
+    def encode(self) -> bytes:
+        return struct.pack(self._FORMAT, self.credits, self.delivered_total)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "WindowUpdatePayload":
+        expected = struct.calcsize(cls._FORMAT)
+        if len(data) != expected:
+            raise ControlCodecError(
+                f"window payload length {len(data)} != {expected}"
+            )
+        credits, delivered_total = struct.unpack(cls._FORMAT, data)
+        return cls(credits, delivered_total)
+
+
+@dataclass
+class HeartbeatPayload:
+    """Periodic sender report: highest seq sent, letting receivers
+    detect tail loss (a gap after the final data packet)."""
+
+    highest_seq: int
+    packets_sent: int
+
+    _FORMAT = ">IQ"
+
+    def encode(self) -> bytes:
+        return struct.pack(self._FORMAT, self.highest_seq, self.packets_sent)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "HeartbeatPayload":
+        expected = struct.calcsize(cls._FORMAT)
+        if len(data) != expected:
+            raise ControlCodecError(f"heartbeat payload length {len(data)} != {expected}")
+        highest_seq, packets_sent = struct.unpack(cls._FORMAT, data)
+        return cls(highest_seq, packets_sent)

@@ -1,0 +1,898 @@
+"""MMT endpoints: sender, receiver, and the per-host protocol stack.
+
+An :class:`MmtStack` registers with a host for MMT-over-IP and
+MMT-over-Ethernet (Req 1) and demultiplexes by message type and
+experiment id. Applications use:
+
+- :class:`MmtSender` — datagram sends (one message per packet; DAQ
+  messages have well-defined boundaries and are MTU-fitted, §2.1),
+  optional pacing, optional local retransmission buffering, heartbeats
+  so receivers can detect tail loss, and backpressure response.
+- :class:`MmtReceiver` — immediate (non-blocking, unordered) delivery
+  of messages to the application — the message abstraction of Req 7;
+  gap detection over sequence numbers with NAKs sent to the *nearest
+  buffer* named in the header (not the source); deadline checking with
+  miss notifications; age/aged accounting.
+
+Design note: messages are delivered the moment they arrive. Unlike a
+TCP bytestream there is no head-of-line blocking — a recovered packet
+fills in later, and the application sees exactly which timestamps are
+still outstanding.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..netsim.engine import Timer
+from ..netsim.headers import EtherType, IpProto
+from ..netsim.host import Host
+from ..netsim.packet import Packet
+from ..netsim.units import MBPS, MICROSECOND, MILLISECOND, SECOND
+from .control import (
+    BackpressurePayload,
+    DeadlineMissPayload,
+    HeartbeatPayload,
+    ModeAnnouncePayload,
+    NakPayload,
+    WindowUpdatePayload,
+)
+from .features import Feature, MsgType
+from .header import MmtHeader
+from .modes import Mode, ModeRegistry, pilot_registry
+from .retransmit import RetransmitBuffer
+from .seqspace import unwrap, wrap
+
+
+class EndpointError(RuntimeError):
+    """Raised for endpoint misuse."""
+
+
+# ---------------------------------------------------------------------------
+# Stack
+# ---------------------------------------------------------------------------
+
+
+class MmtStack:
+    """Per-host MMT protocol instance: demux, buffers, notifications."""
+
+    def __init__(self, host: Host, registry: ModeRegistry | None = None) -> None:
+        self.host = host
+        self.sim = host.sim
+        self.registry = registry or pilot_registry()
+        self.receivers: dict[int, MmtReceiver] = {}
+        self.senders: list[MmtSender] = []
+        self.buffer: RetransmitBuffer | None = None
+        #: NAKs this buffer could not serve are forwarded here (chained
+        #: buffers; the final fallback is the source).
+        self.nak_fallback_addr: str | None = None
+        self.deadline_misses: list[DeadlineMissPayload] = []
+        self.on_deadline_miss: Callable[[DeadlineMissPayload], None] | None = None
+        #: experiment_id → mode announcements received from on-path
+        #: elements (§4.2's end-to-end-from-hop-by-hop reasoning input).
+        self.mode_announcements: dict[int, list[ModeAnnouncePayload]] = {}
+        self.on_mode_announce: Callable[[int, ModeAnnouncePayload], None] | None = None
+        self.rx_unknown_experiment = 0
+        #: Identical unmet-NAK forwards are capped so a mis-wired
+        #: fallback cycle dies out instead of circulating forever.
+        self._nak_forward_counts: dict[tuple, int] = {}
+        self.nak_forwards_suppressed = 0
+        host.register_l3_protocol(IpProto.MMT, self._receive)
+        host.register_l2_protocol(EtherType.MMT, self._receive)
+
+    # -- construction helpers ------------------------------------------------
+
+    def attach_buffer(self, capacity_bytes: int) -> RetransmitBuffer:
+        """Host a retransmission buffer at this node (DTN or smartNIC)."""
+        if self.buffer is not None:
+            raise EndpointError(f"{self.host.name} already hosts a buffer")
+        self.buffer = RetransmitBuffer(capacity_bytes, address=self.host.ip)
+        return self.buffer
+
+    def create_sender(self, **kwargs) -> "MmtSender":
+        sender = MmtSender(stack=self, **kwargs)
+        self.senders.append(sender)
+        return sender
+
+    def bind_receiver(self, experiment: int, **kwargs) -> "MmtReceiver":
+        """Bind a receiver for an experiment number (all slices)."""
+        if experiment in self.receivers:
+            raise EndpointError(f"experiment {experiment} already bound")
+        receiver = MmtReceiver(stack=self, experiment=experiment, **kwargs)
+        self.receivers[experiment] = receiver
+        return receiver
+
+    # -- wire I/O ---------------------------------------------------------------
+
+    def send_control(
+        self,
+        dst_ip: str,
+        header: MmtHeader,
+        payload: bytes,
+        src_ip: str | None = None,
+    ) -> bool:
+        """Transmit a control message (NAK, miss report, backpressure).
+
+        ``src_ip`` preserves an original requester when relaying (so
+        the eventual answer bypasses this relay)."""
+        return self.host.send_ip(
+            dst_ip,
+            IpProto.MMT,
+            [header],
+            payload=payload,
+            meta={"mmt_control": header.msg_type.name},
+            src_ip=src_ip,
+        )
+
+    def _receive(self, packet: Packet) -> None:
+        header = packet.find(MmtHeader)
+        if header is None:
+            return
+        if header.msg_type in (MsgType.DATA, MsgType.RETX_DATA, MsgType.HEARTBEAT):
+            receiver = self.receivers.get(header.experiment)
+            if receiver is None:
+                self.rx_unknown_experiment += 1
+                return
+            receiver.handle(packet, header)
+        elif header.msg_type == MsgType.NAK:
+            self._handle_nak(packet, header)
+        elif header.msg_type == MsgType.DEADLINE_MISS:
+            self._handle_deadline_miss(packet)
+        elif header.msg_type == MsgType.BACKPRESSURE:
+            self._handle_backpressure(packet, header)
+        elif header.msg_type == MsgType.WINDOW:
+            self._handle_window(packet, header)
+        elif header.msg_type == MsgType.MODE_ANNOUNCE:
+            self._handle_mode_announce(packet, header)
+
+    # -- control handling ----------------------------------------------------
+
+    def _handle_nak(self, packet: Packet, header: MmtHeader) -> None:
+        if self.buffer is None or packet.payload is None:
+            return
+        from ..netsim.headers import Ipv4Header
+
+        ip = packet.find(Ipv4Header)
+        requester = ip.src if ip is not None else None
+        if requester is None:
+            return
+        nak = NakPayload.decode(packet.payload)
+        recovered, unmet = self.buffer.serve_nak(header.experiment_id, nak)
+        for cached in recovered:
+            self._resend(cached, requester)
+        if unmet and self.nak_fallback_addr:
+            key = (header.experiment_id, tuple((r.start, r.end) for r in unmet))
+            count = self._nak_forward_counts.get(key, 0)
+            if count >= 3:
+                self.nak_forwards_suppressed += 1
+                return
+            if len(self._nak_forward_counts) > 1024:
+                self._nak_forward_counts.clear()
+            self._nak_forward_counts[key] = count + 1
+            fallback = NakPayload(ranges=list(unmet))
+            fwd_header = MmtHeader(
+                config_id=header.config_id,
+                features=Feature.NONE,
+                msg_type=MsgType.NAK,
+                experiment_id=header.experiment_id,
+            )
+            self.send_control(
+                self.nak_fallback_addr, fwd_header, fallback.encode(),
+                src_ip=requester,  # answers go straight to the requester
+            )
+
+    def _resend(self, cached: Packet, requester: str) -> None:
+        """Re-originate a cached packet toward the NAK requester."""
+        mmt = cached.find(MmtHeader)
+        if mmt is None:
+            return
+        mmt = mmt.copy()
+        mmt.msg_type = MsgType.RETX_DATA
+        # Keep the cached packet's meta (original sent_at, age epoch) so
+        # latency/age accounting spans the message's whole lifetime.
+        meta = dict(cached.meta)
+        meta["retx"] = True
+        meta.setdefault("flow", "retx")
+        self.host.send_ip(
+            requester,
+            IpProto.MMT,
+            [mmt],
+            payload_size=cached.payload_size,
+            payload=cached.payload,
+            meta=meta,
+        )
+
+    def _handle_deadline_miss(self, packet: Packet) -> None:
+        if packet.payload is None:
+            return
+        miss = DeadlineMissPayload.decode(packet.payload)
+        self.deadline_misses.append(miss)
+        if self.on_deadline_miss is not None:
+            self.on_deadline_miss(miss)
+
+    def _handle_backpressure(self, packet: Packet, header: MmtHeader) -> None:
+        if packet.payload is None:
+            return
+        signal = BackpressurePayload.decode(packet.payload)
+        for sender in self.senders:
+            if sender.experiment_id == header.experiment_id:
+                sender.apply_backpressure(signal)
+
+    def _handle_window(self, packet: Packet, header: MmtHeader) -> None:
+        if packet.payload is None:
+            return
+        update = WindowUpdatePayload.decode(packet.payload)
+        for sender in self.senders:
+            if sender.experiment_id == header.experiment_id:
+                sender.stats.window_updates_received += 1
+                sender.add_credits(update.credits)
+
+    def _handle_mode_announce(self, packet: Packet, header: MmtHeader) -> None:
+        if packet.payload is None:
+            return
+        announce = ModeAnnouncePayload.decode(packet.payload)
+        history = self.mode_announcements.setdefault(header.experiment_id, [])
+        history.append(announce)
+        if self.on_mode_announce is not None:
+            self.on_mode_announce(header.experiment_id, announce)
+
+
+# ---------------------------------------------------------------------------
+# Sender
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SenderConfig:
+    """Tunables for an :class:`MmtSender`."""
+
+    #: Interval between heartbeats while the stream is active; 0 disables.
+    heartbeat_interval_ns: int = MILLISECOND
+    #: Heartbeats sent after finish() so tail loss is always detectable.
+    closing_heartbeats: int = 3
+    #: Stop heartbeating after this many beats with no new data (the
+    #: stream is idle; beating resumes on the next send). Keeps idle
+    #: senders from holding the event loop open forever.
+    idle_heartbeat_limit: int = 5
+    #: Floor for backpressure-driven rate reduction.
+    min_pace_rate_mbps: int = 100
+    #: Multiplicative recovery applied each heartbeat after backpressure.
+    pace_recovery_factor: float = 1.05
+    #: Starting credit balance for FLOW_CONTROL modes (messages the
+    #: sender may emit before the first receiver grant arrives).
+    initial_credits: int = 64
+
+
+@dataclass
+class SenderStats:
+    """Per-sender counters."""
+    messages_sent: int = 0
+    bytes_sent: int = 0
+    heartbeats_sent: int = 0
+    backpressure_signals: int = 0
+    send_failures: int = 0
+    #: High-water mark of messages held back awaiting credits.
+    flow_blocked: int = 0
+    window_updates_received: int = 0
+
+
+class MmtSender:
+    """Message-oriented sender; one message = one MMT packet."""
+
+    def __init__(
+        self,
+        stack: MmtStack,
+        experiment_id: int,
+        mode: Mode | str,
+        dst_ip: str | None = None,
+        dst_mac: str | None = None,
+        l2_port: str | None = None,
+        pace_rate_mbps: int | None = None,
+        deadline_offset_ns: int | None = None,
+        notify_addr: str | None = None,
+        age_budget_ns: int | None = None,
+        buffer_local: bool = False,
+        config: SenderConfig | None = None,
+        flow: str | None = None,
+    ) -> None:
+        self.stack = stack
+        self.sim = stack.sim
+        self.experiment_id = experiment_id
+        self.mode = stack.registry.by_name(mode) if isinstance(mode, str) else mode
+        if dst_ip is None and (dst_mac is None or l2_port is None):
+            raise EndpointError("need dst_ip, or dst_mac with l2_port")
+        self.dst_ip = dst_ip
+        self.dst_mac = dst_mac
+        self.l2_port = l2_port
+        self.pace_rate_mbps = pace_rate_mbps
+        self.deadline_offset_ns = deadline_offset_ns
+        self.notify_addr = notify_addr
+        self.age_budget_ns = age_budget_ns
+        self.buffer_local = buffer_local
+        self.config = config or SenderConfig()
+        self.flow = flow or f"mmt-{experiment_id}"
+        self.stats = SenderStats()
+        self._next_seq = 0
+        self._pending: deque[tuple[int, bytes | None, dict]] = deque()
+        self._pace_timer = Timer(self.sim, self._drain_paced)
+        self._heartbeat_timer = Timer(self.sim, self._heartbeat)
+        self._finished = False
+        self._closing_left = self.config.closing_heartbeats
+        self._beats_since_send = 0
+        #: Credit balance for FLOW_CONTROL modes (None = not used).
+        self._credits: int | None = (
+            self.config.initial_credits if self.mode.has(Feature.FLOW_CONTROL) else None
+        )
+        if self.mode.has(Feature.PACING) and self.pace_rate_mbps is None:
+            raise EndpointError("PACING mode requires pace_rate_mbps")
+        if self.mode.has(Feature.TIMELINESS) and (
+            self.deadline_offset_ns is None or self.notify_addr is None
+        ):
+            raise EndpointError("TIMELINESS mode requires deadline_offset_ns+notify_addr")
+        if self.mode.has(Feature.AGE_TRACKING) and self.age_budget_ns is None:
+            raise EndpointError("AGE_TRACKING mode requires age_budget_ns")
+        if buffer_local and stack.buffer is None:
+            raise EndpointError("buffer_local requires stack.attach_buffer() first")
+
+    # -- public API ---------------------------------------------------------------
+
+    def send(
+        self,
+        payload_size: int,
+        payload: bytes | None = None,
+        meta: dict | None = None,
+    ) -> None:
+        """Queue one message. Paced modes space transmissions; others
+        hand the packet straight to the NIC."""
+        if self._finished:
+            raise EndpointError("sender is finished")
+        if (
+            self.config.heartbeat_interval_ns
+            and self.mode.has(Feature.SEQUENCED)
+            and not self._heartbeat_timer.running
+        ):
+            self._heartbeat_timer.start(self.config.heartbeat_interval_ns)
+        self._beats_since_send = 0
+        entry = (payload_size, payload, dict(meta or {}))
+        if self.mode.has(Feature.PACING) or self._credits is not None:
+            self._pending.append(entry)
+            self._pump()
+        else:
+            self._transmit(*entry)
+
+    def _pump(self) -> None:
+        """Push queued messages through the pacing/credit gates."""
+        if self.mode.has(Feature.PACING):
+            if not self._pace_timer.running:
+                self._drain_paced()
+            return
+        while self._pending and self._credits > 0:
+            self._credits -= 1
+            payload_size, payload, meta = self._pending.popleft()
+            self._transmit(payload_size, payload, meta)
+        if self._pending:
+            self.stats.flow_blocked = max(
+                self.stats.flow_blocked, len(self._pending)
+            )
+
+    def add_credits(self, credits: int) -> None:
+        """Receiver grant arrived (WINDOW update): release sends."""
+        if self._credits is None:
+            return
+        self._credits += credits
+        self._pump()
+
+    @property
+    def credits(self) -> int | None:
+        """Remaining flow-control credits (None when not flow-controlled)."""
+        return self._credits
+
+    def finish(self) -> None:
+        """Declare the stream complete; closing heartbeats still flush."""
+        self._finished = True
+
+    @property
+    def next_seq(self) -> int:
+        """The sequence number the next message will carry."""
+        return self._next_seq
+
+    def apply_backpressure(self, signal: BackpressurePayload) -> None:
+        """React to a backpressure signal by reducing the pacing rate."""
+        self.stats.backpressure_signals += 1
+        if not self.mode.has(Feature.BACKPRESSURE):
+            return
+        if self.pace_rate_mbps is None:
+            return
+        advised = max(signal.advised_rate_mbps, self.config.min_pace_rate_mbps)
+        self.pace_rate_mbps = min(self.pace_rate_mbps, advised)
+
+    # -- internals -------------------------------------------------------------------
+
+    def _build_header(self, msg_type: MsgType = MsgType.DATA) -> MmtHeader:
+        header = MmtHeader(
+            config_id=self.mode.config_id,
+            features=self.mode.features,
+            msg_type=msg_type,
+            ack_scheme=self.mode.ack_scheme,
+            experiment_id=self.experiment_id,
+        )
+        if self.mode.has(Feature.SEQUENCED):
+            header.seq = wrap(self._next_seq)  # 32-bit wire value
+        if self.mode.has(Feature.RETRANSMISSION):
+            header.buffer_addr = (
+                self.stack.host.ip if self.buffer_local else "0.0.0.0"
+            )
+        if self.mode.has(Feature.TIMELINESS):
+            header.deadline_ns = self.sim.now + self.deadline_offset_ns
+            header.notify_addr = self.notify_addr
+        if self.mode.has(Feature.AGE_TRACKING):
+            header.age_ns = 0
+            header.age_budget_ns = self.age_budget_ns
+        if self.mode.has(Feature.PACING):
+            header.pace_rate_mbps = self.pace_rate_mbps
+        if self.mode.has(Feature.BACKPRESSURE):
+            header.source_addr = self.stack.host.ip
+        if self.mode.has(Feature.DUPLICATION):
+            header.dup_group = self.experiment_id & 0xFFFF
+            header.dup_copies = 1
+        return header
+
+    def _transmit(self, payload_size: int, payload: bytes | None, meta: dict) -> None:
+        header = self._build_header()
+        meta = dict(meta)
+        meta.setdefault("flow", self.flow)
+        # Stamp origination time here (not only at the host) so locally
+        # cached copies carry it into any later retransmission.
+        meta.setdefault("sent_at", self.sim.now)
+        if self.mode.has(Feature.AGE_TRACKING):
+            meta["mmt_age_epoch"] = self.sim.now
+        sent = self._send_packet(header, payload_size, payload, meta)
+        if not sent:
+            self.stats.send_failures += 1
+        if self.mode.has(Feature.SEQUENCED):
+            if self.buffer_local and self.stack.buffer is not None:
+                # Cache what we just sent so NAKs can be served locally.
+                cached = Packet(
+                    headers=[header.copy()],
+                    payload_size=payload_size,
+                    payload=payload,
+                    meta=dict(meta),
+                )
+                self.stack.buffer.store(self.experiment_id, header.seq, cached)
+            self._next_seq += 1
+        self.stats.messages_sent += 1
+        self.stats.bytes_sent += payload_size
+
+    def _send_packet(
+        self,
+        header: MmtHeader,
+        payload_size: int,
+        payload: bytes | None,
+        meta: dict,
+    ) -> bool:
+        if self.dst_ip is not None:
+            return self.stack.host.send_ip(
+                self.dst_ip,
+                IpProto.MMT,
+                [header],
+                payload_size=payload_size,
+                payload=payload,
+                meta=meta,
+            )
+        return self.stack.host.send_l2(
+            self.l2_port,
+            self.dst_mac,
+            EtherType.MMT,
+            [header],
+            payload_size=payload_size,
+            payload=payload,
+            meta=meta,
+        )
+
+    def _drain_paced(self) -> None:
+        if not self._pending:
+            return
+        if self._credits is not None:
+            if self._credits <= 0:
+                return  # a credit grant will pump again
+            self._credits -= 1
+        payload_size, payload, meta = self._pending.popleft()
+        self._transmit(payload_size, payload, meta)
+        # Keep the timer armed even when the queue just drained: it
+        # gates the *next* send to the pacing gap.
+        rate_bps = max(self.pace_rate_mbps, 1) * MBPS
+        gap_ns = (payload_size * 8 * SECOND) // rate_bps
+        self._pace_timer.start(max(gap_ns, 1))
+
+    def _heartbeat(self) -> None:
+        if self._finished and self._closing_left <= 0:
+            return
+        if self._finished:
+            self._closing_left -= 1
+        elif self._beats_since_send >= self.config.idle_heartbeat_limit:
+            return  # idle stream; beating resumes on the next send
+        self._beats_since_send += 1
+        if self.mode.has(Feature.SEQUENCED) and self._next_seq > 0:
+            payload = HeartbeatPayload(
+                highest_seq=wrap(self._next_seq - 1),
+                packets_sent=self.stats.messages_sent,
+            ).encode()
+            header = self._build_header(MsgType.HEARTBEAT)
+            # Heartbeats reuse the next seq slot without consuming it.
+            self._send_packet(
+                header, len(payload), payload, {"flow": f"{self.flow}:hb"}
+            )
+            self.stats.heartbeats_sent += 1
+        if self.config.heartbeat_interval_ns:
+            self._heartbeat_timer.start(self.config.heartbeat_interval_ns)
+
+    def recover_pace(self) -> None:
+        """Gently raise the pacing rate after backpressure (AIMD-style)."""
+        if self.pace_rate_mbps is not None:
+            self.pace_rate_mbps = int(
+                self.pace_rate_mbps * self.config.pace_recovery_factor
+            )
+
+
+# ---------------------------------------------------------------------------
+# Receiver
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ReceiverConfig:
+    """Tunables for an :class:`MmtReceiver`."""
+
+    #: How long to wait for reordering before NAK-ing a gap.
+    reorder_wait_ns: int = 50 * MICROSECOND
+    #: Backoff multiplier between repeated NAKs for the same gap.
+    nak_backoff: float = 2.0
+    #: Give up on a sequence number after this many NAKs.
+    max_naks: int = 8
+    #: Assumed NAK→retransmission round trip before any measurement.
+    initial_rtt_ns: int = 2 * MILLISECOND
+    #: A retry is not sent before ``rtt_safety`` × estimated RTT passed.
+    rtt_safety: float = 2.0
+    #: Largest leading gap treated as recoverable loss when the first
+    #: packet of a flow arrives with seq > 0. A bigger jump means the
+    #: receiver joined mid-stream (or after a 32-bit wrap): history is
+    #: not expected, and tracking starts at the observed position.
+    max_leading_gap: int = 4096
+    #: Treat sequence gaps as losses to recover. Disable for consumers
+    #: that legitimately see a *stripe* of the sequence space (e.g.
+    #: workers behind an EJ-FAT-style balancer) — they must not NAK the
+    #: windows owned by their peers. Explicit ``request_missing`` still
+    #: works.
+    detect_gaps: bool = True
+    #: FLOW_CONTROL: grant the sender this many fresh credits after
+    #: every ``grant_credits`` deliveries (0 disables granting).
+    grant_credits: int = 0
+
+
+@dataclass
+class ReceiverStats:
+    """Per-receiver counters."""
+    messages_delivered: int = 0
+    bytes_delivered: int = 0
+    duplicates: int = 0
+    retransmissions_received: int = 0
+    naks_sent: int = 0
+    gaps_detected: int = 0
+    unrecovered: int = 0
+    deadline_misses: int = 0
+    deadline_ok: int = 0
+    aged_packets: int = 0
+    heartbeats_received: int = 0
+    windows_granted: int = 0
+
+
+@dataclass
+class _FlowState:
+    """Per-(experiment_id) sequence tracking."""
+
+    base: int = 0
+    received: set[int] = field(default_factory=set)
+    missing: dict[int, int] = field(default_factory=dict)  # seq -> nak count
+    buffer_addr: str | None = None
+    highest_seen: int = -1
+    given_up: set[int] = field(default_factory=set)
+    #: seq → time the first NAK covering it was sent (for RTT sampling).
+    nak_sent_at: dict[int, int] = field(default_factory=dict)
+    #: seq → time the most recent NAK covering it was sent (retry pacing).
+    last_nak_at: dict[int, int] = field(default_factory=dict)
+    #: EWMA of the NAK→retransmission round trip to the buffer.
+    rtt_est_ns: int | None = None
+
+
+class MmtReceiver:
+    """Delivers messages to the application and drives loss recovery."""
+
+    def __init__(
+        self,
+        stack: MmtStack,
+        experiment: int,
+        on_message: Callable[[Packet, MmtHeader], None] | None = None,
+        config: ReceiverConfig | None = None,
+    ) -> None:
+        self.stack = stack
+        self.sim = stack.sim
+        self.experiment = experiment
+        self.on_message = on_message
+        self.config = config or ReceiverConfig()
+        self.stats = ReceiverStats()
+        self._flows: dict[int, _FlowState] = {}
+        self._nak_timers: dict[int, Timer] = {}
+        self._since_grant = 0
+        #: (sim time, latency) samples for every delivered message.
+        self.delivery_log: list[tuple[int, int]] = []
+
+    # -- ingress ---------------------------------------------------------------
+
+    def handle(self, packet: Packet, header: MmtHeader) -> None:
+        if header.msg_type == MsgType.HEARTBEAT:
+            self._handle_heartbeat(packet, header)
+            return
+        if header.msg_type == MsgType.RETX_DATA:
+            self.stats.retransmissions_received += 1
+            if header.has(Feature.SEQUENCED):
+                self._sample_rtt(header)
+        if header.has(Feature.SEQUENCED):
+            if not self._track_sequenced(header):
+                return  # duplicate
+        self._deliver(packet, header)
+
+    def _deliver(self, packet: Packet, header: MmtHeader) -> None:
+        self.stats.messages_delivered += 1
+        self.stats.bytes_delivered += packet.payload_size
+        sent_at = packet.meta.get("sent_at")
+        latency = self.sim.now - sent_at if sent_at is not None else 0
+        self.delivery_log.append((self.sim.now, latency))
+        if header.has(Feature.AGE_TRACKING) and header.aged:
+            self.stats.aged_packets += 1
+        if header.has(Feature.TIMELINESS):
+            self._check_deadline(header)
+        if self.config.grant_credits and header.has(Feature.FLOW_CONTROL):
+            self._maybe_grant(packet, header)
+        if self.on_message is not None:
+            self.on_message(packet, header)
+
+    # -- flow control granting -----------------------------------------------
+
+    def _maybe_grant(self, packet: Packet, header: MmtHeader) -> None:
+        from ..netsim.headers import Ipv4Header
+
+        ip = packet.find(Ipv4Header)
+        if ip is None:
+            return
+        self._since_grant += 1
+        if self._since_grant < self.config.grant_credits:
+            return
+        update = WindowUpdatePayload(
+            credits=self._since_grant,
+            delivered_total=self.stats.messages_delivered,
+        )
+        grant_header = MmtHeader(
+            config_id=header.config_id,
+            msg_type=MsgType.WINDOW,
+            experiment_id=header.experiment_id,
+        )
+        self.stack.send_control(ip.src, grant_header, update.encode())
+        self.stats.windows_granted += 1
+        self._since_grant = 0
+
+    # -- timeliness (mode 2 / "deliver-check") -----------------------------------
+
+    def _check_deadline(self, header: MmtHeader) -> None:
+        if self.sim.now <= header.deadline_ns:
+            self.stats.deadline_ok += 1
+            return
+        self.stats.deadline_misses += 1
+        report = DeadlineMissPayload(
+            seq=header.seq or 0,
+            deadline_ns=header.deadline_ns,
+            observed_ns=self.sim.now,
+            experiment_id=header.experiment_id,
+        )
+        notify = MmtHeader(
+            config_id=header.config_id,
+            features=Feature.NONE,
+            msg_type=MsgType.DEADLINE_MISS,
+            experiment_id=header.experiment_id,
+        )
+        self.stack.send_control(header.notify_addr, notify, report.encode())
+
+    # -- sequencing & NAK recovery ---------------------------------------------------
+
+    def _sample_rtt(self, header: MmtHeader) -> None:
+        """EWMA the NAK→retransmission round trip to the serving buffer."""
+        state = self._flow(header.experiment_id)
+        seq = unwrap(header.seq, max(state.highest_seen, state.base, 0))
+        sent_at = state.nak_sent_at.pop(seq, None)
+        if sent_at is None:
+            return
+        sample = self.sim.now - sent_at
+        if state.rtt_est_ns is None:
+            state.rtt_est_ns = sample
+        else:
+            state.rtt_est_ns = (7 * state.rtt_est_ns + sample) // 8
+
+    def _retry_interval_ns(self, state: _FlowState) -> int:
+        rtt = state.rtt_est_ns if state.rtt_est_ns is not None else self.config.initial_rtt_ns
+        return max(self.config.reorder_wait_ns, int(rtt * self.config.rtt_safety))
+
+    def _flow(self, experiment_id: int) -> _FlowState:
+        state = self._flows.get(experiment_id)
+        if state is None:
+            state = _FlowState()
+            self._flows[experiment_id] = state
+        return state
+
+    def _track_sequenced(self, header: MmtHeader) -> bool:
+        """Update per-flow state; returns False for duplicates.
+
+        Wire sequence numbers are 32 bits and wrap on long streams;
+        tracking happens in the unbounded virtual space (serial-number
+        arithmetic relative to the highest position seen).
+        """
+        state = self._flow(header.experiment_id)
+        if header.has(Feature.RETRANSMISSION):
+            state.buffer_addr = header.buffer_addr
+        seq = unwrap(header.seq, max(state.highest_seen, state.base, 0))
+        if seq < state.base or seq in state.received:
+            self.stats.duplicates += 1
+            return False
+        state.received.add(seq)
+        state.missing.pop(seq, None)
+        state.last_nak_at.pop(seq, None)
+        state.given_up.discard(seq)
+        if seq > state.highest_seen:
+            if not self.config.detect_gaps:
+                pass  # stripe consumer: peers own the in-between seqs
+            elif seq > state.base and state.highest_seen >= 0:
+                newly_missing = [
+                    s
+                    for s in range(max(state.base, state.highest_seen + 1), seq)
+                    if s not in state.received
+                ]
+                if newly_missing:
+                    self.stats.gaps_detected += 1
+                    for missing_seq in newly_missing:
+                        state.missing.setdefault(missing_seq, 0)
+                    self._arm_nak_timer(header.experiment_id)
+            elif seq > state.base and state.highest_seen < 0:
+                if seq - state.base <= self.config.max_leading_gap:
+                    # First packet arrived with seq > 0: leading gap.
+                    self.stats.gaps_detected += 1
+                    for missing_seq in range(state.base, seq):
+                        state.missing.setdefault(missing_seq, 0)
+                    self._arm_nak_timer(header.experiment_id)
+                else:
+                    # Joined mid-stream: start tracking here.
+                    state.base = seq
+            state.highest_seen = seq
+        while state.base in state.received:
+            state.received.discard(state.base)
+            state.base += 1
+        return True
+
+    def _handle_heartbeat(self, packet: Packet, header: MmtHeader) -> None:
+        self.stats.heartbeats_received += 1
+        if packet.payload is None or not self.config.detect_gaps:
+            return
+        heartbeat = HeartbeatPayload.decode(packet.payload)
+        state = self._flow(header.experiment_id)
+        if header.has(Feature.RETRANSMISSION) and header.buffer_addr != "0.0.0.0":
+            state.buffer_addr = state.buffer_addr or header.buffer_addr
+        highest = unwrap(
+            heartbeat.highest_seq, max(state.highest_seen, state.base, 0)
+        )
+        if highest > state.highest_seen:
+            for seq in range(max(state.base, state.highest_seen + 1), highest + 1):
+                if seq not in state.received and seq not in state.missing:
+                    state.missing[seq] = 0
+            state.highest_seen = highest
+            if state.missing:
+                self.stats.gaps_detected += 1
+                self._arm_nak_timer(header.experiment_id)
+
+    def _arm_nak_timer(self, experiment_id: int) -> None:
+        """Make sure a NAK fires within ``reorder_wait`` of now.
+
+        The timer may already be armed far in the future (retry backoff
+        for seqs NAK-ed earlier); a *freshly detected* gap must not wait
+        behind it, so the timer is pulled in when needed.
+        """
+        timer = self._nak_timers.get(experiment_id)
+        if timer is None:
+            timer = Timer(self.sim, lambda: self._fire_nak(experiment_id))
+            self._nak_timers[experiment_id] = timer
+        deadline = self.sim.now + self.config.reorder_wait_ns
+        if not timer.running or (timer.expires_at or 0) > deadline:
+            timer.start(self.config.reorder_wait_ns)
+
+    def _fire_nak(self, experiment_id: int) -> None:
+        state = self._flow(experiment_id)
+        if not state.missing:
+            return
+        if state.buffer_addr is None or state.buffer_addr == "0.0.0.0":
+            # Nowhere to NAK: count the loss as unrecoverable.
+            self.stats.unrecovered += len(state.missing)
+            state.given_up.update(state.missing)
+            state.missing.clear()
+            return
+        now = self.sim.now
+        retry = self._retry_interval_ns(state)
+        ripe: list[int] = []
+        next_due: int | None = None
+        for seq in sorted(state.missing):
+            count = state.missing[seq]
+            if count >= self.config.max_naks:
+                state.given_up.add(seq)
+                self.stats.unrecovered += 1
+                del state.missing[seq]
+                state.last_nak_at.pop(seq, None)
+                continue
+            if count == 0:
+                due_at = now  # freshly detected gap: NAK immediately
+            else:
+                backoff = self.config.nak_backoff ** (count - 1)
+                due_at = state.last_nak_at.get(seq, now) + int(retry * backoff)
+            if due_at <= now:
+                ripe.append(seq)
+                state.missing[seq] = count + 1
+                state.last_nak_at[seq] = now
+                state.nak_sent_at.setdefault(seq, now)
+                backoff = self.config.nak_backoff ** count  # next retry
+                due_at = now + int(retry * backoff)
+            next_due = due_at if next_due is None else min(next_due, due_at)
+        if ripe:
+            # NAKs carry 32-bit wire values; ranges split cleanly at a
+            # wrap boundary because coalescing runs on masked numbers.
+            nak = NakPayload.from_sequence_numbers([wrap(s) for s in ripe])
+            header = MmtHeader(
+                config_id=0,
+                features=Feature.NONE,
+                msg_type=MsgType.NAK,
+                experiment_id=experiment_id,
+            )
+            self.stack.send_control(state.buffer_addr, header, nak.encode())
+            self.stats.naks_sent += 1
+        if state.missing and next_due is not None:
+            self._nak_timers[experiment_id].start(max(next_due - now, 1))
+
+    # -- end-of-run reconciliation ---------------------------------------------
+
+    def request_missing(self, experiment_id: int, expected: int) -> int:
+        """Reconcile against an expected message count (end-of-run check).
+
+        DAQ runs know how many messages a run produced; this marks every
+        sequence number in ``[0, expected)`` not yet delivered as missing
+        and fires a NAK immediately. Returns how many were outstanding.
+        """
+        state = self._flow(experiment_id)
+        newly = 0
+        for seq in range(state.base, expected):
+            if seq in state.received or seq in state.given_up:
+                continue
+            if seq not in state.missing:
+                state.missing[seq] = 0
+                newly += 1
+        state.highest_seen = max(state.highest_seen, expected - 1)
+        if state.missing:
+            self._fire_nak(experiment_id)
+        return newly
+
+    # -- inspection ---------------------------------------------------------------
+
+    def outstanding(self, experiment_id: int | None = None) -> int:
+        """Sequence numbers currently known-missing (awaiting recovery)."""
+        if experiment_id is not None:
+            return len(self._flow(experiment_id).missing)
+        return sum(len(s.missing) for s in self._flows.values())
+
+    def complete(self, experiment_id: int, expected: int) -> bool:
+        """True when seqs [0, expected) have all been delivered."""
+        state = self._flow(experiment_id)
+        return state.base >= expected and not state.missing

@@ -1,0 +1,294 @@
+"""The MMT wire format: core header plus fixed-order extension fields.
+
+From the paper (§5.2):
+
+    "The core header contains 3 fields: (1) an 8-bit configuration
+    identifier [...] (2) 24 bits of configuration data [...] (3) a
+    32-bit experiment ID. [...] After the core header, there is a
+    variable number of fixed-size, optional fields (in a fixed order)
+    that depend on the activated features (configuration bits)."
+
+The core header is exactly 8 bytes. Extension fields appear in the
+fixed order below, each present iff its feature bit is set:
+
+====================  ======  =======================================
+feature               bytes   fields
+====================  ======  =======================================
+``SEQUENCED``         4       ``seq`` (u32)
+``RETRANSMISSION``    4       ``buffer_addr`` (IPv4)
+``TIMELINESS``        12      ``deadline_ns`` (u64), ``notify_addr``
+``AGE_TRACKING``      17      ``age_ns`` (u64), ``age_budget_ns``
+                              (u64), ``aged`` flag (u8)
+``PACING``            4       ``pace_rate_mbps`` (u32)
+``BACKPRESSURE``      4       ``source_addr`` (IPv4)
+``DUPLICATION``       3       ``dup_group`` (u16), ``dup_copies`` (u8)
+====================  ======  =======================================
+
+The codec is byte-exact (big-endian network order) so that the paper's
+"conservative, header-based processing" claim is testable: everything
+an on-path element rewrites is in these bytes, never in the payload.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field, replace
+
+from ..netsim.headers import Header
+from .features import (
+    AckScheme,
+    CONFIG_DATA_MAX,
+    Feature,
+    MsgType,
+    pack_config_data,
+    unpack_config_data,
+)
+
+CORE_HEADER_BYTES = 8
+
+#: Bits of the experiment id reserved for the instrument slice (Req 8).
+SLICE_BITS = 8
+SLICE_MASK = (1 << SLICE_BITS) - 1
+
+
+class HeaderError(ValueError):
+    """Raised for malformed MMT headers or codec misuse."""
+
+
+def pack_ipv4(address: str) -> int:
+    """Dotted-quad string → 32-bit integer."""
+    parts = address.split(".")
+    if len(parts) != 4:
+        raise HeaderError(f"bad IPv4 address {address!r}")
+    value = 0
+    for part in parts:
+        try:
+            octet = int(part)
+        except ValueError:
+            raise HeaderError(f"bad IPv4 address {address!r}") from None
+        if not 0 <= octet <= 255:
+            raise HeaderError(f"bad IPv4 address {address!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def unpack_ipv4(value: int) -> str:
+    """32-bit integer → dotted-quad string."""
+    if not 0 <= value <= 0xFFFFFFFF:
+        raise HeaderError(f"IPv4 value out of range: {value:#x}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def make_experiment_id(experiment: int, slice_id: int = 0) -> int:
+    """Combine an experiment number and slice id into the 32-bit field."""
+    if not 0 <= experiment < (1 << (32 - SLICE_BITS)):
+        raise HeaderError(f"experiment number out of range: {experiment}")
+    if not 0 <= slice_id <= SLICE_MASK:
+        raise HeaderError(f"slice id out of range: {slice_id}")
+    return (experiment << SLICE_BITS) | slice_id
+
+
+def split_experiment_id(experiment_id: int) -> tuple[int, int]:
+    """Split the 32-bit field into (experiment number, slice id)."""
+    return experiment_id >> SLICE_BITS, experiment_id & SLICE_MASK
+
+
+@dataclass
+class MmtHeader(Header):
+    """A fully-parsed MMT header (core + active extension fields).
+
+    Extension attributes must be set iff the corresponding feature bit
+    is active; :meth:`validate` (called by :meth:`encode`) enforces it.
+    """
+
+    config_id: int = 0
+    features: Feature = Feature.NONE
+    msg_type: MsgType = MsgType.DATA
+    ack_scheme: AckScheme = AckScheme.NONE
+    experiment_id: int = 0
+
+    # SEQUENCED
+    seq: int | None = None
+    # RETRANSMISSION
+    buffer_addr: str | None = None
+    # TIMELINESS
+    deadline_ns: int | None = None
+    notify_addr: str | None = None
+    # AGE_TRACKING
+    age_ns: int | None = None
+    age_budget_ns: int | None = None
+    aged: bool = False
+    # PACING
+    pace_rate_mbps: int | None = None
+    # BACKPRESSURE
+    source_addr: str | None = None
+    # DUPLICATION
+    dup_group: int | None = None
+    dup_copies: int | None = None
+
+    _EXTENSION_LAYOUT = (
+        (Feature.SEQUENCED, 4),
+        (Feature.RETRANSMISSION, 4),
+        (Feature.TIMELINESS, 12),
+        (Feature.AGE_TRACKING, 17),
+        (Feature.PACING, 4),
+        (Feature.BACKPRESSURE, 4),
+        (Feature.DUPLICATION, 3),
+    )
+
+    # -- Header interface ---------------------------------------------------
+
+    @property
+    def size_bytes(self) -> int:
+        size = CORE_HEADER_BYTES
+        for feature_bit, ext_bytes in self._EXTENSION_LAYOUT:
+            if self.features & feature_bit:
+                size += ext_bytes
+        return size
+
+    def copy(self) -> "MmtHeader":
+        return replace(self)
+
+    # -- convenience --------------------------------------------------------
+
+    @property
+    def experiment(self) -> int:
+        return split_experiment_id(self.experiment_id)[0]
+
+    @property
+    def slice_id(self) -> int:
+        return split_experiment_id(self.experiment_id)[1]
+
+    def has(self, feature: Feature) -> bool:
+        return bool(self.features & feature)
+
+    # -- validation -----------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check field presence matches active feature bits."""
+        if not 0 <= self.config_id <= 0xFF:
+            raise HeaderError(f"config_id out of range: {self.config_id}")
+        if not 0 <= self.experiment_id <= 0xFFFFFFFF:
+            raise HeaderError(f"experiment_id out of range: {self.experiment_id}")
+        self._check(Feature.SEQUENCED, seq=self.seq)
+        self._check(Feature.RETRANSMISSION, buffer_addr=self.buffer_addr)
+        self._check(
+            Feature.TIMELINESS,
+            deadline_ns=self.deadline_ns,
+            notify_addr=self.notify_addr,
+        )
+        self._check(
+            Feature.AGE_TRACKING,
+            age_ns=self.age_ns,
+            age_budget_ns=self.age_budget_ns,
+        )
+        self._check(Feature.PACING, pace_rate_mbps=self.pace_rate_mbps)
+        self._check(Feature.BACKPRESSURE, source_addr=self.source_addr)
+        self._check(
+            Feature.DUPLICATION, dup_group=self.dup_group, dup_copies=self.dup_copies
+        )
+        if self.aged and not self.has(Feature.AGE_TRACKING):
+            raise HeaderError("aged flag set without AGE_TRACKING")
+
+    def _check(self, feature: Feature, **fields: object) -> None:
+        active = self.has(feature)
+        for name, value in fields.items():
+            if active and value is None:
+                raise HeaderError(f"{feature.name} active but {name} is unset")
+            if not active and value is not None:
+                raise HeaderError(f"{name} set but {feature.name} inactive")
+
+    # -- codec ------------------------------------------------------------------
+
+    def encode(self) -> bytes:
+        """Serialize to network-order bytes (validates first)."""
+        self.validate()
+        config_data = pack_config_data(self.features, self.msg_type, self.ack_scheme)
+        if config_data > CONFIG_DATA_MAX:
+            raise HeaderError(f"config data overflow: {config_data:#x}")
+        out = bytearray()
+        out += struct.pack(
+            ">BBH I",
+            self.config_id,
+            (config_data >> 16) & 0xFF,
+            config_data & 0xFFFF,
+            self.experiment_id,
+        )
+        if self.has(Feature.SEQUENCED):
+            out += struct.pack(">I", self.seq & 0xFFFFFFFF)
+        if self.has(Feature.RETRANSMISSION):
+            out += struct.pack(">I", pack_ipv4(self.buffer_addr))
+        if self.has(Feature.TIMELINESS):
+            out += struct.pack(">QI", self.deadline_ns, pack_ipv4(self.notify_addr))
+        if self.has(Feature.AGE_TRACKING):
+            out += struct.pack(
+                ">QQB", self.age_ns, self.age_budget_ns, 1 if self.aged else 0
+            )
+        if self.has(Feature.PACING):
+            out += struct.pack(">I", self.pace_rate_mbps)
+        if self.has(Feature.BACKPRESSURE):
+            out += struct.pack(">I", pack_ipv4(self.source_addr))
+        if self.has(Feature.DUPLICATION):
+            out += struct.pack(">HB", self.dup_group, self.dup_copies)
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "MmtHeader":
+        """Parse network-order bytes into a header (strict: trailing
+        bytes beyond the declared extensions are an error)."""
+        header, consumed = cls.decode_prefix(data)
+        if consumed != len(data):
+            raise HeaderError(
+                f"{len(data) - consumed} trailing bytes after MMT header"
+            )
+        return header
+
+    @classmethod
+    def decode_prefix(cls, data: bytes) -> tuple["MmtHeader", int]:
+        """Parse a header from the front of ``data``; returns (header,
+        bytes consumed). Use this when a payload follows the header."""
+        if len(data) < CORE_HEADER_BYTES:
+            raise HeaderError(f"truncated core header: {len(data)} bytes")
+        config_id, data_hi, data_lo, experiment_id = struct.unpack(
+            ">BBH I", data[:CORE_HEADER_BYTES]
+        )
+        config_data = (data_hi << 16) | data_lo
+        features, msg_type, ack_scheme = unpack_config_data(config_data)
+        header = cls(
+            config_id=config_id,
+            features=features,
+            msg_type=msg_type,
+            ack_scheme=ack_scheme,
+            experiment_id=experiment_id,
+        )
+        offset = CORE_HEADER_BYTES
+
+        def take(count: int) -> bytes:
+            nonlocal offset
+            if len(data) < offset + count:
+                raise HeaderError("truncated extension field")
+            chunk = data[offset : offset + count]
+            offset += count
+            return chunk
+
+        if header.has(Feature.SEQUENCED):
+            (header.seq,) = struct.unpack(">I", take(4))
+        if header.has(Feature.RETRANSMISSION):
+            header.buffer_addr = unpack_ipv4(struct.unpack(">I", take(4))[0])
+        if header.has(Feature.TIMELINESS):
+            deadline, notify = struct.unpack(">QI", take(12))
+            header.deadline_ns = deadline
+            header.notify_addr = unpack_ipv4(notify)
+        if header.has(Feature.AGE_TRACKING):
+            age, budget, flags = struct.unpack(">QQB", take(17))
+            header.age_ns = age
+            header.age_budget_ns = budget
+            header.aged = bool(flags & 1)
+        if header.has(Feature.PACING):
+            (header.pace_rate_mbps,) = struct.unpack(">I", take(4))
+        if header.has(Feature.BACKPRESSURE):
+            header.source_addr = unpack_ipv4(struct.unpack(">I", take(4))[0])
+        if header.has(Feature.DUPLICATION):
+            header.dup_group, header.dup_copies = struct.unpack(">HB", take(3))
+        header.validate()
+        return header, offset

@@ -1,0 +1,305 @@
+"""Modes: named feature combinations, and mode transitions.
+
+A **mode** is the paper's unit of multi-modality: "a combination of
+features [that] are activated and configured" (§5). The 8-bit
+configuration id in the core header names a mode; the configuration
+data carries its feature bits. On-path network elements *transition* a
+packet between modes by rewriting the header (§5.3), which is what
+:func:`transition` implements — it is deliberately pure header surgery
+so the dataplane models can execute it under P4-like constraints.
+
+:func:`pilot_registry` builds the three-mode setup of the pilot study
+(§5.4):
+
+- mode 0 — *identify*: experiment/slice identification only; works
+  directly over L2; no reliability (sensor → DTN 1).
+- mode 1 — *age-recover*: sequenced, loss-recoverable from an on-path
+  buffer, age-tracked (DTN 1 → DTN 2).
+- mode 2 — *deliver-check*: timeliness check at the destination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .features import AckScheme, Feature, MsgType
+from .header import HeaderError, MmtHeader
+
+
+class ModeError(ValueError):
+    """Raised for unknown modes or invalid transitions."""
+
+
+@dataclass(frozen=True)
+class Mode:
+    """An immutable mode definition."""
+
+    config_id: int
+    name: str
+    features: Feature
+    ack_scheme: AckScheme = AckScheme.NONE
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.config_id <= 0xFF:
+            raise ModeError(f"config_id out of range: {self.config_id}")
+        if (self.features & Feature.RETRANSMISSION) and not (
+            self.features & Feature.SEQUENCED
+        ):
+            raise ModeError(f"mode {self.name!r}: RETRANSMISSION requires SEQUENCED")
+
+    def has(self, feature: Feature) -> bool:
+        return bool(self.features & feature)
+
+
+@dataclass
+class TransitionContext:
+    """Values an element supplies when activating features.
+
+    Only the fields needed by the *newly activated* features of the
+    target mode must be set; :func:`transition` raises otherwise.
+    """
+
+    now_ns: int = 0
+    #: Where NAKs should be sent (the nearest upstream buffer, §5.3).
+    buffer_addr: str | None = None
+    #: Absolute delivery deadline and where to report misses.
+    deadline_ns: int | None = None
+    notify_addr: str | None = None
+    #: Age budget for AGE_TRACKING (ns of allowed in-network time).
+    age_budget_ns: int | None = None
+    #: Pacing rate for PACING.
+    pace_rate_mbps: int | None = None
+    #: Where backpressure signals should go (usually the source).
+    source_addr: str | None = None
+    #: Duplication group/copy-count for DUPLICATION.
+    dup_group: int | None = None
+    dup_copies: int | None = None
+    #: Sequence number to stamp when SEQUENCED is newly activated
+    #: (elements keep a per-flow counter; see dataplane programs).
+    seq: int | None = None
+
+
+class ModeRegistry:
+    """Mapping of configuration id → :class:`Mode`."""
+
+    def __init__(self) -> None:
+        self._by_id: dict[int, Mode] = {}
+        self._by_name: dict[str, Mode] = {}
+
+    def register(self, mode: Mode) -> Mode:
+        if mode.config_id in self._by_id:
+            raise ModeError(f"config_id {mode.config_id} already registered")
+        if mode.name in self._by_name:
+            raise ModeError(f"mode name {mode.name!r} already registered")
+        self._by_id[mode.config_id] = mode
+        self._by_name[mode.name] = mode
+        return mode
+
+    def by_id(self, config_id: int) -> Mode:
+        mode = self._by_id.get(config_id)
+        if mode is None:
+            raise ModeError(f"unknown mode id {config_id}")
+        return mode
+
+    def by_name(self, name: str) -> Mode:
+        mode = self._by_name.get(name)
+        if mode is None:
+            raise ModeError(f"unknown mode {name!r}")
+        return mode
+
+    def __contains__(self, config_id: int) -> bool:
+        return config_id in self._by_id
+
+    def __iter__(self):
+        return iter(self._by_id.values())
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+
+def pilot_registry() -> ModeRegistry:
+    """The three-mode setup of the pilot study (§5.4)."""
+    registry = ModeRegistry()
+    registry.register(
+        Mode(
+            config_id=0,
+            name="identify",
+            features=Feature.NONE,
+            description="Experiment identification only; unreliable; works on raw L2.",
+        )
+    )
+    registry.register(
+        Mode(
+            config_id=1,
+            name="age-recover",
+            features=(
+                Feature.SEQUENCED | Feature.RETRANSMISSION | Feature.AGE_TRACKING
+            ),
+            ack_scheme=AckScheme.NAK_ONLY,
+            description=(
+                "Age-sensitive, recoverable-loss transport: elements add "
+                "sequence numbers, track age, and point NAKs at the nearest "
+                "upstream buffer."
+            ),
+        )
+    )
+    registry.register(
+        Mode(
+            config_id=2,
+            name="deliver-check",
+            features=(
+                Feature.SEQUENCED
+                | Feature.RETRANSMISSION
+                | Feature.AGE_TRACKING
+                | Feature.TIMELINESS
+            ),
+            ack_scheme=AckScheme.NAK_ONLY,
+            description="Adds an explicit delivery deadline checked at the destination.",
+        )
+    )
+    return registry
+
+
+def extended_registry() -> ModeRegistry:
+    """Pilot modes plus the optional feature modes discussed in §5/§6."""
+    registry = pilot_registry()
+    registry.register(
+        Mode(
+            config_id=3,
+            name="paced",
+            features=Feature.SEQUENCED | Feature.RETRANSMISSION | Feature.PACING,
+            ack_scheme=AckScheme.NAK_ONLY,
+            description="Reliable transfer paced at an explicit rate (no CC).",
+        )
+    )
+    registry.register(
+        Mode(
+            config_id=4,
+            name="backpressured",
+            features=(
+                Feature.SEQUENCED
+                | Feature.RETRANSMISSION
+                | Feature.PACING
+                | Feature.BACKPRESSURE
+            ),
+            ack_scheme=AckScheme.NAK_ONLY,
+            description="Paced + downstream elements may signal the source to slow.",
+        )
+    )
+    registry.register(
+        Mode(
+            config_id=5,
+            name="fanout",
+            features=(
+                Feature.SEQUENCED
+                | Feature.RETRANSMISSION
+                | Feature.AGE_TRACKING
+                | Feature.DUPLICATION
+            ),
+            ack_scheme=AckScheme.NAK_ONLY,
+            description=(
+                "In-network duplication to several consumers (alerts, §5.1); "
+                "each copy keeps the nearest-buffer pointer so any consumer "
+                "can recover losses."
+            ),
+        )
+    )
+    registry.register(
+        Mode(
+            config_id=6,
+            name="secure-identify",
+            features=Feature.ENCRYPTED,
+            description="Identification-only with third-party payload encryption.",
+        )
+    )
+    return registry
+
+
+_REQUIRED_CONTEXT = {
+    Feature.SEQUENCED: ("seq",),
+    Feature.RETRANSMISSION: ("buffer_addr",),
+    Feature.TIMELINESS: ("deadline_ns", "notify_addr"),
+    Feature.AGE_TRACKING: ("age_budget_ns",),
+    Feature.PACING: ("pace_rate_mbps",),
+    Feature.BACKPRESSURE: ("source_addr",),
+    Feature.DUPLICATION: ("dup_group", "dup_copies"),
+}
+
+_FEATURE_FIELDS = {
+    Feature.SEQUENCED: ("seq",),
+    Feature.RETRANSMISSION: ("buffer_addr",),
+    Feature.TIMELINESS: ("deadline_ns", "notify_addr"),
+    Feature.AGE_TRACKING: ("age_ns", "age_budget_ns"),
+    Feature.PACING: ("pace_rate_mbps",),
+    Feature.BACKPRESSURE: ("source_addr",),
+    Feature.DUPLICATION: ("dup_group", "dup_copies"),
+}
+
+
+def transition(header: MmtHeader, target: Mode, ctx: TransitionContext) -> MmtHeader:
+    """Rewrite ``header`` in place into ``target`` mode.
+
+    Newly activated features get their extension fields initialized from
+    ``ctx`` (missing values raise :class:`ModeError`); features carried
+    over keep their current values — except the retransmission buffer
+    address, which is always refreshed when ``ctx.buffer_addr`` is set,
+    implementing the "more recent (lower RTT) retransmission buffer"
+    behaviour of §1/§5. Deactivated features get their fields cleared.
+    """
+    old_features = header.features
+    new_features = target.features
+
+    activated = new_features & ~old_features
+    deactivated = old_features & ~new_features
+
+    for feature, fields in _REQUIRED_CONTEXT.items():
+        if not activated & feature:
+            continue
+        for name in fields:
+            if getattr(ctx, name) is None:
+                raise ModeError(
+                    f"transition to {target.name!r} activates {feature.name} "
+                    f"but ctx.{name} is unset"
+                )
+
+    # Clear fields of deactivated features first.
+    for feature, fields in _FEATURE_FIELDS.items():
+        if deactivated & feature:
+            for name in fields:
+                setattr(header, name, None)
+            if feature is Feature.AGE_TRACKING:
+                header.aged = False
+
+    # Initialize newly activated features.
+    if activated & Feature.SEQUENCED:
+        header.seq = ctx.seq
+    if activated & Feature.RETRANSMISSION:
+        header.buffer_addr = ctx.buffer_addr
+    if activated & Feature.TIMELINESS:
+        header.deadline_ns = ctx.deadline_ns
+        header.notify_addr = ctx.notify_addr
+    if activated & Feature.AGE_TRACKING:
+        header.age_ns = 0
+        header.age_budget_ns = ctx.age_budget_ns
+        header.aged = False
+    if activated & Feature.PACING:
+        header.pace_rate_mbps = ctx.pace_rate_mbps
+    if activated & Feature.BACKPRESSURE:
+        header.source_addr = ctx.source_addr
+    if activated & Feature.DUPLICATION:
+        header.dup_group = ctx.dup_group
+        header.dup_copies = ctx.dup_copies
+
+    # Refresh the NAK target to the nearest buffer when one is offered.
+    if (new_features & Feature.RETRANSMISSION) and ctx.buffer_addr is not None:
+        header.buffer_addr = ctx.buffer_addr
+
+    header.config_id = target.config_id
+    header.features = new_features
+    header.ack_scheme = target.ack_scheme
+    try:
+        header.validate()
+    except HeaderError as exc:
+        raise ModeError(f"transition produced invalid header: {exc}") from exc
+    return header

@@ -1,0 +1,161 @@
+"""Retransmission buffers: the "nearest buffer" of hop-by-hop recovery.
+
+The paper's reliability scheme (§5.3) "generalizes the hop-by-hop
+behavior of X25 [...] by providing an explicit source (IP address)
+where to request the retransmission", behaving like short-term
+publish-subscribe rather than TCP's always-ask-the-source. A
+:class:`RetransmitBuffer` is that explicit source: a byte-bounded ring
+of recently-seen sequenced packets, hosted by a DTN or a smartNIC,
+serving NAKs for the experiments it caches.
+
+Buffers register in a :class:`BufferDirectory` (the paper's "map of
+in-network programmable resources", §6) that elements consult to stamp
+the nearest buffer's address into headers as flows pass by.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from ..netsim.packet import Packet
+from .control import NakPayload, SeqRange
+
+
+@dataclass
+class RetransmitStats:
+    """Counters for one buffer."""
+
+    stored: int = 0
+    evicted: int = 0
+    duplicates_ignored: int = 0
+    nak_requests: int = 0
+    hits: int = 0
+    misses: int = 0
+
+
+class RetransmitBuffer:
+    """Byte-bounded store of sequenced packets, keyed by (experiment, seq).
+
+    Stored entries are *copies* of the in-flight packet so later in-path
+    header rewrites never mutate the cached bytes. Eviction is FIFO.
+    """
+
+    def __init__(self, capacity_bytes: int, address: str) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity_bytes}")
+        self.capacity_bytes = capacity_bytes
+        #: The IP address NAKs should be sent to for this buffer.
+        self.address = address
+        self.bytes_used = 0
+        self.stats = RetransmitStats()
+        self._store: OrderedDict[tuple[int, int], Packet] = OrderedDict()
+
+    def store(self, experiment_id: int, seq: int, packet: Packet) -> None:
+        """Cache a copy of ``packet``; replaces nothing on duplicate."""
+        key = (experiment_id, seq)
+        if key in self._store:
+            self.stats.duplicates_ignored += 1
+            return
+        copy = packet.copy()
+        self._store[key] = copy
+        self.bytes_used += copy.size_bytes
+        self.stats.stored += 1
+        while self.bytes_used > self.capacity_bytes and self._store:
+            _evicted_key, evicted = self._store.popitem(last=False)
+            self.bytes_used -= evicted.size_bytes
+            self.stats.evicted += 1
+
+    def fetch(self, experiment_id: int, seq: int) -> Packet | None:
+        """Retrieve a cached packet copy, or None when not held."""
+        packet = self._store.get((experiment_id, seq))
+        if packet is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return packet.copy()
+
+    def serve_nak(self, experiment_id: int, nak: NakPayload) -> tuple[list[Packet], list[SeqRange]]:
+        """Resolve a NAK: (recovered packet copies, still-missing ranges)."""
+        self.stats.nak_requests += 1
+        recovered: list[Packet] = []
+        unmet: list[int] = []
+        for item in nak.ranges:
+            for seq in item:
+                packet = self.fetch(experiment_id, seq)
+                if packet is None:
+                    unmet.append(seq)
+                else:
+                    recovered.append(packet)
+        return recovered, NakPayload.from_sequence_numbers(unmet).ranges
+
+    def holds(self, experiment_id: int, seq: int) -> bool:
+        return (experiment_id, seq) in self._store
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    @property
+    def occupancy(self) -> float:
+        return self.bytes_used / self.capacity_bytes
+
+
+@dataclass
+class BufferRegistration:
+    """A buffer's entry in the directory."""
+
+    address: str
+    #: Position along the path, in the same coordinate the directory's
+    #: users employ (hop index from the source in our topologies).
+    path_position: int
+    #: Which experiments this buffer caches (empty = all).
+    experiments: frozenset[int] = field(default_factory=frozenset)
+
+    def serves(self, experiment_id: int) -> bool:
+        return not self.experiments or experiment_id in self.experiments
+
+
+class BufferDirectory:
+    """The shared map of on-path retransmission buffers (§6, challenge 1).
+
+    The pilot "pre-supposes knowledge of in-network resources at system
+    start" (§5.3); this directory is that pre-supposed knowledge:
+    elements query :meth:`nearest_upstream` to refresh a header's
+    ``buffer_addr`` with the closest buffer behind them.
+    """
+
+    def __init__(self) -> None:
+        self._registrations: list[BufferRegistration] = []
+
+    def register(
+        self,
+        address: str,
+        path_position: int,
+        experiments: frozenset[int] | set[int] = frozenset(),
+    ) -> BufferRegistration:
+        registration = BufferRegistration(
+            address=address,
+            path_position=path_position,
+            experiments=frozenset(experiments),
+        )
+        self._registrations.append(registration)
+        return registration
+
+    def nearest_upstream(
+        self, experiment_id: int, position: int
+    ) -> BufferRegistration | None:
+        """Closest buffer at or behind ``position`` serving the experiment."""
+        candidates = [
+            r
+            for r in self._registrations
+            if r.path_position <= position and r.serves(experiment_id)
+        ]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda r: r.path_position)
+
+    def __len__(self) -> int:
+        return len(self._registrations)
+
+    def __iter__(self):
+        return iter(self._registrations)

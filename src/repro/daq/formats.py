@@ -1,0 +1,202 @@
+"""DAQ data formats: a shared top-level header plus per-detector frames.
+
+Req 9 of the paper: "Large instruments can also require reusability
+across their components — for example, DUNE's four detectors each have
+specific headers but they all share a top-level DAQ header." This
+module models exactly that: :class:`DaqFrameHeader` is the shared
+top-level header, and detector-specific frame layouts (a DUNE WIB-like
+frame, a Mu2e-like packet) nest under it.
+
+These are *payload* formats: the network never parses them (MMT does
+header-only processing); endpoints and analysis code do.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from enum import IntEnum
+
+
+class FormatError(ValueError):
+    """Raised on malformed DAQ frames."""
+
+
+class PayloadKind(IntEnum):
+    """What the bytes after the top-level DAQ header contain."""
+
+    RAW_ADC = 0
+    WIB_FRAME = 1
+    MU2E_PACKET = 2
+    ALERT = 3
+    TRIGGER_PRIMITIVE = 4
+
+
+@dataclass
+class DaqFrameHeader:
+    """The shared top-level DAQ header (24 bytes).
+
+    Fields every experiment needs: which detector and slice produced
+    the data, when (a 64-bit sampling-clock timestamp), a run number,
+    and the nested payload kind.
+    """
+
+    detector_id: int
+    slice_id: int
+    timestamp_ticks: int
+    run_number: int
+    payload_kind: PayloadKind
+    payload_bytes: int
+
+    _FORMAT = ">HHQIBxH4x"
+    SIZE = struct.calcsize(_FORMAT)
+
+    def encode(self) -> bytes:
+        if not 0 <= self.payload_bytes <= 0xFFFF:
+            raise FormatError(f"payload_bytes out of range: {self.payload_bytes}")
+        return struct.pack(
+            self._FORMAT,
+            self.detector_id,
+            self.slice_id,
+            self.timestamp_ticks,
+            self.run_number,
+            int(self.payload_kind),
+            self.payload_bytes,
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "DaqFrameHeader":
+        if len(data) < cls.SIZE:
+            raise FormatError(f"truncated DAQ header: {len(data)} bytes")
+        detector, slice_id, ts, run, kind, payload_bytes = struct.unpack(
+            cls._FORMAT, data[: cls.SIZE]
+        )
+        return cls(detector, slice_id, ts, run, PayloadKind(kind), payload_bytes)
+
+
+#: DUNE's WIB (Warm Interface Board) streams fixed-size frames clocked
+#: at ~2 MHz; a frame carries 256 channels of 14-bit ADC samples. The
+#: real WIB2 frame is 468 bytes of channel data plus framing; we keep
+#: the same order of magnitude with an explicit layout.
+WIB_CHANNELS = 256
+WIB_ADC_BITS = 14
+WIB_SAMPLES_PER_FRAME = 1
+WIB_DATA_BYTES = (WIB_CHANNELS * WIB_ADC_BITS * WIB_SAMPLES_PER_FRAME + 7) // 8  # 448
+
+
+@dataclass
+class WibFrame:
+    """A DUNE WIB-like frame: crate/slot/fiber addressing + packed ADCs."""
+
+    crate: int
+    slot: int
+    fiber: int
+    timestamp_ticks: int
+    adc_counts: tuple[int, ...]  # WIB_CHANNELS values, each < 2**14
+
+    _HEADER_FORMAT = ">BBBxQ4x"
+    HEADER_SIZE = struct.calcsize(_HEADER_FORMAT)
+    SIZE = HEADER_SIZE + WIB_DATA_BYTES
+
+    def encode(self) -> bytes:
+        if len(self.adc_counts) != WIB_CHANNELS:
+            raise FormatError(
+                f"WIB frame needs {WIB_CHANNELS} channels, got {len(self.adc_counts)}"
+            )
+        out = bytearray(
+            struct.pack(
+                self._HEADER_FORMAT, self.crate, self.slot, self.fiber, self.timestamp_ticks
+            )
+        )
+        # Pack 14-bit ADC counts into a continuous bitstream, MSB first.
+        accumulator = 0
+        bits = 0
+        for count in self.adc_counts:
+            if not 0 <= count < (1 << WIB_ADC_BITS):
+                raise FormatError(f"ADC count out of range: {count}")
+            accumulator = (accumulator << WIB_ADC_BITS) | count
+            bits += WIB_ADC_BITS
+            while bits >= 8:
+                bits -= 8
+                out.append((accumulator >> bits) & 0xFF)
+        if bits:
+            out.append((accumulator << (8 - bits)) & 0xFF)
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "WibFrame":
+        if len(data) < cls.SIZE:
+            raise FormatError(f"truncated WIB frame: {len(data)} bytes")
+        crate, slot, fiber, timestamp = struct.unpack(
+            cls._HEADER_FORMAT, data[: cls.HEADER_SIZE]
+        )
+        counts = []
+        accumulator = 0
+        bits = 0
+        offset = cls.HEADER_SIZE
+        while len(counts) < WIB_CHANNELS:
+            accumulator = (accumulator << 8) | data[offset]
+            offset += 1
+            bits += 8
+            if bits >= WIB_ADC_BITS:
+                bits -= WIB_ADC_BITS
+                counts.append((accumulator >> bits) & ((1 << WIB_ADC_BITS) - 1))
+                accumulator &= (1 << bits) - 1
+        return cls(crate, slot, fiber, timestamp, tuple(counts))
+
+
+@dataclass
+class Mu2ePacket:
+    """A Mu2e-like data packet: a 16-byte header and an opaque body.
+
+    Mu2e carries DAQ data directly over Ethernet frames (§4); its DTC
+    packets are small fixed-header units with ROC payloads.
+    """
+
+    roc_id: int
+    packet_type: int
+    timestamp_ticks: int
+    body: bytes
+
+    _HEADER_FORMAT = ">BBHQ I"
+    HEADER_SIZE = struct.calcsize(_HEADER_FORMAT)
+
+    def encode(self) -> bytes:
+        return (
+            struct.pack(
+                self._HEADER_FORMAT,
+                self.roc_id,
+                self.packet_type,
+                len(self.body),
+                self.timestamp_ticks,
+                0,
+            )
+            + self.body
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Mu2ePacket":
+        if len(data) < cls.HEADER_SIZE:
+            raise FormatError(f"truncated Mu2e packet: {len(data)} bytes")
+        roc, ptype, body_len, timestamp, _reserved = struct.unpack(
+            cls._HEADER_FORMAT, data[: cls.HEADER_SIZE]
+        )
+        body = data[cls.HEADER_SIZE : cls.HEADER_SIZE + body_len]
+        if len(body) != body_len:
+            raise FormatError("Mu2e packet body shorter than declared")
+        return cls(roc, ptype, timestamp, body)
+
+
+def frame_message(header: DaqFrameHeader, payload: bytes) -> bytes:
+    """Assemble a full DAQ message: top-level header + detector payload."""
+    header.payload_bytes = len(payload)
+    return header.encode() + payload
+
+
+def parse_message(data: bytes) -> tuple[DaqFrameHeader, bytes]:
+    """Split a DAQ message into (top-level header, detector payload)."""
+    header = DaqFrameHeader.decode(data)
+    payload = data[DaqFrameHeader.SIZE : DaqFrameHeader.SIZE + header.payload_bytes]
+    if len(payload) != header.payload_bytes:
+        raise FormatError("DAQ message shorter than header declares")
+    return header, payload

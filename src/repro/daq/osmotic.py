@@ -1,0 +1,253 @@
+"""Osmotic computing: dispersed sensors instead of one big instrument.
+
+§6 challenge 3: "Osmotic computing uses a large number of distributed
+sensors [...] Sensors lack a DAQ network — instead they rely on cell
+networks and backhaul. We believe that TCP is adequate for these
+low-volume streams (over telecom networks), but finding suitable
+transport modes would better integrate these sensors with other
+research infrastructure."
+
+This module models exactly that boundary:
+
+- :class:`OsmoticSensor` — a small station on a lossy, narrow "cell"
+  link, pushing fixed-size readings over **TCP** (adequate at these
+  volumes, as the paper argues);
+- :class:`OsmoticGateway` — terminates the sensor TCP sessions and
+  re-originates *aggregated* readings as MMT messages toward the lab,
+  joining the dispersed fleet to the integrated-infrastructure world;
+- :func:`build_osmotic_field` — wires a whole fleet.
+
+Measurement note: our TCP model carries counted (virtual) payload
+bytes, so reading *timestamps* ride a per-sensor FIFO registry shared
+between sensor and gateway inside the simulation — pure measurement
+instrumentation standing in for bytes the real stream would carry.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..baselines.tcp import TcpConfig, TcpStack
+from ..baselines.tuning import untuned
+from ..core.endpoint import MmtSender, MmtStack
+from ..core.header import make_experiment_id
+from ..netsim.engine import Simulator, Timer
+from ..netsim.topology import Topology
+from ..netsim.units import MBPS, MILLISECOND, SECOND
+
+#: One reading on the wire: sensor id, sequence, timestamp, value.
+READING_BYTES = struct.calcsize(">HIQi")
+
+GATEWAY_PORT = 7100
+OSMOTIC_EXPERIMENT = 60
+
+
+@dataclass
+class SensorStats:
+    """Per-sensor counters."""
+    readings_sent: int = 0
+
+
+class OsmoticSensor:
+    """A dispersed station pushing readings over TCP."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        sensor_id: int,
+        tcp: TcpStack,
+        gateway_ip: str,
+        interval_ns: int,
+        registry: deque,
+        tcp_config: TcpConfig | None = None,
+    ) -> None:
+        self.sim = sim
+        self.sensor_id = sensor_id
+        self.interval_ns = interval_ns
+        self.stats = SensorStats()
+        self._registry = registry
+        self._conn = tcp.connect(gateway_ip, GATEWAY_PORT, config=tcp_config or untuned())
+        self._timer = Timer(sim, self._tick)
+        self._remaining = 0
+
+    def start(self, readings: int) -> None:
+        """Emit ``readings`` samples, one per interval."""
+        self._remaining = readings
+        self._timer.start(self.interval_ns)
+
+    def _tick(self) -> None:
+        if self._remaining <= 0:
+            return
+        self._remaining -= 1
+        self._registry.append(self.sim.now)
+        self._conn.send_message(READING_BYTES)
+        self.stats.readings_sent += 1
+        if self._remaining > 0:
+            self._timer.start(self.interval_ns)
+
+
+@dataclass
+class GatewayStats:
+    """Gateway-side counters and latency samples."""
+    readings_received: int = 0
+    batches_forwarded: int = 0
+    #: Sensor-origination → gateway-arrival latency samples (ns).
+    ingest_latencies_ns: list[int] = field(default_factory=list)
+
+
+class OsmoticGateway:
+    """Terminates sensor TCP sessions; re-originates aggregated MMT."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        tcp: TcpStack,
+        mmt_sender: MmtSender,
+        batch_size: int = 32,
+        tcp_config: TcpConfig | None = None,
+    ) -> None:
+        self.sim = sim
+        self.batch_size = batch_size
+        self.stats = GatewayStats()
+        self.sender = mmt_sender
+        self._pending = 0
+        self._oldest_ns: int | None = None
+        #: (sensor ip, sensor port) → that sensor's timestamp FIFO.
+        self._registries: dict[tuple[str, int], deque] = {}
+        tcp.listen(GATEWAY_PORT, config=tcp_config or untuned(),
+                   on_connection=self._accept)
+        self._per_conn_delivered: dict[int, int] = {}
+
+    def register_sensor(self, sensor_ip: str, sensor_port: int, registry: deque) -> None:
+        self._registries[(sensor_ip, sensor_port)] = registry
+
+    def _accept(self, conn) -> None:
+        conn_id = id(conn)
+        self._per_conn_delivered[conn_id] = 0
+
+        def on_delivered(_nbytes: int, total: int, conn_id=conn_id, conn=conn) -> None:
+            while self._per_conn_delivered[conn_id] + READING_BYTES <= total:
+                self._per_conn_delivered[conn_id] += READING_BYTES
+                self._ingest(conn)
+
+        conn.on_delivered = on_delivered
+
+    def _ingest(self, conn) -> None:
+        self.stats.readings_received += 1
+        origin = self._pop_origin(conn)
+        if origin is not None:
+            self.stats.ingest_latencies_ns.append(self.sim.now - origin)
+            if self._oldest_ns is None:
+                self._oldest_ns = origin
+        self._pending += 1
+        if self._pending >= self.batch_size:
+            self.flush()
+
+    def _pop_origin(self, conn) -> int | None:
+        # The server-side connection names the sensor via its remote
+        # address; TCP preserves order, so FIFO pop matches delivery.
+        registry = self._registries.get((conn.remote_ip, conn.remote_port))
+        if registry:
+            return registry.popleft()
+        return None
+
+    def flush(self) -> None:
+        """Forward the current batch as one MMT message."""
+        if self._pending == 0:
+            return
+        payload_size = 24 + self._pending * READING_BYTES  # DAQ header + readings
+        meta = {}
+        if self._oldest_ns is not None:
+            meta["sent_at"] = self._oldest_ns
+        self.sender.send(payload_size, meta=meta)
+        self.stats.batches_forwarded += 1
+        self._pending = 0
+        self._oldest_ns = None
+
+
+@dataclass
+class OsmoticField:
+    """A built fleet: gateway, sensors, and the lab-side receiver."""
+
+    sim: Simulator
+    topology: Topology
+    gateway: OsmoticGateway
+    sensors: list[OsmoticSensor]
+    lab_received: list[tuple[int, int]]  # (arrival, payload size)
+
+    def start(self, readings_per_sensor: int) -> None:
+        for sensor in self.sensors:
+            sensor.start(readings_per_sensor)
+
+    def run(self) -> None:
+        self.sim.run()
+        self.gateway.flush()
+        self.sim.run()
+
+    @property
+    def total_sent(self) -> int:
+        return sum(s.stats.readings_sent for s in self.sensors)
+
+
+def build_osmotic_field(
+    sim: Simulator,
+    sensors: int = 20,
+    cell_rate_bps: int = 10 * MBPS,
+    cell_delay_ns: int = 30 * MILLISECOND,
+    cell_loss: float = 0.01,
+    reading_interval_ns: int = 100 * MILLISECOND,
+    batch_size: int = 32,
+) -> OsmoticField:
+    """Wire a sensor fleet → gateway → lab and return the harness."""
+    topo = Topology(sim)
+    gateway_host = topo.add_host("gateway", ip="10.50.0.1")
+    lab = topo.add_host("lab", ip="10.60.0.1")
+    cell_tower = topo.add_router("cell-tower")
+    topo.connect(cell_tower, gateway_host, 1000 * MBPS, MILLISECOND)
+    topo.connect(gateway_host, lab, 10_000 * MBPS, 5 * MILLISECOND)
+
+    gateway_tcp = TcpStack(gateway_host)
+    gateway_mmt = MmtStack(gateway_host)
+    lab_mmt = MmtStack(lab)
+    lab_received: list[tuple[int, int]] = []
+    lab_mmt.bind_receiver(
+        OSMOTIC_EXPERIMENT,
+        on_message=lambda p, h: lab_received.append((sim.now, p.payload_size)),
+    )
+    gateway_mmt.attach_buffer(64 * 1024 * 1024)
+    mmt_sender = gateway_mmt.create_sender(
+        experiment_id=make_experiment_id(OSMOTIC_EXPERIMENT),
+        mode="age-recover",
+        dst_ip=lab.ip,
+        age_budget_ns=SECOND,
+        buffer_local=True,
+        flow="osmotic",
+    )
+    gateway = OsmoticGateway(sim, gateway_tcp, mmt_sender, batch_size=batch_size)
+
+    # Wire every station before installing routes — the TCP handshakes
+    # start the moment a sensor is constructed, so routes must exist.
+    sensor_hosts = []
+    for i in range(sensors):
+        host = topo.add_host(f"sensor{i}")
+        topo.connect(
+            host, cell_tower, cell_rate_bps, cell_delay_ns, loss_rate=cell_loss,
+            mtu_bytes=1500,
+        )
+        sensor_hosts.append(host)
+    topo.install_routes()
+
+    fleet: list[OsmoticSensor] = []
+    for i, host in enumerate(sensor_hosts):
+        registry: deque = deque()
+        sensor_tcp = TcpStack(host)
+        sensor = OsmoticSensor(
+            sim, i, sensor_tcp, gateway_host.ip, reading_interval_ns, registry
+        )
+        gateway.register_sensor(host.ip, sensor._conn.local_port, registry)
+        fleet.append(sensor)
+    return OsmoticField(
+        sim=sim, topology=topo, gateway=gateway, sensors=fleet, lab_received=lab_received
+    )

@@ -1,0 +1,283 @@
+"""Programmable network elements: pipeline hosting plus forwarding.
+
+A :class:`ProgrammableElement` is a node that runs a
+:class:`~repro.dataplane.pipeline.Pipeline` over MMT traffic before
+forwarding. It can additionally host a retransmission buffer, in which
+case NAKs addressed to the element are served *from the element itself*
+("programmable network hardware across the different networks reference
+retransmission buffers", §5.1).
+
+Forwarding: IP packets follow the element's routing table (installed by
+:meth:`repro.netsim.topology.Topology.install_routes`); non-IP frames
+are L2-switched with MAC learning — DAQ networks run MMT directly over
+Ethernet (Req 1), so elements inside the DAQ segment forward by MAC.
+Non-MMT traffic (e.g. TCP cross-traffic) bypasses the pipeline and is
+forwarded normally, as a real switch profile would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.control import NakPayload
+from ..core.features import MsgType
+from ..core.header import MmtHeader
+from ..core.retransmit import RetransmitBuffer
+from ..netsim.engine import Simulator
+from ..netsim.headers import EthernetHeader, EtherType, IpProto, Ipv4Header
+from ..netsim.link import Port
+from ..netsim.node import Node
+from ..netsim.packet import Packet
+from ..netsim.switch import RoutingTable
+from .pipeline import Metadata, Pipeline
+
+
+@dataclass
+class ElementStats:
+    """Counters for one programmable element."""
+
+    mmt_processed: int = 0
+    passthrough: int = 0
+    pipeline_drops: int = 0
+    clones_made: int = 0
+    control_generated: int = 0
+    mirrored_to_buffer: int = 0
+    naks_served: int = 0
+    nak_packets_resent: int = 0
+    dropped_no_route: int = 0
+
+
+class ProgrammableElement(Node):
+    """Base class for Tofino-like switches and Alveo-like smartNICs."""
+
+    BROADCAST = "ff:ff:ff:ff:ff:ff"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        mac: str,
+        ip: str | None = None,
+        stages: int = 20,
+    ) -> None:
+        super().__init__(sim, name)
+        self.mac = mac
+        self.ip = ip
+        self.pipeline = Pipeline(name, stages=stages)
+        self.routes = RoutingTable()
+        self.buffer: RetransmitBuffer | None = None
+        #: NAKs this element's buffer cannot serve are forwarded here.
+        self.nak_fallback_addr: str | None = None
+        #: Set by SegmentRecoveryProgram.install(); receives repairs
+        #: (RETX_DATA addressed to this element) for re-forwarding.
+        self.segment_recovery = None
+        self.stats = ElementStats()
+        self._mac_table: dict[str, Port] = {}
+        #: Identical unmet-NAK forwards are capped (anti-loop guard,
+        #: mirroring MmtStack's behaviour).
+        self._nak_forward_counts: dict[tuple, int] = {}
+
+    # -- configuration --------------------------------------------------------
+
+    def add_route(self, prefix: str, port_name: str, next_hop_mac: str) -> None:
+        if port_name not in self.ports:
+            raise ValueError(f"{self.name} has no port {port_name!r}")
+        self.routes.add(prefix, port_name, next_hop_mac)
+
+    def attach_buffer(self, capacity_bytes: int) -> RetransmitBuffer:
+        """Host a retransmission buffer; requires the element to have an IP."""
+        if self.ip is None:
+            raise ValueError(f"{self.name} needs an IP to host a buffer")
+        if self.buffer is not None:
+            raise ValueError(f"{self.name} already hosts a buffer")
+        self.buffer = RetransmitBuffer(capacity_bytes, address=self.ip)
+        return self.buffer
+
+    # -- ingress ------------------------------------------------------------------
+
+    def receive(self, packet: Packet, port: Port) -> None:
+        eth = packet.find(EthernetHeader)
+        if eth is not None:
+            self._mac_table.setdefault(eth.src, port)
+            self._mac_table[eth.src] = port
+        mmt = packet.find(MmtHeader)
+        if mmt is not None and self._addressed_to_me(packet):
+            self._handle_local(packet, mmt)
+            return
+        if mmt is None:
+            self.stats.passthrough += 1
+            self._forward(packet, ingress=port)
+            return
+        self.process_mmt(packet, ingress=port)
+
+    def process_mmt(self, packet: Packet, ingress: Port | None = None) -> None:
+        """Run the pipeline over an MMT packet and act on the verdict.
+
+        Also the re-injection point: locally reconstructed packets
+        (e.g. segment repairs) enter here so every downstream program —
+        steering, duplication, taps — applies to them too.
+        """
+        mmt = packet.require(MmtHeader)
+        self.stats.mmt_processed += 1
+        meta = Metadata(
+            ingress_port=ingress.name if ingress is not None else "",
+            now_ns=self.sim.now,
+        )
+        meta.scratch["queue_occupancy_pct"] = self._max_queue_occupancy_pct()
+        self.pipeline.process(packet, meta)
+        if meta.drop:
+            self.stats.pipeline_drops += 1
+            return
+        if meta.mirror_to_buffer and self.buffer is not None and mmt.seq is not None:
+            self.buffer.store(mmt.experiment_id, mmt.seq, packet)
+            self.stats.mirrored_to_buffer += 1
+        for dst_ip, header, payload in meta.generated:
+            self.stats.control_generated += 1
+            self._send_mmt(dst_ip, header, payload_size=len(payload), payload=payload)
+        for clone_dst in meta.clones:
+            self._forward_clone(packet, clone_dst)
+        self._forward(packet, ingress=ingress, egress_spec=meta.egress_spec)
+
+    def _addressed_to_me(self, packet: Packet) -> bool:
+        if self.ip is None:
+            return False
+        ip = packet.find(Ipv4Header)
+        return ip is not None and ip.dst == self.ip
+
+    def _max_queue_occupancy_pct(self) -> int:
+        worst = 0.0
+        for port in self.ports.values():
+            worst = max(worst, port.queue.occupancy)
+        return int(worst * 100)
+
+    # -- local termination: serving NAKs from the element's buffer --------------
+
+    def _handle_local(self, packet: Packet, mmt: MmtHeader) -> None:
+        if mmt.msg_type == MsgType.RETX_DATA and self.segment_recovery is not None:
+            self.segment_recovery.on_repair(packet, mmt)
+            return
+        if mmt.msg_type != MsgType.NAK or self.buffer is None:
+            return
+        ip = packet.find(Ipv4Header)
+        if ip is None or packet.payload is None:
+            return
+        nak = NakPayload.decode(packet.payload)
+        recovered, unmet = self.buffer.serve_nak(mmt.experiment_id, nak)
+        self.stats.naks_served += 1
+        for cached in recovered:
+            self._resend(cached, requester=ip.src)
+        if unmet and self.nak_fallback_addr:
+            key = (mmt.experiment_id, tuple((r.start, r.end) for r in unmet))
+            count = self._nak_forward_counts.get(key, 0)
+            if count >= 3:
+                return
+            if len(self._nak_forward_counts) > 1024:
+                self._nak_forward_counts.clear()
+            self._nak_forward_counts[key] = count + 1
+            forward = NakPayload(ranges=list(unmet))
+            header = MmtHeader(
+                config_id=mmt.config_id,
+                msg_type=MsgType.NAK,
+                experiment_id=mmt.experiment_id,
+            )
+            self._send_mmt(
+                self.nak_fallback_addr,
+                header,
+                payload_size=len(forward.encode()),
+                payload=forward.encode(),
+                src_override=ip.src,
+            )
+
+    def _resend(self, cached: Packet, requester: str) -> None:
+        mmt = cached.find(MmtHeader)
+        if mmt is None:
+            return
+        header = mmt.copy()
+        header.msg_type = MsgType.RETX_DATA
+        self.stats.nak_packets_resent += 1
+        self._send_mmt(
+            requester,
+            header,
+            payload_size=cached.payload_size,
+            payload=cached.payload,
+            meta={"flow": cached.meta.get("flow", "retx"), "retx": True},
+            extra_meta=dict(cached.meta),
+        )
+
+    def _send_mmt(
+        self,
+        dst_ip: str,
+        header: MmtHeader,
+        payload_size: int = 0,
+        payload: bytes | None = None,
+        meta: dict | None = None,
+        extra_meta: dict | None = None,
+        src_override: str | None = None,
+    ) -> bool:
+        route = self.routes.lookup(dst_ip)
+        if route is None:
+            self.stats.dropped_no_route += 1
+            return False
+        merged_meta = dict(extra_meta or {})
+        merged_meta.update(meta or {})
+        merged_meta.setdefault("sent_at", self.sim.now)
+        packet = Packet(
+            headers=[
+                EthernetHeader(
+                    src=self.mac, dst=route.next_hop_mac, ethertype=EtherType.IPV4
+                ),
+                Ipv4Header(src=src_override or self.ip, dst=dst_ip, proto=IpProto.MMT),
+                header,
+            ],
+            payload_size=payload_size,
+            payload=payload,
+            meta=merged_meta,
+        )
+        return self.ports[route.port_name].send(packet)
+
+    # -- forwarding ------------------------------------------------------------------
+
+    def _forward_clone(self, packet: Packet, dst_ip: str) -> None:
+        clone = packet.copy()
+        ip = clone.find(Ipv4Header)
+        if ip is None:
+            return
+        ip.dst = dst_ip
+        clone.meta["clone_of"] = packet.packet_id
+        self.stats.clones_made += 1
+        self._forward(clone, ingress=None)
+
+    def _forward(
+        self, packet: Packet, ingress: Port | None, egress_spec: str = ""
+    ) -> None:
+        if egress_spec:
+            self.ports[egress_spec].send(packet)
+            return
+        ip = packet.find(Ipv4Header)
+        if ip is not None:
+            route = self.routes.lookup(ip.dst)
+            if route is None:
+                self.stats.dropped_no_route += 1
+                return
+            if ip.ttl <= 1:
+                self.stats.dropped_no_route += 1
+                return
+            ip.ttl -= 1
+            eth = packet.find(EthernetHeader)
+            if eth is not None:
+                eth.src = self.mac
+                eth.dst = route.next_hop_mac
+            self.ports[route.port_name].send(packet)
+            return
+        # L2 forwarding (MMT directly over Ethernet inside the DAQ net).
+        eth = packet.find(EthernetHeader)
+        if eth is None:
+            self.stats.dropped_no_route += 1
+            return
+        out = self._mac_table.get(eth.dst)
+        if out is not None and out is not ingress:
+            out.send(packet)
+            return
+        for port in self.ports.values():
+            if port is not ingress and port.link is not None:
+                port.send(packet.copy())

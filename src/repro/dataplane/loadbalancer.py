@@ -1,0 +1,156 @@
+"""An EJ-FAT-style in-network load balancer.
+
+The pilot's 3-mode setup is "inspired by EJ-FAT" (§5.3) — the
+ESnet/JLab FPGA Accelerated Transport load balancer, which spreads a
+DAQ stream over a farm of processing nodes by *event tick*, keeping
+every fragment of one event on the same node.
+
+:class:`LoadBalancerProgram` reproduces that behaviour on an
+FPGA-class element: sequenced DATA packets are grouped into fixed-size
+sequence windows (the "tick"); the first packet of a window binds the
+window to a backend (least-loaded wins), and every later packet —
+including retransmissions — follows the calendar, so event locality
+survives loss recovery. Backends report fill levels through a control
+callback (EJ-FAT's sync messages) and can be drained for maintenance;
+bound windows keep flowing to a draining backend, new windows avoid it.
+
+Header-only on the wire: steering is an ``ip.dst`` rewrite keyed on
+the MMT seq field, well inside the P4 envelope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.features import Feature, MsgType
+from ..core.seqspace import unwrap
+from .element import ProgrammableElement
+from .pipeline import Action, Metadata, PacketView, Table
+from .programs import Program
+
+
+class LoadBalancerError(RuntimeError):
+    """Raised for balancer misconfiguration."""
+
+
+@dataclass
+class BackendState:
+    """One processing node behind the balancer."""
+
+    address: str
+    #: Last reported fill level (0-100), EJ-FAT sync-message style.
+    fill_pct: int = 0
+    draining: bool = False
+    windows_assigned: int = 0
+    packets_steered: int = 0
+
+
+class LoadBalancerProgram(Program):
+    """Window-sticky, load-aware stream distribution."""
+
+    def __init__(
+        self,
+        experiment_id: int,
+        backends: list[str],
+        window: int = 64,
+        calendar_horizon: int = 4096,
+    ) -> None:
+        if not backends:
+            raise LoadBalancerError("need at least one backend")
+        if window <= 0:
+            raise LoadBalancerError("window must be positive")
+        self.experiment_id = experiment_id
+        self.window = window
+        self.calendar_horizon = calendar_horizon
+        self.backends: dict[str, BackendState] = {
+            address: BackendState(address=address) for address in backends
+        }
+        self._calendar: dict[int, str] = {}
+        self._highest_tick = -1
+        self._highest_seq = 0
+        self.unsteerable = 0
+
+    # -- control plane --------------------------------------------------------
+
+    def report_load(self, backend: str, fill_pct: int) -> None:
+        """Backend feedback (EJ-FAT sync): update its fill level."""
+        state = self._require(backend)
+        state.fill_pct = max(0, min(100, fill_pct))
+
+    def drain(self, backend: str) -> None:
+        """Stop assigning *new* windows to a backend."""
+        self._require(backend).draining = True
+
+    def undrain(self, backend: str) -> None:
+        self._require(backend).draining = False
+
+    def add_backend(self, address: str) -> None:
+        if address in self.backends:
+            raise LoadBalancerError(f"backend {address!r} already registered")
+        self.backends[address] = BackendState(address=address)
+
+    def _require(self, backend: str) -> BackendState:
+        state = self.backends.get(backend)
+        if state is None:
+            raise LoadBalancerError(f"unknown backend {backend!r}")
+        return state
+
+    # -- installation -----------------------------------------------------------
+
+    def install(self, element: ProgrammableElement) -> None:
+        table = Table(
+            "ejfat_balance", keys=[],
+            default_action=Action("balance", self._action),
+        )
+        element.pipeline.add_table(table)
+
+    # -- dataplane --------------------------------------------------------------
+
+    def _action(self, view: PacketView, _meta: Metadata, _params: dict) -> None:
+        header = view.mmt()
+        if header.experiment_id != self.experiment_id:
+            return
+        if header.msg_type not in (MsgType.DATA, MsgType.RETX_DATA):
+            return
+        if not header.has(Feature.SEQUENCED):
+            self.unsteerable += 1
+            return
+        seq = unwrap(header.seq, self._highest_seq)
+        self._highest_seq = max(self._highest_seq, seq)
+        tick = seq // self.window
+        backend = self._calendar.get(tick)
+        if backend is None:
+            backend = self._assign(tick)
+        state = self.backends[backend]
+        state.packets_steered += 1
+        if view.has_header("ip"):
+            view.set("ip.dst", backend)
+
+    def _assign(self, tick: int) -> str:
+        candidates = [s for s in self.backends.values() if not s.draining]
+        if not candidates:
+            candidates = list(self.backends.values())  # all draining: degrade
+        # Least-loaded: reported fill first, then assignment count.
+        chosen = min(candidates, key=lambda s: (s.fill_pct, s.windows_assigned, s.address))
+        self._calendar[tick] = chosen.address
+        chosen.windows_assigned += 1
+        self._highest_tick = max(self._highest_tick, tick)
+        self._prune()
+        return chosen.address
+
+    def _prune(self) -> None:
+        floor = self._highest_tick - self.calendar_horizon
+        if floor <= 0 or len(self._calendar) <= self.calendar_horizon:
+            return
+        for tick in [t for t in self._calendar if t < floor]:
+            del self._calendar[tick]
+
+    # -- inspection ----------------------------------------------------------------
+
+    def distribution(self) -> dict[str, int]:
+        """Packets steered per backend."""
+        return {address: s.packets_steered for address, s in self.backends.items()}
+
+    def backend_for(self, seq: int) -> str | None:
+        """Which backend a (virtual) sequence number is bound to."""
+        return self._calendar.get(seq // self.window)

@@ -1,0 +1,280 @@
+"""The pilot study testbed (Fig. 4), fully assembled.
+
+Topology (100 GbE throughout, per the paper)::
+
+    sensor --- DAQ switch --- DTN 1 --- [Alveo U280] --- Tofino2
+                                                            |
+                                        DTN 2 --- [Alveo U55C]
+
+- sensor → DTN 1: **mode 0** ("identify"), MMT directly over Ethernet
+  (Req 1), unreliable;
+- DTN 1 → DTN 2: **mode 1** ("age-recover") — the U280 smartNIC
+  transitions the stream, assigns sequence numbers from a register,
+  mirrors packets into its HBM retransmission buffer, and stamps itself
+  as the nearest buffer; the Tofino2 updates ages and re-stamps the
+  nearest buffer;
+- at the U55C: **mode 2** ("deliver-check") — a delivery deadline is
+  added; DTN 2 checks timeliness on arrival and NAKs any gaps straight
+  to the U280 (never to the sensor).
+
+The WAN leg (Tofino2 ↔ U55C) takes configurable delay and loss so the
+same build serves both the physical-testbed shape (local, lossless)
+and design exploration (long RTT, corruption loss), mirroring how the
+authors kept a FABRIC variant alongside the physical pilot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.endpoint import MmtReceiver, MmtSender, MmtStack, ReceiverConfig
+from ..core.header import make_experiment_id
+from ..core.modes import ModeRegistry, pilot_registry
+from ..netsim.engine import Simulator
+from ..netsim.headers import EtherType
+from ..netsim.packet import Packet
+from ..netsim.topology import Topology
+from ..netsim.units import MICROSECOND, MILLISECOND, gbps
+from .alveo import AlveoNic
+from .programs import (
+    AgeUpdateProgram,
+    BufferTapProgram,
+    ModeTransitionProgram,
+    NearestBufferProgram,
+    TransitionRule,
+)
+from .tofino import TofinoSwitch
+
+#: Experiment number used by the pilot streams (arbitrary but fixed).
+PILOT_EXPERIMENT = 42
+
+
+@dataclass
+class PilotConfig:
+    """Parameters for a pilot build."""
+
+    link_rate_bps: int = gbps(100)
+    #: One-way delay of the WAN leg (Tofino2 ↔ U55C).
+    wan_delay_ns: int = 10 * MILLISECOND
+    #: Random loss on the WAN leg (corruption-style loss, §4).
+    wan_loss_rate: float = 0.0
+    #: DAQ-network leg one-way delay.
+    daq_delay_ns: int = 5 * MICROSECOND
+    #: Age budget stamped when mode 1 activates.
+    age_budget_ns: int = 50 * MILLISECOND
+    #: Deadline offset stamped when mode 2 activates at the U55C.
+    deadline_offset_ns: int = 5 * MILLISECOND
+    #: Retransmission buffer capacity carved from U280 HBM.
+    buffer_bytes: int = 512 * 1024 * 1024
+    mtu_bytes: int = 9000
+    slice_id: int = 0
+    #: Receiver tuning (reorder wait before NAK, retries).
+    receiver: ReceiverConfig = field(default_factory=ReceiverConfig)
+
+
+@dataclass
+class PilotReport:
+    """Everything a pilot run measured."""
+
+    messages_sent: int
+    dtn1_relayed: int
+    delivered: int
+    duplicates: int
+    naks_sent: int
+    naks_served: int
+    retransmissions: int
+    unrecovered: int
+    aged_packets: int
+    deadline_ok: int
+    deadline_misses: int
+    mode_transitions_u280: int
+    mode_transitions_u55c: int
+    age_updates_tofino: int
+    buffer_occupancy: float
+    delivery_latencies_ns: list[int]
+
+    @property
+    def complete(self) -> bool:
+        return self.delivered >= self.messages_sent and self.unrecovered == 0
+
+
+class PilotTestbed:
+    """A ready-to-run build of the Fig. 4 pilot."""
+
+    def __init__(
+        self,
+        sim: Simulator | None = None,
+        config: PilotConfig | None = None,
+        registry: ModeRegistry | None = None,
+    ) -> None:
+        self.sim = sim or Simulator(seed=42)
+        self.config = config or PilotConfig()
+        self.registry = registry or pilot_registry()
+        self.experiment_id = make_experiment_id(PILOT_EXPERIMENT, self.config.slice_id)
+        self._build()
+
+    # -- construction ----------------------------------------------------------
+
+    def _build(self) -> None:
+        cfg = self.config
+        topo = Topology(self.sim)
+        self.topology = topo
+
+        self.sensor = topo.add_host("sensor", ip="10.10.0.2")
+        self.daq_switch = topo.add_switch("daq-switch")
+        self.dtn1 = topo.add_host("dtn1", ip="10.10.0.10")
+        self.u280 = topo.add(
+            AlveoNic.u280(self.sim, "alveo-u280", mac=topo.allocate_mac(), ip="10.20.0.2")
+        )
+        self.tofino = topo.add(
+            TofinoSwitch(self.sim, "tofino2", mac=topo.allocate_mac(), ip="10.20.0.1")
+        )
+        self.u55c = topo.add(
+            AlveoNic.u55c(self.sim, "alveo-u55c", mac=topo.allocate_mac(), ip="10.30.0.2")
+        )
+        self.dtn2 = topo.add_host("dtn2", ip="10.30.0.10")
+
+        rate = cfg.link_rate_bps
+        short = 1 * MICROSECOND
+        topo.connect(self.sensor, self.daq_switch, rate, cfg.daq_delay_ns, cfg.mtu_bytes)
+        topo.connect(self.daq_switch, self.dtn1, rate, cfg.daq_delay_ns, cfg.mtu_bytes)
+        topo.connect(self.dtn1, self.u280, rate, short, cfg.mtu_bytes)
+        topo.connect(self.u280, self.tofino, rate, short, cfg.mtu_bytes)
+        self.wan_link = topo.connect(
+            self.tofino,
+            self.u55c,
+            rate,
+            cfg.wan_delay_ns,
+            cfg.mtu_bytes,
+            loss_rate=cfg.wan_loss_rate,
+        )
+        topo.connect(self.u55c, self.dtn2, rate, short, cfg.mtu_bytes)
+        topo.install_routes()
+
+        # --- programmable elements -----------------------------------------
+        self.buffer = self.u280.attach_buffer(cfg.buffer_bytes)
+        self.u280_transition = ModeTransitionProgram(
+            self.registry,
+            [
+                TransitionRule(
+                    from_config_id=self.registry.by_name("identify").config_id,
+                    to_mode="age-recover",
+                    buffer_addr=self.u280.ip,
+                    age_budget_ns=cfg.age_budget_ns,
+                )
+            ],
+        )
+        self.u280_transition.install(self.u280)
+        BufferTapProgram(buffer_addr=self.u280.ip).install(self.u280)
+        self.u280_age = AgeUpdateProgram()
+        self.u280_age.install(self.u280)
+
+        self.tofino_age = AgeUpdateProgram()
+        self.tofino_age.install(self.tofino)
+        self.tofino_nearest = NearestBufferProgram(buffer_addr=self.u280.ip)
+        self.tofino_nearest.install(self.tofino)
+
+        self.u55c_transition = ModeTransitionProgram(
+            self.registry,
+            [
+                TransitionRule(
+                    from_config_id=self.registry.by_name("age-recover").config_id,
+                    to_mode="deliver-check",
+                    deadline_offset_ns=cfg.deadline_offset_ns,
+                    notify_addr=self.dtn1.ip,
+                )
+            ],
+        )
+        self.u55c_transition.install(self.u55c)
+        self.u55c_age = AgeUpdateProgram()
+        self.u55c_age.install(self.u55c)
+
+        # --- endpoints --------------------------------------------------------
+        self.sensor_stack = MmtStack(self.sensor, self.registry)
+        self.dtn1_stack = MmtStack(self.dtn1, self.registry)
+        self.dtn2_stack = MmtStack(self.dtn2, self.registry)
+
+        self.messages_sent = 0
+        self.dtn1_relayed = 0
+        self.delivered_messages: list[tuple[int, int]] = []  # (time, payload size)
+
+        self.sensor_sender: MmtSender = self.sensor_stack.create_sender(
+            experiment_id=self.experiment_id,
+            mode="identify",
+            dst_mac=self.dtn1.mac,
+            l2_port=next(iter(self.sensor.ports)),
+            flow="pilot",
+        )
+        self.dtn1_sender: MmtSender = self.dtn1_stack.create_sender(
+            experiment_id=self.experiment_id,
+            mode="identify",
+            dst_ip=self.dtn2.ip,
+            flow="pilot",
+        )
+        self.dtn1_receiver: MmtReceiver = self.dtn1_stack.bind_receiver(
+            PILOT_EXPERIMENT, on_message=self._relay_at_dtn1
+        )
+        self.dtn2_receiver: MmtReceiver = self.dtn2_stack.bind_receiver(
+            PILOT_EXPERIMENT, on_message=self._deliver_at_dtn2, config=cfg.receiver
+        )
+
+    # -- dataflow callbacks ------------------------------------------------------
+
+    def _relay_at_dtn1(self, packet: Packet, header) -> None:
+        """DTN 1's store-and-forward: re-originate toward DTN 2.
+
+        The original send timestamp rides along so delivery latency is
+        measured sensor → DTN 2 end-to-end.
+        """
+        self.dtn1_relayed += 1
+        meta = {"sent_at": packet.meta.get("sent_at", self.sim.now)}
+        self.dtn1_sender.send(packet.payload_size, payload=packet.payload, meta=meta)
+
+    def _deliver_at_dtn2(self, packet: Packet, header) -> None:
+        self.delivered_messages.append((self.sim.now, packet.payload_size))
+
+    # -- driving ---------------------------------------------------------------------
+
+    def send_message(self, payload_size: int = 8000) -> None:
+        """Emit one DAQ message from the sensor right now."""
+        self.sensor_sender.send(payload_size)
+        self.messages_sent += 1
+
+    def send_stream(
+        self, count: int, payload_size: int = 8000, interval_ns: int = 1_000
+    ) -> None:
+        """Schedule a steady stream of ``count`` messages from the sensor."""
+        for i in range(count):
+            self.sim.schedule(i * interval_ns, self.send_message, payload_size)
+
+    def run(self, extra_ns: int = 0, reconcile: bool = True) -> PilotReport:
+        """Run to quiescence (plus ``extra_ns``), reconcile, and report."""
+        self.sim.run(until_ns=self.sim.now + extra_ns if extra_ns else None)
+        self.sim.run()
+        if reconcile:
+            # End-of-run bookkeeping: DTN 2 knows how many messages DTN 1
+            # forwarded (run metadata) and NAKs anything still missing.
+            self.dtn2_receiver.request_missing(self.experiment_id, self.dtn1_relayed)
+            self.sim.run()
+        return self.report()
+
+    def report(self) -> PilotReport:
+        rx = self.dtn2_receiver.stats
+        return PilotReport(
+            messages_sent=self.messages_sent,
+            dtn1_relayed=self.dtn1_relayed,
+            delivered=rx.messages_delivered,
+            duplicates=rx.duplicates,
+            naks_sent=rx.naks_sent,
+            naks_served=self.u280.stats.naks_served,
+            retransmissions=rx.retransmissions_received,
+            unrecovered=rx.unrecovered,
+            aged_packets=rx.aged_packets,
+            deadline_ok=rx.deadline_ok,
+            deadline_misses=rx.deadline_misses,
+            mode_transitions_u280=self.u280_transition.transitions_applied,
+            mode_transitions_u55c=self.u55c_transition.transitions_applied,
+            age_updates_tofino=self.tofino_age.updates,
+            buffer_occupancy=self.buffer.occupancy,
+            delivery_latencies_ns=[lat for _t, lat in self.dtn2_receiver.delivery_log],
+        )

@@ -1,0 +1,427 @@
+"""The MMT dataplane programs (§5.3-§5.4), as installable pipelines.
+
+Each program configures tables, actions, and registers on an element's
+pipeline — the same division of labour as P4: the *program* defines
+processing, the *control plane* (here: the program's constructor
+arguments, supplied by a scenario builder) populates table entries.
+
+Programs:
+
+- :class:`ModeTransitionProgram` — rewrites headers between modes as
+  flows cross segment boundaries; assigns sequence numbers from a
+  register when SEQUENCED activates in-network ("Network elements add
+  a sequence number to loss-recoverable streams", §5.4).
+- :class:`AgeUpdateProgram` — updates ``age``/``aged`` (§5.4) and can
+  raise the DSCP of age-sensitive traffic (priority as it travels,
+  §5.3).
+- :class:`BufferTapProgram` — mirrors sequenced data into the hosting
+  element's retransmission buffer and names it as the nearest buffer.
+- :class:`NearestBufferProgram` — refreshes ``buffer_addr`` only (for
+  elements that point at a buffer hosted elsewhere, e.g. Tofino → DTN 1).
+- :class:`DeadlineEnforceProgram` — sheds already-late packets and
+  reports misses from within the network.
+- :class:`DuplicationProgram` — in-network stream duplication to
+  several downstream consumers (§5.1).
+- :class:`BackpressureProgram` — relays congestion backpressure to the
+  source when the local queue runs hot (§5.1), rate-limited through a
+  register.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+
+from ..core.aging import AGE_EPOCH_META
+from ..core.control import BackpressurePayload, DeadlineMissPayload, ModeAnnouncePayload
+from ..core.features import Feature, MsgType
+from ..core.header import MmtHeader
+from ..core.modes import Mode, ModeRegistry, TransitionContext, transition
+from .element import ProgrammableElement
+from .pipeline import Action, Metadata, MatchKind, PacketView, Table
+
+
+class Program:
+    """Base: a program installs itself onto an element's pipeline."""
+
+    def install(self, element: ProgrammableElement) -> None:
+        raise NotImplementedError
+
+
+# ---------------------------------------------------------------------------
+# Mode transitions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TransitionRule:
+    """One control-plane entry for the mode-transition table.
+
+    Matches packets arriving in mode ``from_config_id`` (optionally only
+    on ``ingress_port``) and rewrites them into ``to_mode``. The value
+    fields configure features the target mode *activates*.
+    """
+
+    from_config_id: int
+    to_mode: str
+    ingress_port: str | None = None
+    buffer_addr: str | None = None
+    age_budget_ns: int | None = None
+    deadline_offset_ns: int | None = None
+    notify_addr: str | None = None
+    pace_rate_mbps: int | None = None
+    source_addr: str | None = None
+    dup_group: int | None = None
+    dup_copies: int | None = None
+
+
+class ModeTransitionProgram(Program):
+    """Header rewriting between modes at segment boundaries.
+
+    Sequence numbers for newly-SEQUENCED flows come from a per-flow
+    register indexed by a hash of the experiment id — exactly the
+    stateful primitive Tofino provides.
+
+    With ``announce_to_source=True`` the element tells the stream's
+    source about each flow's first transition (one MODE_ANNOUNCE per
+    flow, register-deduplicated) — the §4.2 control messaging that lets
+    endpoints reason about end-to-end behaviour hop by hop.
+    """
+
+    SEQ_REGISTER_SIZE = 65536
+
+    def __init__(
+        self,
+        registry: ModeRegistry,
+        rules: list[TransitionRule],
+        announce_to_source: bool = False,
+    ) -> None:
+        self.registry = registry
+        self.rules = rules
+        self.announce_to_source = announce_to_source
+        self.transitions_applied = 0
+        self.announcements_sent = 0
+        self._announced: set[int] = set()
+        self._element_ip = "0.0.0.0"
+
+    def install(self, element: ProgrammableElement) -> None:
+        pipeline = element.pipeline
+        self._element_ip = element.ip or "0.0.0.0"
+        seq_register = pipeline.add_register(
+            "mode_transition_seq", self.SEQ_REGISTER_SIZE, width_bits=32
+        )
+        table = Table(
+            "mode_transition",
+            keys=["meta.ingress_port", "mmt.config_id"],
+            match_kinds=[MatchKind.EXACT, MatchKind.EXACT],
+        )
+        action = Action("transition_mode", self._make_action(seq_register))
+        for rule in self.rules:
+            target = self.registry.by_name(rule.to_mode)
+            table.add_entry(
+                (rule.ingress_port, rule.from_config_id),
+                action,
+                params={"rule": rule, "target": target},
+                priority=1 if rule.ingress_port is not None else 0,
+            )
+        pipeline.add_table(table)
+
+    def _make_action(self, seq_register):
+        def transition_mode(view: PacketView, meta: Metadata, params: dict) -> None:
+            header = view.mmt()
+            if header.msg_type != MsgType.DATA:
+                return
+            rule: TransitionRule = params["rule"]
+            target: Mode = params["target"]
+            ctx = TransitionContext(now_ns=meta.now_ns)
+            activating = target.features & ~header.features
+            if activating & Feature.SEQUENCED:
+                index = header.experiment_id % seq_register.size
+                ctx.seq = seq_register.read_add(index, 1)
+            if rule.buffer_addr is not None:
+                ctx.buffer_addr = rule.buffer_addr
+            if activating & Feature.TIMELINESS:
+                ctx.deadline_ns = meta.now_ns + (rule.deadline_offset_ns or 0)
+                ctx.notify_addr = rule.notify_addr
+            if activating & Feature.AGE_TRACKING:
+                ctx.age_budget_ns = rule.age_budget_ns
+            ctx.pace_rate_mbps = rule.pace_rate_mbps
+            ctx.source_addr = rule.source_addr
+            ctx.dup_group = rule.dup_group
+            ctx.dup_copies = rule.dup_copies
+            transition(header, target, ctx)
+            if activating & Feature.AGE_TRACKING:
+                view.sim_stamp(AGE_EPOCH_META, meta.now_ns)
+            self.transitions_applied += 1
+            if (
+                self.announce_to_source
+                and header.experiment_id not in self._announced
+                and view.has_header("ip")
+            ):
+                self._announced.add(header.experiment_id)
+                payload = ModeAnnouncePayload(
+                    config_id=target.config_id,
+                    element=self._element_ip,
+                    at_ns=meta.now_ns,
+                ).encode()
+                announce = MmtHeader(
+                    config_id=target.config_id,
+                    msg_type=MsgType.MODE_ANNOUNCE,
+                    experiment_id=header.experiment_id,
+                )
+                meta.emit(view.get("ip.src"), announce, payload)
+                self.announcements_sent += 1
+
+        return transition_mode
+
+
+# ---------------------------------------------------------------------------
+# Aging
+# ---------------------------------------------------------------------------
+
+
+class AgeUpdateProgram(Program):
+    """Fixed-function stage updating age and (optionally) priority.
+
+    "An element updates an 'age' field, and it additionally updates an
+    'aged' flag if a maximum age threshold was exceeded by the time the
+    packet reached that network element." (§5.4)
+    """
+
+    def __init__(self, prioritize_dscp: int | None = 46) -> None:
+        #: DSCP applied to age-tracked traffic (EF by default) so queues
+        #: can prioritize age-sensitive data; None disables remarking.
+        self.prioritize_dscp = prioritize_dscp
+        self.updates = 0
+        self.newly_aged = 0
+
+    def install(self, element: ProgrammableElement) -> None:
+        table = Table("age_update", keys=[], default_action=Action("age_update", self._action))
+        element.pipeline.add_table(table)
+
+    def _action(self, view: PacketView, meta: Metadata, _params: dict) -> None:
+        header = view.mmt()
+        if not header.has(Feature.AGE_TRACKING):
+            return
+        epoch = view.sim_read(AGE_EPOCH_META)
+        if epoch is None:
+            return
+        age = meta.now_ns - epoch
+        if age < header.age_ns:
+            return
+        header.age_ns = age
+        self.updates += 1
+        if not header.aged and age > header.age_budget_ns:
+            header.aged = True
+            self.newly_aged += 1
+        if self.prioritize_dscp is not None and view.has_header("ip"):
+            view.set("ip.dscp", self.prioritize_dscp)
+
+
+# ---------------------------------------------------------------------------
+# Buffers
+# ---------------------------------------------------------------------------
+
+
+class BufferTapProgram(Program):
+    """Mirror sequenced data into the local buffer and advertise it.
+
+    Installed on elements that host a retransmission buffer (DTN-side
+    smartNICs in the pilot). Every sequenced DATA packet is mirrored to
+    the buffer engine and the header's ``buffer_addr`` is rewritten to
+    this element — it is now the nearest recovery point (§5.3).
+    """
+
+    def __init__(self, buffer_addr: str) -> None:
+        self.buffer_addr = buffer_addr
+
+    def install(self, element: ProgrammableElement) -> None:
+        table = Table("buffer_tap", keys=[], default_action=Action("buffer_tap", self._action))
+        element.pipeline.add_table(table)
+
+    def _action(self, view: PacketView, meta: Metadata, _params: dict) -> None:
+        header = view.mmt()
+        if not header.has(Feature.SEQUENCED):
+            return
+        if header.msg_type != MsgType.DATA:
+            return
+        meta.mirror_to_buffer = True
+        if header.has(Feature.RETRANSMISSION):
+            header.buffer_addr = self.buffer_addr
+
+
+class NearestBufferProgram(Program):
+    """Refresh ``buffer_addr`` to a (remote) nearer buffer.
+
+    For elements that do not host storage themselves but know — from
+    the resource map — of a buffer closer to the receiver than whatever
+    the header currently names ("identify DTN 1 as the nearest buffer",
+    §5.4).
+    """
+
+    def __init__(self, buffer_addr: str) -> None:
+        self.buffer_addr = buffer_addr
+        self.rewrites = 0
+
+    def install(self, element: ProgrammableElement) -> None:
+        table = Table(
+            "nearest_buffer", keys=[], default_action=Action("nearest_buffer", self._action)
+        )
+        element.pipeline.add_table(table)
+
+    def _action(self, view: PacketView, _meta: Metadata, _params: dict) -> None:
+        header = view.mmt()
+        if not header.has(Feature.RETRANSMISSION):
+            return
+        if header.msg_type not in (MsgType.DATA, MsgType.HEARTBEAT):
+            return
+        if header.buffer_addr != self.buffer_addr:
+            header.buffer_addr = self.buffer_addr
+            self.rewrites += 1
+
+
+# ---------------------------------------------------------------------------
+# Deadlines
+# ---------------------------------------------------------------------------
+
+
+class DeadlineEnforceProgram(Program):
+    """Shed packets that already missed their deadline; report misses.
+
+    Explicit transport deadlines "provide a signal for congestion and
+    an input to active queue management" (§5.3): data that is already
+    late is not worth WAN capacity, so it is dropped here, and a miss
+    report is generated toward the flow's notify address.
+    """
+
+    def __init__(self, report: bool = True) -> None:
+        self.report = report
+        self.dropped_late = 0
+
+    def install(self, element: ProgrammableElement) -> None:
+        table = Table(
+            "deadline_enforce",
+            keys=[],
+            default_action=Action("deadline_enforce", self._action),
+        )
+        element.pipeline.add_table(table)
+
+    def _action(self, view: PacketView, meta: Metadata, _params: dict) -> None:
+        header = view.mmt()
+        if not header.has(Feature.TIMELINESS) or header.msg_type != MsgType.DATA:
+            return
+        if meta.now_ns <= header.deadline_ns:
+            return
+        meta.mark_to_drop()
+        self.dropped_late += 1
+        if self.report and header.notify_addr:
+            payload = DeadlineMissPayload(
+                seq=header.seq or 0,
+                deadline_ns=header.deadline_ns,
+                observed_ns=meta.now_ns,
+                experiment_id=header.experiment_id,
+            ).encode()
+            report_header = type(header)(
+                config_id=header.config_id,
+                msg_type=MsgType.DEADLINE_MISS,
+                experiment_id=header.experiment_id,
+            )
+            meta.emit(header.notify_addr, report_header, payload)
+
+
+# ---------------------------------------------------------------------------
+# Duplication
+# ---------------------------------------------------------------------------
+
+
+class DuplicationProgram(Program):
+    """In-network duplication: dup_group → additional destinations.
+
+    "Streams can be duplicated in the network to reach several
+    downstream researchers directly, ensuring that they get rapid
+    access to fresh data." (§5.1)
+    """
+
+    def __init__(self, groups: dict[int, list[str]]) -> None:
+        self.groups = groups
+        self.duplicated = 0
+
+    def install(self, element: ProgrammableElement) -> None:
+        table = Table("duplication", keys=["mmt.dup_group"])
+        action = Action("duplicate", self._action)
+        for group, destinations in self.groups.items():
+            table.add_entry((group,), action, params={"destinations": destinations})
+        element.pipeline.add_table(table)
+
+    def _action(self, view: PacketView, meta: Metadata, params: dict) -> None:
+        header = view.mmt()
+        if not header.has(Feature.DUPLICATION) or header.msg_type != MsgType.DATA:
+            return
+        destinations: list[str] = params["destinations"]
+        for dst in destinations:
+            meta.clone_to(dst)
+        header.dup_copies = 1 + len(destinations)
+        self.duplicated += 1
+
+
+# ---------------------------------------------------------------------------
+# Backpressure
+# ---------------------------------------------------------------------------
+
+
+class BackpressureProgram(Program):
+    """Relay backpressure to the source when local queues run hot (§5.1).
+
+    A register holds the last emission timestamp so signals are
+    rate-limited (one per ``min_interval_ns``), the same
+    register-guarded pattern used for congestion notification on real
+    programmable hardware.
+    """
+
+    def __init__(
+        self,
+        occupancy_threshold_pct: int = 60,
+        advised_rate_mbps: int = 1000,
+        min_interval_ns: int = 1_000_000,
+    ) -> None:
+        self.occupancy_threshold_pct = occupancy_threshold_pct
+        self.advised_rate_mbps = advised_rate_mbps
+        self.min_interval_ns = min_interval_ns
+        self.signals_sent = 0
+        self._register = None
+
+    def install(self, element: ProgrammableElement) -> None:
+        self._register = element.pipeline.add_register(
+            "backpressure_last_ns", 1, width_bits=64
+        )
+        table = Table(
+            "backpressure",
+            keys=["meta.queue_occupancy_pct"],
+            match_kinds=[MatchKind.RANGE],
+        )
+        table.add_entry(
+            ((self.occupancy_threshold_pct, 100),),
+            Action("gen_backpressure", self._action),
+            params={"origin": element.ip or "0.0.0.0"},
+        )
+        element.pipeline.add_table(table)
+
+    def _action(self, view: PacketView, meta: Metadata, params: dict) -> None:
+        header = view.mmt()
+        if not header.has(Feature.BACKPRESSURE) or header.msg_type != MsgType.DATA:
+            return
+        last = self._register.read(0)
+        if meta.now_ns - last < self.min_interval_ns:
+            return
+        self._register.write(0, meta.now_ns)
+        payload = BackpressurePayload(
+            advised_rate_mbps=self.advised_rate_mbps,
+            origin=params["origin"],
+            severity=1,
+        ).encode()
+        signal = type(header)(
+            config_id=header.config_id,
+            msg_type=MsgType.BACKPRESSURE,
+            experiment_id=header.experiment_id,
+        )
+        meta.emit(header.source_addr, signal, payload)
+        self.signals_sent += 1

@@ -1,0 +1,28 @@
+"""Integrated-research-infrastructure scenarios (Req 10)."""
+
+from .orchestrator import InstrumentRegistration, Orchestrator, TriggerRecord
+from .transport import MmtTriggerTransport, TRIGGER_EXPERIMENT, decode_trigger, encode_trigger
+from .supernova import (
+    ALERT_TOPIC,
+    CANDIDATE_BYTES,
+    SupernovaConfig,
+    SupernovaResult,
+    SupernovaScenario,
+    compare,
+)
+
+__all__ = [
+    "ALERT_TOPIC",
+    "CANDIDATE_BYTES",
+    "InstrumentRegistration",
+    "MmtTriggerTransport",
+    "TRIGGER_EXPERIMENT",
+    "Orchestrator",
+    "SupernovaConfig",
+    "SupernovaResult",
+    "SupernovaScenario",
+    "TriggerRecord",
+    "compare",
+    "decode_trigger",
+    "encode_trigger",
+]

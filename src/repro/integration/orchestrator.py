@@ -1,0 +1,114 @@
+"""Cross-facility coordination: instruments, triggers, subscriptions.
+
+"Integration would also support low-latency coordination through
+multi-terabit infrastructure" (§3, Req 10). The orchestrator is the
+control-plane piece: instruments register capabilities, subscribe to
+trigger topics, and the orchestrator records the full timeline of each
+trigger from detection to every subscriber's reaction — the quantity
+the supernova scenario measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..netsim.engine import Simulator
+
+
+@dataclass
+class TriggerRecord:
+    """Timeline of one trigger's propagation."""
+
+    topic: str
+    origin: str
+    emitted_ns: int
+    deliveries: dict[str, int] = field(default_factory=dict)  # subscriber → time
+
+    def latency_ns(self, subscriber: str) -> int | None:
+        delivered = self.deliveries.get(subscriber)
+        if delivered is None:
+            return None
+        return delivered - self.emitted_ns
+
+
+@dataclass
+class InstrumentRegistration:
+    """An instrument known to the orchestrator."""
+
+    name: str
+    facility: str
+    capabilities: frozenset[str]
+    #: Invoked with (topic, payload, record) when a trigger reaches it.
+    on_trigger: Callable[[str, bytes, TriggerRecord], None] | None = None
+
+
+class Orchestrator:
+    """A facility-spanning trigger router with full timelines.
+
+    Delivery transport is pluggable: ``route`` callbacks do the actual
+    sending (over MMT, TCP, or direct simulation calls) and call
+    :meth:`confirm_delivery` when the subscriber has the trigger —
+    keeping this module transport-agnostic.
+    """
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.instruments: dict[str, InstrumentRegistration] = {}
+        self._subscriptions: dict[str, list[str]] = {}
+        self._routes: dict[tuple[str, str], Callable[[str, bytes, TriggerRecord], None]] = {}
+        self.records: list[TriggerRecord] = []
+
+    def register(
+        self,
+        name: str,
+        facility: str,
+        capabilities: set[str] | frozenset[str] = frozenset(),
+        on_trigger: Callable[[str, bytes, TriggerRecord], None] | None = None,
+    ) -> InstrumentRegistration:
+        if name in self.instruments:
+            raise ValueError(f"instrument {name!r} already registered")
+        registration = InstrumentRegistration(
+            name=name,
+            facility=facility,
+            capabilities=frozenset(capabilities),
+            on_trigger=on_trigger,
+        )
+        self.instruments[name] = registration
+        return registration
+
+    def subscribe(self, topic: str, instrument: str) -> None:
+        if instrument not in self.instruments:
+            raise ValueError(f"unknown instrument {instrument!r}")
+        self._subscriptions.setdefault(topic, [])
+        if instrument not in self._subscriptions[topic]:
+            self._subscriptions[topic].append(instrument)
+
+    def set_route(
+        self,
+        origin: str,
+        subscriber: str,
+        deliver: Callable[[str, bytes, TriggerRecord], None],
+    ) -> None:
+        """Install the transport used for origin→subscriber triggers."""
+        self._routes[(origin, subscriber)] = deliver
+
+    def emit(self, topic: str, origin: str, payload: bytes) -> TriggerRecord:
+        """Fire a trigger; each subscriber's route carries it onward."""
+        record = TriggerRecord(topic=topic, origin=origin, emitted_ns=self.sim.now)
+        self.records.append(record)
+        for subscriber in self._subscriptions.get(topic, []):
+            if subscriber == origin:
+                continue
+            route = self._routes.get((origin, subscriber))
+            if route is None:
+                raise ValueError(f"no route {origin!r} → {subscriber!r}")
+            route(subscriber, payload, record)
+        return record
+
+    def confirm_delivery(self, record: TriggerRecord, subscriber: str, payload: bytes) -> None:
+        """Mark a trigger delivered and invoke the subscriber callback."""
+        record.deliveries.setdefault(subscriber, self.sim.now)
+        registration = self.instruments.get(subscriber)
+        if registration is not None and registration.on_trigger is not None:
+            registration.on_trigger(record.topic, payload, record)

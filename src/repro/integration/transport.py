@@ -1,0 +1,116 @@
+"""Carrying orchestrator triggers over MMT.
+
+The :class:`~repro.integration.orchestrator.Orchestrator` is
+transport-agnostic; this adapter runs its routes over real simulated
+MMT streams between facility hosts, so trigger timelines include
+genuine network latency (and benefit from MMT features on the way —
+alerts can ride a deadline-bearing mode).
+
+Wire format: ``record_id u32 | topic_len u16 | topic | payload``.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from ..core.endpoint import MmtSender, MmtStack
+from ..core.header import make_experiment_id
+from .orchestrator import Orchestrator, TriggerRecord
+
+#: Experiment number reserved for inter-facility trigger traffic.
+TRIGGER_EXPERIMENT = 250
+
+
+class TriggerCodecError(ValueError):
+    """Raised on malformed trigger frames."""
+
+
+def encode_trigger(record_id: int, topic: str, payload: bytes) -> bytes:
+    """Pack a trigger frame: record id, topic, opaque payload."""
+    topic_raw = topic.encode("utf-8")
+    if len(topic_raw) > 0xFFFF:
+        raise TriggerCodecError("topic too long")
+    return struct.pack(">IH", record_id, len(topic_raw)) + topic_raw + payload
+
+
+def decode_trigger(data: bytes) -> tuple[int, str, bytes]:
+    """Unpack a trigger frame; raises TriggerCodecError when malformed."""
+    if len(data) < 6:
+        raise TriggerCodecError("truncated trigger frame")
+    record_id, topic_len = struct.unpack_from(">IH", data, 0)
+    if len(data) < 6 + topic_len:
+        raise TriggerCodecError("truncated topic")
+    topic = data[6 : 6 + topic_len].decode("utf-8")
+    return record_id, topic, data[6 + topic_len :]
+
+
+@dataclass
+class _Session:
+    sender: MmtSender
+    subscriber: str
+
+
+class MmtTriggerTransport:
+    """Install MMT-backed routes on an orchestrator."""
+
+    def __init__(self, orchestrator: Orchestrator) -> None:
+        self.orchestrator = orchestrator
+        self._records: dict[int, TriggerRecord] = {}
+        self._next_id = 1
+        self._sessions: dict[tuple[str, str], _Session] = {}
+        self.frames_sent = 0
+        self.frames_delivered = 0
+
+    def connect(
+        self,
+        origin: str,
+        origin_stack: MmtStack,
+        subscriber: str,
+        subscriber_stack: MmtStack,
+        subscriber_ip: str,
+        mode: str = "identify",
+        **sender_kwargs,
+    ) -> None:
+        """Create the origin→subscriber session and install the route."""
+        key = (origin, subscriber)
+        if key in self._sessions:
+            raise ValueError(f"session {origin}->{subscriber} already connected")
+        sender = origin_stack.create_sender(
+            experiment_id=make_experiment_id(TRIGGER_EXPERIMENT, len(self._sessions) % 256),
+            mode=mode,
+            dst_ip=subscriber_ip,
+            flow=f"trigger:{origin}->{subscriber}",
+            **sender_kwargs,
+        )
+        self._sessions[key] = _Session(sender=sender, subscriber=subscriber)
+        if TRIGGER_EXPERIMENT not in subscriber_stack.receivers:
+            subscriber_stack.bind_receiver(
+                TRIGGER_EXPERIMENT,
+                on_message=lambda packet, _header, name=subscriber: self._arrived(
+                    name, packet
+                ),
+            )
+        self.orchestrator.set_route(origin, subscriber, self._make_route(key))
+
+    def _make_route(self, key: tuple[str, str]):
+        def route(subscriber: str, payload: bytes, record: TriggerRecord) -> None:
+            session = self._sessions[key]
+            record_id = self._next_id
+            self._next_id += 1
+            self._records[record_id] = record
+            frame = encode_trigger(record_id, record.topic, payload)
+            session.sender.send(len(frame), payload=frame)
+            self.frames_sent += 1
+
+        return route
+
+    def _arrived(self, subscriber: str, packet) -> None:
+        if packet.payload is None:
+            return
+        record_id, _topic, payload = decode_trigger(packet.payload)
+        record = self._records.get(record_id)
+        if record is None:
+            return
+        self.frames_delivered += 1
+        self.orchestrator.confirm_delivery(record, subscriber, payload)

@@ -1,0 +1,69 @@
+"""Deterministic discrete-event network simulator.
+
+This package is the substrate the paper's pilot runs on in this
+reproduction: an integer-nanosecond event engine, byte-accurate packets
+and headers, links with rate/delay/MTU/loss, queue disciplines (incl.
+the deadline-aware AQM of §5.3), L2/L3 switching, end hosts with a
+protocol demux, and a topology builder with automatic routing.
+"""
+
+from .engine import Event, SimulationError, Simulator, Timer
+from .headers import (
+    EthernetHeader,
+    EtherType,
+    Header,
+    IpProto,
+    Ipv4Header,
+    TcpHeader,
+    UdpHeader,
+)
+from .host import Host
+from .link import Link, Port
+from .node import Node, SinkNode
+from .packet import Packet
+from .recorder import TraceEntry, TraceRecorder
+from .queues import (
+    DeadlineAwareQueue,
+    DropTailQueue,
+    PriorityQueue,
+    QueueDiscipline,
+    RedQueue,
+)
+from .switch import EthernetSwitch, IpRouter, RoutingTable
+from .topology import Topology, TopologyError
+from .trace import FlowRecord, FlowTracker
+from . import units
+
+__all__ = [
+    "DeadlineAwareQueue",
+    "DropTailQueue",
+    "EthernetHeader",
+    "EtherType",
+    "Event",
+    "FlowRecord",
+    "FlowTracker",
+    "Header",
+    "Host",
+    "IpProto",
+    "IpRouter",
+    "Ipv4Header",
+    "Link",
+    "Node",
+    "Packet",
+    "Port",
+    "PriorityQueue",
+    "QueueDiscipline",
+    "RedQueue",
+    "RoutingTable",
+    "SimulationError",
+    "Simulator",
+    "SinkNode",
+    "TcpHeader",
+    "Timer",
+    "TraceEntry",
+    "TraceRecorder",
+    "Topology",
+    "TopologyError",
+    "UdpHeader",
+    "units",
+]

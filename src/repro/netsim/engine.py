@@ -1,0 +1,183 @@
+"""Discrete-event simulation engine.
+
+A :class:`Simulator` owns a virtual clock (integer nanoseconds) and a
+priority queue of scheduled callbacks. Components schedule work with
+:meth:`Simulator.schedule` / :meth:`Simulator.schedule_at` and the
+returned :class:`Event` handle can be cancelled (timers).
+
+Determinism: ties at the same timestamp fire in scheduling order, and
+all randomness in the library flows through explicit ``random.Random``
+instances (see :meth:`Simulator.rng`) seeded from the simulator seed,
+so a run is fully reproducible from ``Simulator(seed=...)``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation engine."""
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback; returned by ``schedule`` so it can be cancelled."""
+
+    time: int
+    seq: int
+    callback: Callable[..., None] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Prevent the event from firing; cancelling twice is harmless."""
+        self.cancelled = True
+
+
+class Simulator:
+    """Deterministic discrete-event simulator with an integer-ns clock."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._queue: list[Event] = []
+        self._now = 0
+        self._seq = 0
+        self._running = False
+        self._seed = seed
+        self._rngs: dict[str, random.Random] = {}
+        self.events_processed = 0
+
+    @property
+    def now(self) -> int:
+        """Current virtual time in nanoseconds."""
+        return self._now
+
+    @property
+    def seed(self) -> int:
+        """Seed this simulator (and all derived RNG streams) was built from."""
+        return self._seed
+
+    def rng(self, name: str) -> random.Random:
+        """Return a named, stable RNG stream derived from the simulator seed.
+
+        Each distinct ``name`` gets an independent stream, so adding a new
+        consumer of randomness does not perturb existing ones.
+        """
+        if name not in self._rngs:
+            self._rngs[name] = random.Random(f"{self._seed}:{name}")
+        return self._rngs[name]
+
+    def schedule(self, delay_ns: int, callback: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay_ns`` from now.
+
+        Delays are rounded to the integer-nanosecond clock; fractional
+        nanoseconds cannot be represented.
+        """
+        delay_ns = round(delay_ns)
+        if delay_ns < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay_ns})")
+        return self.schedule_at(self._now + delay_ns, callback, *args)
+
+    def schedule_at(self, time_ns: int, callback: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at absolute virtual time ``time_ns``."""
+        time_ns = round(time_ns)
+        if time_ns < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time_ns} before now ({self._now})"
+            )
+        event = Event(time=time_ns, seq=self._seq, callback=callback, args=args)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def peek_time(self) -> int | None:
+        """Time of the next pending event, or ``None`` if the queue is empty."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+    def step(self) -> bool:
+        """Run a single event. Returns False when no events remain."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback(*event.args)
+            self.events_processed += 1
+            return True
+        return False
+
+    def run(self, until_ns: int | None = None, max_events: int | None = None) -> int:
+        """Run events until the queue drains, ``until_ns``, or ``max_events``.
+
+        Returns the number of events processed by this call. When
+        ``until_ns`` is given the clock is advanced to exactly ``until_ns``
+        on return (even if the queue drained earlier), so back-to-back
+        ``run(until_ns=...)`` calls observe a monotonic clock.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        processed = 0
+        try:
+            while self._queue:
+                if max_events is not None and processed >= max_events:
+                    break
+                next_time = self.peek_time()
+                if next_time is None:
+                    break
+                if until_ns is not None and next_time > until_ns:
+                    break
+                if self.step():
+                    processed += 1
+            if until_ns is not None and self._now < until_ns:
+                self._now = until_ns
+        finally:
+            self._running = False
+        return processed
+
+    def pending_events(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+
+class Timer:
+    """A restartable one-shot timer bound to a simulator.
+
+    Wraps :class:`Event` with start/stop/restart semantics, which is the
+    shape retransmission and deadline timers need.
+    """
+
+    def __init__(self, sim: Simulator, callback: Callable[[], None]) -> None:
+        self._sim = sim
+        self._callback = callback
+        self._event: Event | None = None
+
+    @property
+    def running(self) -> bool:
+        """True while the timer is armed and has not fired."""
+        return self._event is not None and not self._event.cancelled
+
+    @property
+    def expires_at(self) -> int | None:
+        """Absolute expiry time, or None when not running."""
+        return self._event.time if self.running and self._event else None
+
+    def start(self, delay_ns: int) -> None:
+        """Arm the timer; restarts it if already running."""
+        self.stop()
+        self._event = self._sim.schedule(delay_ns, self._fire)
+
+    def stop(self) -> None:
+        """Disarm the timer; harmless if it is not running."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self) -> None:
+        self._event = None
+        self._callback()

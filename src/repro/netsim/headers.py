@@ -1,0 +1,124 @@
+"""Protocol header models for simulated packets.
+
+Headers carry the fields the simulation logic reads plus a byte-accurate
+``size_bytes`` so link serialization times and overhead accounting are
+faithful. Payload bytes are usually *not* materialized (only counted),
+except where a test or codec needs real bytes.
+
+The MMT (multi-modal transport) header lives in :mod:`repro.core.header`;
+it subclasses :class:`Header` so it stacks like any other protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import IntEnum
+
+
+class EtherType(IntEnum):
+    """EtherType values used by the simulation."""
+
+    IPV4 = 0x0800
+    ARP = 0x0806
+    # The paper's protocol can run directly over L2 (Req 1); we use the
+    # IEEE experimental/local EtherType for it.
+    MMT = 0x88B5
+
+
+class IpProto(IntEnum):
+    """IPv4 protocol numbers used by the simulation."""
+
+    TCP = 6
+    UDP = 17
+    # Experimental protocol number for MMT-over-IP.
+    MMT = 254
+
+
+@dataclass
+class Header:
+    """Base class for protocol headers; subclasses define ``size_bytes``."""
+
+    @property
+    def size_bytes(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+    def copy(self) -> "Header":
+        """Shallow field-wise copy (headers hold only value types)."""
+        return replace(self)
+
+
+@dataclass
+class EthernetHeader(Header):
+    """Ethernet II header (14 bytes) plus the 4-byte FCS trailer."""
+
+    src: str = "00:00:00:00:00:00"
+    dst: str = "ff:ff:ff:ff:ff:ff"
+    ethertype: int = EtherType.IPV4
+
+    HEADER_BYTES = 14
+    FCS_BYTES = 4
+
+    @property
+    def size_bytes(self) -> int:
+        return self.HEADER_BYTES + self.FCS_BYTES
+
+
+@dataclass
+class Ipv4Header(Header):
+    """IPv4 header without options (20 bytes)."""
+
+    src: str = "0.0.0.0"
+    dst: str = "0.0.0.0"
+    proto: int = IpProto.UDP
+    ttl: int = 64
+    dscp: int = 0
+    ecn: int = 0
+    identification: int = 0
+
+    @property
+    def size_bytes(self) -> int:
+        return 20
+
+
+@dataclass
+class UdpHeader(Header):
+    """UDP header (8 bytes)."""
+
+    src_port: int = 0
+    dst_port: int = 0
+
+    @property
+    def size_bytes(self) -> int:
+        return 8
+
+
+@dataclass
+class TcpHeader(Header):
+    """TCP header (20 bytes, no options modelled beyond SACK blocks).
+
+    ``seq`` numbers bytes (as in real TCP); flags are booleans. SACK
+    blocks, when present, add 8 bytes each plus 2 bytes of option header,
+    mirroring RFC 2018 sizing.
+    """
+
+    src_port: int = 0
+    dst_port: int = 0
+    seq: int = 0
+    ack: int = 0
+    flag_syn: bool = False
+    flag_ack: bool = False
+    flag_fin: bool = False
+    flag_rst: bool = False
+    window: int = 65535
+    sack_blocks: tuple[tuple[int, int], ...] = field(default_factory=tuple)
+
+    @property
+    def size_bytes(self) -> int:
+        base = 20
+        if self.sack_blocks:
+            base += 2 + 8 * len(self.sack_blocks)
+        return base

@@ -1,0 +1,63 @@
+"""Base node types.
+
+A :class:`Node` owns named :class:`~repro.netsim.link.Port` objects and
+receives packets from them. Concrete nodes — hosts, switches, DTNs,
+programmable dataplanes — subclass :meth:`Node.receive`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .engine import Simulator
+from .link import Port
+from .packet import Packet
+from .queues import QueueDiscipline
+
+
+class Node:
+    """A network element with named ports."""
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        self.sim = sim
+        self.name = name
+        self.ports: dict[str, Port] = {}
+
+    def add_port(self, name: str, queue: QueueDiscipline | None = None) -> Port:
+        """Create and register a new port; names must be unique per node."""
+        if name in self.ports:
+            raise ValueError(f"{self.name} already has a port named {name!r}")
+        port = Port(self, name, queue=queue)
+        self.ports[name] = port
+        return port
+
+    def port(self, name: str) -> Port:
+        """Look up a port by name."""
+        return self.ports[name]
+
+    def receive(self, packet: Packet, port: Port) -> None:
+        """Handle an ingress packet; subclasses must override."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name})"
+
+
+class SinkNode(Node):
+    """Absorbs every packet; records them for inspection in tests."""
+
+    def __init__(self, sim: Simulator, name: str, keep_packets: bool = True) -> None:
+        super().__init__(sim, name)
+        self.received: list[tuple[int, Packet]] = []
+        self.rx_packets = 0
+        self.rx_bytes = 0
+        self.keep_packets = keep_packets
+        self.on_receive: Callable[[Packet], None] | None = None
+
+    def receive(self, packet: Packet, port: Port) -> None:
+        self.rx_packets += 1
+        self.rx_bytes += packet.size_bytes
+        if self.keep_packets:
+            self.received.append((self.sim.now, packet))
+        if self.on_receive is not None:
+            self.on_receive(packet)

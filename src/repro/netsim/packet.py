@@ -1,0 +1,97 @@
+"""Simulated packets: a stack of headers plus a (usually virtual) payload.
+
+A :class:`Packet` is the unit that flows through links, queues, switches,
+and dataplane pipelines. Headers are ordered outermost-first. Payload
+bytes are represented by ``payload_size`` and only materialized as real
+bytes when a component needs them (e.g. codec tests).
+
+``meta`` carries simulation-only bookkeeping (flow id, creation time,
+per-hop timestamps); it contributes zero bytes on the wire.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Iterator, TypeVar
+
+from .headers import Header
+
+_packet_ids = itertools.count()
+
+H = TypeVar("H", bound=Header)
+
+
+@dataclass
+class Packet:
+    """A packet with an outermost-first header stack and a counted payload."""
+
+    headers: list[Header] = field(default_factory=list)
+    payload_size: int = 0
+    payload: bytes | None = None
+    meta: dict[str, Any] = field(default_factory=dict)
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+
+    def __post_init__(self) -> None:
+        if self.payload is not None:
+            self.payload_size = len(self.payload)
+        if self.payload_size < 0:
+            raise ValueError(f"payload_size must be >= 0, got {self.payload_size}")
+
+    @property
+    def size_bytes(self) -> int:
+        """Total on-wire size: all headers plus payload."""
+        return sum(h.size_bytes for h in self.headers) + self.payload_size
+
+    def find(self, header_type: type[H]) -> H | None:
+        """Return the first (outermost) header of the given type, or None."""
+        for header in self.headers:
+            if isinstance(header, header_type):
+                return header
+        return None
+
+    def require(self, header_type: type[H]) -> H:
+        """Like :meth:`find` but raises ``KeyError`` when absent."""
+        header = self.find(header_type)
+        if header is None:
+            raise KeyError(f"packet {self.packet_id} has no {header_type.__name__}")
+        return header
+
+    def has(self, header_type: type[Header]) -> bool:
+        """True when a header of the given type is present."""
+        return self.find(header_type) is not None
+
+    def push(self, header: Header) -> None:
+        """Add ``header`` as the new outermost header (encapsulation)."""
+        self.headers.insert(0, header)
+
+    def pop(self) -> Header:
+        """Remove and return the outermost header (decapsulation)."""
+        if not self.headers:
+            raise IndexError(f"packet {self.packet_id} has no headers to pop")
+        return self.headers.pop(0)
+
+    def outermost(self) -> Header | None:
+        """The outermost header, or None for a bare payload."""
+        return self.headers[0] if self.headers else None
+
+    def copy(self) -> "Packet":
+        """Deep-enough copy for in-network duplication.
+
+        Headers are copied field-wise (so the duplicate can be rewritten
+        independently); the payload reference is shared (it is immutable
+        bytes); ``meta`` is shallow-copied; the copy gets a fresh id.
+        """
+        return Packet(
+            headers=[h.copy() for h in self.headers],
+            payload_size=self.payload_size,
+            payload=self.payload,
+            meta=dict(self.meta),
+        )
+
+    def __iter__(self) -> Iterator[Header]:
+        return iter(self.headers)
+
+    def __repr__(self) -> str:
+        names = "/".join(h.name for h in self.headers) or "raw"
+        return f"Packet#{self.packet_id}[{names} +{self.payload_size}B]"

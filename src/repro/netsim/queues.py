@@ -1,0 +1,274 @@
+"""Queue disciplines for egress ports.
+
+All queues count in bytes (the resource links actually contend on) and
+expose the same interface: ``enqueue`` (returns False on drop),
+``dequeue`` (returns None when empty), ``__len__`` (packets), and byte
+occupancy. Disciplines:
+
+- :class:`DropTailQueue` — plain FIFO with a byte limit.
+- :class:`PriorityQueue` — strict priority bands (used to prioritize
+  age-sensitive DAQ data, paper §5.3).
+- :class:`RedQueue` — Random Early Detection, for TCP cross-traffic.
+- :class:`DeadlineAwareQueue` — the paper's deadline-as-AQM-input idea:
+  packets carrying an MMT deadline are scheduled earliest-deadline-first
+  and dropped when they can no longer make their deadline ("a signal for
+  congestion and an input to active queue management", §5.3).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Callable, Iterable
+
+from .packet import Packet
+
+
+class QueueDiscipline:
+    """Interface shared by all queue disciplines."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity_bytes}")
+        self.capacity_bytes = capacity_bytes
+        self.bytes_queued = 0
+        self.enqueued = 0
+        self.dropped = 0
+
+    def enqueue(self, packet: Packet) -> bool:
+        raise NotImplementedError
+
+    def dequeue(self) -> Packet | None:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of byte capacity currently used."""
+        return self.bytes_queued / self.capacity_bytes
+
+    def _admit(self, packet: Packet) -> bool:
+        if self.bytes_queued + packet.size_bytes > self.capacity_bytes:
+            self.dropped += 1
+            return False
+        self.bytes_queued += packet.size_bytes
+        self.enqueued += 1
+        return True
+
+    def _release(self, packet: Packet) -> Packet:
+        self.bytes_queued -= packet.size_bytes
+        return packet
+
+
+class DropTailQueue(QueueDiscipline):
+    """FIFO with a byte limit; arrivals that overflow are dropped."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        super().__init__(capacity_bytes)
+        self._fifo: deque[Packet] = deque()
+
+    def enqueue(self, packet: Packet) -> bool:
+        if not self._admit(packet):
+            return False
+        self._fifo.append(packet)
+        return True
+
+    def dequeue(self) -> Packet | None:
+        if not self._fifo:
+            return None
+        return self._release(self._fifo.popleft())
+
+    def __len__(self) -> int:
+        return len(self._fifo)
+
+
+class PriorityQueue(QueueDiscipline):
+    """Strict-priority bands; band 0 is served first.
+
+    ``classifier`` maps a packet to a band index; unclassified packets go
+    to the lowest-priority band.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        bands: int = 2,
+        classifier: Callable[[Packet], int] | None = None,
+    ) -> None:
+        super().__init__(capacity_bytes)
+        if bands < 1:
+            raise ValueError(f"need at least one band, got {bands}")
+        self.bands = bands
+        self._classifier = classifier or (lambda _packet: bands - 1)
+        self._queues: list[deque[Packet]] = [deque() for _ in range(bands)]
+
+    def enqueue(self, packet: Packet) -> bool:
+        if not self._admit(packet):
+            return False
+        band = min(max(self._classifier(packet), 0), self.bands - 1)
+        self._queues[band].append(packet)
+        return True
+
+    def dequeue(self) -> Packet | None:
+        for queue in self._queues:
+            if queue:
+                return self._release(queue.popleft())
+        return None
+
+    def __len__(self) -> int:
+        return sum(len(q) for q in self._queues)
+
+
+class RedQueue(QueueDiscipline):
+    """Random Early Detection (gentle RED on byte occupancy EWMA)."""
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        min_threshold: float = 0.25,
+        max_threshold: float = 0.75,
+        max_drop_probability: float = 0.1,
+        ewma_weight: float = 0.002,
+        rng=None,
+    ) -> None:
+        super().__init__(capacity_bytes)
+        if not 0 <= min_threshold < max_threshold <= 1:
+            raise ValueError("need 0 <= min_threshold < max_threshold <= 1")
+        self.min_threshold = min_threshold
+        self.max_threshold = max_threshold
+        self.max_drop_probability = max_drop_probability
+        self.ewma_weight = ewma_weight
+        self._avg = 0.0
+        self._rng = rng
+        self._fifo: deque[Packet] = deque()
+        self.early_drops = 0
+
+    def enqueue(self, packet: Packet) -> bool:
+        self._avg += self.ewma_weight * (self.occupancy - self._avg)
+        if self._avg > self.min_threshold and self._rng is not None:
+            if self._avg >= self.max_threshold:
+                probability = self.max_drop_probability
+            else:
+                span = self.max_threshold - self.min_threshold
+                probability = (
+                    (self._avg - self.min_threshold) / span * self.max_drop_probability
+                )
+            if self._rng.random() < probability:
+                self.dropped += 1
+                self.early_drops += 1
+                return False
+        if not self._admit(packet):
+            return False
+        self._fifo.append(packet)
+        return True
+
+    def dequeue(self) -> Packet | None:
+        if not self._fifo:
+            return None
+        return self._release(self._fifo.popleft())
+
+    def __len__(self) -> int:
+        return len(self._fifo)
+
+
+class DeadlineAwareQueue(QueueDiscipline):
+    """Earliest-deadline-first queue that sheds already-late packets.
+
+    ``deadline_of`` maps a packet to its absolute delivery deadline in
+    nanoseconds, or ``None`` when the packet carries no deadline (such
+    packets are served after all deadline-bearing traffic, FIFO among
+    themselves). ``now`` supplies current virtual time so that packets
+    whose deadline has already passed can be dropped at enqueue — the
+    paper's use of transport deadlines as an AQM input (§5.3).
+
+    Admission uses *push-out*: when full, an arriving packet may evict
+    queued traffic with a laxer (larger) deadline — best-effort first,
+    then the largest-deadline entry — so urgent data is never tail-
+    dropped behind bulk backlog.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        deadline_of: Callable[[Packet], int | None],
+        now: Callable[[], int],
+        drop_late: bool = True,
+    ) -> None:
+        super().__init__(capacity_bytes)
+        self._deadline_of = deadline_of
+        self._now = now
+        self.drop_late = drop_late
+        self._heap: list[tuple[int, int, Packet]] = []
+        self._best_effort: deque[Packet] = deque()
+        self._seq = 0
+        self.late_drops = 0
+        self.pushouts = 0
+
+    def enqueue(self, packet: Packet) -> bool:
+        deadline = self._deadline_of(packet)
+        if deadline is not None and self.drop_late and deadline < self._now():
+            self.dropped += 1
+            self.late_drops += 1
+            return False
+        if (
+            self.bytes_queued + packet.size_bytes > self.capacity_bytes
+            and deadline is not None
+        ):
+            self._push_out(packet.size_bytes, deadline)
+        if not self._admit(packet):
+            return False
+        if deadline is None:
+            self._best_effort.append(packet)
+        else:
+            heapq.heappush(self._heap, (deadline, self._seq, packet))
+            self._seq += 1
+        return True
+
+    def _push_out(self, needed_bytes: int, incoming_deadline: int) -> None:
+        """Evict laxer traffic to make room for an urgent arrival."""
+        while (
+            self._best_effort
+            and self.bytes_queued + needed_bytes > self.capacity_bytes
+        ):
+            victim = self._best_effort.pop()
+            self._release(victim)
+            self.pushouts += 1
+            self.dropped += 1
+        while self.bytes_queued + needed_bytes > self.capacity_bytes and self._heap:
+            worst_index = max(range(len(self._heap)), key=lambda i: self._heap[i][0])
+            worst_deadline = self._heap[worst_index][0]
+            if worst_deadline <= incoming_deadline:
+                return  # the arrival is the laxest packet here; drop it
+            _d, _s, victim = self._heap.pop(worst_index)
+            heapq.heapify(self._heap)
+            self._release(victim)
+            self.pushouts += 1
+            self.dropped += 1
+
+    def dequeue(self) -> Packet | None:
+        while self._heap:
+            deadline, _seq, packet = heapq.heappop(self._heap)
+            if self.drop_late and deadline < self._now():
+                # Too late to be useful downstream: shed it now and count
+                # the loss so the operator can see deadline pressure.
+                self._release(packet)
+                self.late_drops += 1
+                continue
+            return self._release(packet)
+        if self._best_effort:
+            return self._release(self._best_effort.popleft())
+        return None
+
+    def __len__(self) -> int:
+        return len(self._heap) + len(self._best_effort)
+
+
+def drain(queue: QueueDiscipline) -> Iterable[Packet]:
+    """Yield every packet left in ``queue`` (test/inspection helper)."""
+    while True:
+        packet = queue.dequeue()
+        if packet is None:
+            return
+        yield packet

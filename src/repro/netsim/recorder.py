@@ -1,0 +1,139 @@
+"""Packet capture: tcpdump for the simulator.
+
+A :class:`TraceRecorder` taps link deliveries and records one
+:class:`TraceEntry` per observed packet — headers summarized to plain
+dictionaries, filtered by an optional predicate. Traces can be
+inspected in tests, printed, or exported as JSON lines for offline
+analysis.
+
+Tapping uses the link's destination-port ``deliver`` path, so the
+recorder sees exactly what survived the link (post-loss), with
+arrival timestamps.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import asdict, dataclass, is_dataclass
+from typing import Callable
+
+from .link import Link, Port
+from .packet import Packet
+
+
+@dataclass
+class TraceEntry:
+    """One observed packet."""
+
+    time_ns: int
+    link: str
+    direction: str  # "a->b" or "b->a"
+    packet_id: int
+    size_bytes: int
+    headers: list[dict]
+    flow: str
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), sort_keys=True)
+
+
+def _summarize_header(header) -> dict:
+    summary = {"type": type(header).__name__}
+    if is_dataclass(header):
+        for name, value in vars(header).items():
+            if name.startswith("_"):
+                continue
+            if isinstance(value, enum.Enum):
+                # Enums (incl. IntEnum/IntFlag) keep their symbolic name
+                # — note IntEnum.__str__ is the bare number on 3.11+.
+                label = value.name
+                summary[name] = (
+                    f"{type(value).__name__}.{label}" if label else repr(value)
+                )
+            elif isinstance(value, (int, str, bool, float)) or value is None:
+                summary[name] = value
+            else:
+                summary[name] = str(value)
+    return summary
+
+
+class TraceRecorder:
+    """Records packets crossing a set of links."""
+
+    def __init__(
+        self,
+        keep: Callable[[Packet], bool] | None = None,
+        max_entries: int = 100_000,
+    ) -> None:
+        self.entries: list[TraceEntry] = []
+        self.dropped_by_filter = 0
+        self.truncated = 0
+        self._keep = keep
+        self._max = max_entries
+        self._taps: list[tuple[Port, Callable]] = []
+
+    def attach(self, link: Link) -> None:
+        """Start recording both directions of ``link``."""
+        a, b = link.ends
+        self._tap(link, a, f"{b.node.name}->{a.node.name}")
+        self._tap(link, b, f"{a.node.name}->{b.node.name}")
+
+    def _tap(self, link: Link, port: Port, direction: str) -> None:
+        original = port.deliver
+
+        def tapped(packet: Packet, _orig=original, _dir=direction) -> None:
+            self._record(link, packet, _dir, port.sim.now)
+            _orig(packet)
+
+        port.deliver = tapped  # type: ignore[method-assign]
+        self._taps.append((port, original))
+
+    def detach_all(self) -> None:
+        """Remove every tap (restores the original delivery paths)."""
+        for port, original in self._taps:
+            port.deliver = original  # type: ignore[method-assign]
+        self._taps.clear()
+
+    def _record(self, link: Link, packet: Packet, direction: str, now: int) -> None:
+        if self._keep is not None and not self._keep(packet):
+            self.dropped_by_filter += 1
+            return
+        if len(self.entries) >= self._max:
+            self.truncated += 1
+            return
+        self.entries.append(
+            TraceEntry(
+                time_ns=now,
+                link=link.name,
+                direction=direction,
+                packet_id=packet.packet_id,
+                size_bytes=packet.size_bytes,
+                headers=[_summarize_header(h) for h in packet.headers],
+                flow=str(packet.meta.get("flow", "")),
+            )
+        )
+
+    # -- inspection -----------------------------------------------------------
+
+    def matching(self, **header_fields) -> list[TraceEntry]:
+        """Entries whose any-header fields match all given values,
+        e.g. ``recorder.matching(type="MmtHeader", msg_type="MsgType.NAK")``."""
+        found = []
+        for entry in self.entries:
+            for header in entry.headers:
+                if all(str(header.get(k)) == str(v) for k, v in header_fields.items()):
+                    found.append(entry)
+                    break
+        return found
+
+    def export_jsonl(self, path: str) -> int:
+        """Write entries as JSON lines; returns the count written."""
+        with open(path, "w", encoding="utf-8") as handle:
+            for entry in self.entries:
+                handle.write(entry.to_json())
+                handle.write("\n")
+        return len(self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)

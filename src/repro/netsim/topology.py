@@ -1,0 +1,224 @@
+"""Topology builder.
+
+Wires nodes with links, allocates MAC/IP addresses, and installs static
+routes along shortest paths (computed with :mod:`networkx`). Pure L2
+switches are transparent to routing: a route's next-hop MAC is the next
+*L3* element past any chain of switches.
+
+This is the substrate every experiment topology (Figs. 1-4 of the
+paper) is assembled from; the reference topologies themselves live in
+:mod:`repro.wan.reference` and :mod:`repro.dataplane.pilot`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable
+
+import networkx as nx
+
+from .engine import Simulator
+from .host import Host
+from .link import HOST_QUEUE_BYTES, Link
+from .node import Node
+from .queues import QueueDiscipline
+from .switch import EthernetSwitch, IpRouter
+
+
+class TopologyError(ValueError):
+    """Raised for inconsistent topology construction."""
+
+
+class Topology:
+    """A collection of nodes and links with automatic addressing/routing."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.nodes: dict[str, Node] = {}
+        self.links: list[Link] = []
+        self.graph = nx.Graph()
+        self._mac_counter = itertools.count(1)
+        self._ip_counter = itertools.count(1)
+
+    # -- node construction --------------------------------------------------
+
+    def add(self, node: Node) -> Node:
+        """Register an externally-constructed node (e.g. a Tofino model)."""
+        if node.name in self.nodes:
+            raise TopologyError(f"duplicate node name {node.name!r}")
+        self.nodes[node.name] = node
+        self.graph.add_node(node.name)
+        return node
+
+    def add_host(self, name: str, ip: str | None = None) -> Host:
+        """Create and register a host; allocates an IP when none is given."""
+        host = Host(self.sim, name, ip=ip or self.allocate_ip(), mac=self.allocate_mac())
+        self.add(host)
+        return host
+
+    def add_switch(self, name: str) -> EthernetSwitch:
+        """Create and register a transparent L2 learning switch."""
+        switch = EthernetSwitch(self.sim, name)
+        self.add(switch)
+        return switch
+
+    def add_router(self, name: str) -> IpRouter:
+        """Create and register a static-route IPv4 router."""
+        router = IpRouter(self.sim, name, mac=self.allocate_mac())
+        self.add(router)
+        return router
+
+    def allocate_mac(self) -> str:
+        """Return a fresh locally-administered MAC address."""
+        n = next(self._mac_counter)
+        return f"02:00:00:{(n >> 16) & 0xFF:02x}:{(n >> 8) & 0xFF:02x}:{n & 0xFF:02x}"
+
+    def allocate_ip(self) -> str:
+        """Return a fresh address from the 10.200/16 auto-assignment pool."""
+        n = next(self._ip_counter)
+        if n > 65_000:
+            raise TopologyError("auto IP pool exhausted")
+        return f"10.200.{(n >> 8) & 0xFF}.{n & 0xFF}"
+
+    # -- links ----------------------------------------------------------------
+
+    def connect(
+        self,
+        a: Node | str,
+        b: Node | str,
+        rate_bps: int,
+        delay_ns: int,
+        mtu_bytes: int = 9000,
+        loss_rate: float = 0.0,
+        bit_error_rate: float = 0.0,
+        queue_factory: Callable[[], QueueDiscipline] | None = None,
+    ) -> Link:
+        """Create a full-duplex link between two registered nodes."""
+        node_a = self._resolve(a)
+        node_b = self._resolve(b)
+
+        def default_queue(node: Node) -> QueueDiscipline | None:
+            if queue_factory is not None:
+                return queue_factory()
+            if isinstance(node, Host):
+                # Hosts buffer their own egress in RAM; see link module.
+                from .queues import DropTailQueue
+
+                return DropTailQueue(HOST_QUEUE_BYTES)
+            return None
+
+        port_a = node_a.add_port(self._port_name(node_a, node_b), queue=default_queue(node_a))
+        port_b = node_b.add_port(self._port_name(node_b, node_a), queue=default_queue(node_b))
+        link = Link(
+            self.sim,
+            port_a,
+            port_b,
+            rate_bps=rate_bps,
+            propagation_delay_ns=delay_ns,
+            mtu_bytes=mtu_bytes,
+            loss_rate=loss_rate,
+            bit_error_rate=bit_error_rate,
+        )
+        self.links.append(link)
+        self.graph.add_edge(
+            node_a.name,
+            node_b.name,
+            link=link,
+            # Weight paths by latency so "shortest" means lowest-delay.
+            weight=delay_ns + 1,
+        )
+        return link
+
+    def _resolve(self, node: Node | str) -> Node:
+        if isinstance(node, str):
+            if node not in self.nodes:
+                raise TopologyError(f"unknown node {node!r}")
+            return self.nodes[node]
+        if node.name not in self.nodes:
+            raise TopologyError(f"node {node.name!r} was never registered")
+        return node
+
+    @staticmethod
+    def _port_name(node: Node, peer: Node) -> str:
+        base = f"to_{peer.name}"
+        name = base
+        suffix = 1
+        while name in node.ports:
+            suffix += 1
+            name = f"{base}.{suffix}"
+        return name
+
+    # -- routing ----------------------------------------------------------------
+
+    def path(self, src: Node | str, dst: Node | str) -> list[Node]:
+        """Lowest-latency path between two nodes, as node objects."""
+        src_name = src if isinstance(src, str) else src.name
+        dst_name = dst if isinstance(dst, str) else dst.name
+        names = nx.shortest_path(self.graph, src_name, dst_name, weight="weight")
+        return [self.nodes[n] for n in names]
+
+    def install_routes(self) -> None:
+        """Install routes between every pair of addressable nodes.
+
+        Addressable nodes are hosts and any L3 element carrying its own
+        IP address (e.g. smartNICs that host retransmission buffers and
+        answer NAKs). For each ordered pair ``(src, dst)``, a ``dst/32``
+        route is installed at every L3 element on the lowest-latency
+        path: the egress port points at the immediate next node, the
+        next-hop MAC at the next *L3* node (L2 switches in between are
+        transparent).
+        """
+        addressable = [
+            n
+            for n in self.nodes.values()
+            if _is_l3(n) and getattr(n, "ip", None) is not None
+        ]
+        for src in addressable:
+            for dst in addressable:
+                if src is dst:
+                    continue
+                addresses = getattr(dst, "addresses", None) or {dst.ip}
+                for dst_ip in sorted(addresses):
+                    self._install_path_routes(src, dst, dst_ip)
+
+    def _install_path_routes(self, src: Node, dst: Node, dst_ip: str) -> None:
+        path = self.path(src, dst)
+        for i, node in enumerate(path[:-1]):
+            if not _is_l3(node):
+                continue
+            next_node = path[i + 1]
+            next_l3 = next(
+                (candidate for candidate in path[i + 1 :] if _is_l3(candidate)), None
+            )
+            if next_l3 is None:
+                raise TopologyError(f"no L3 node after {node.name} toward {dst.name}")
+            port_name = self._port_toward(node, next_node)
+            node.add_route(f"{dst_ip}/32", port_name, _mac_of(next_l3))
+
+    def _port_toward(self, node: Node, neighbor: Node) -> str:
+        for name, port in node.ports.items():
+            peer = port.peer
+            if peer is not None and peer.node is neighbor:
+                return name
+        raise TopologyError(f"{node.name} has no port toward {neighbor.name}")
+
+    def link_between(self, a: Node | str, b: Node | str) -> Link:
+        """The (first) link directly joining two nodes."""
+        node_a = self._resolve(a)
+        node_b = self._resolve(b)
+        data = self.graph.get_edge_data(node_a.name, node_b.name)
+        if data is None:
+            raise TopologyError(f"no link between {node_a.name} and {node_b.name}")
+        return data["link"]
+
+
+def _is_l3(node: Node) -> bool:
+    """True for nodes that participate in IP routing."""
+    return hasattr(node, "add_route") and hasattr(node, "mac")
+
+
+def _mac_of(node: Node) -> str:
+    mac = getattr(node, "mac", None)
+    if mac is None:
+        raise TopologyError(f"{node.name} has no MAC address")
+    return mac

@@ -1,0 +1,75 @@
+"""Packet tracing and per-flow accounting.
+
+A :class:`FlowTracker` is attached at a measurement point (usually the
+receiving application) and fed every delivered packet; it accumulates
+per-flow counters and one-way latency samples keyed by the packet's
+``meta['flow']`` tag. Latency uses ``meta['sent_at']`` stamped by the
+sending host.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .packet import Packet
+
+
+@dataclass
+class FlowRecord:
+    """Counters and samples for a single flow."""
+
+    flow: str
+    packets: int = 0
+    bytes: int = 0
+    first_rx_ns: int | None = None
+    last_rx_ns: int | None = None
+    latencies_ns: list[int] = field(default_factory=list)
+
+    @property
+    def duration_ns(self) -> int:
+        """Time between first and last delivery (0 for a single packet)."""
+        if self.first_rx_ns is None or self.last_rx_ns is None:
+            return 0
+        return self.last_rx_ns - self.first_rx_ns
+
+    @property
+    def throughput_bps(self) -> float:
+        """Average delivered rate over the flow's active window."""
+        if self.duration_ns <= 0:
+            return 0.0
+        return self.bytes * 8 * 1_000_000_000 / self.duration_ns
+
+
+class FlowTracker:
+    """Accumulates :class:`FlowRecord` entries from delivered packets."""
+
+    def __init__(self, keep_latencies: bool = True) -> None:
+        self.flows: dict[str, FlowRecord] = {}
+        self.keep_latencies = keep_latencies
+        self.total_packets = 0
+        self.total_bytes = 0
+
+    def record(self, packet: Packet, now_ns: int) -> None:
+        """Account one delivered packet at virtual time ``now_ns``."""
+        flow = str(packet.meta.get("flow", "default"))
+        record = self.flows.get(flow)
+        if record is None:
+            record = FlowRecord(flow=flow)
+            self.flows[flow] = record
+        record.packets += 1
+        record.bytes += packet.size_bytes
+        if record.first_rx_ns is None:
+            record.first_rx_ns = now_ns
+        record.last_rx_ns = now_ns
+        sent_at = packet.meta.get("sent_at")
+        if self.keep_latencies and sent_at is not None:
+            record.latencies_ns.append(now_ns - sent_at)
+        self.total_packets += 1
+        self.total_bytes += packet.size_bytes
+
+    def flow(self, name: str) -> FlowRecord:
+        """Look up a flow record (raises ``KeyError`` when absent)."""
+        return self.flows[name]
+
+    def __len__(self) -> int:
+        return len(self.flows)

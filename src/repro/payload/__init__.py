@@ -1,0 +1,26 @@
+"""In-path payload processing (§6, challenge 2): HDF5-lite transcoding
+and trigger-primitive extraction on DPDK/FPGA-class resources."""
+
+from .hdf5lite import Dataset, Group, Hdf5LiteError, dump, load
+from .processors import (
+    InlineProcessorNode,
+    PayloadProcessor,
+    TriggerPrimitive,
+    TriggerPrimitiveExtractor,
+    WibToHdf5Transcoder,
+    parse_primitives,
+)
+
+__all__ = [
+    "Dataset",
+    "Group",
+    "Hdf5LiteError",
+    "InlineProcessorNode",
+    "PayloadProcessor",
+    "TriggerPrimitive",
+    "TriggerPrimitiveExtractor",
+    "WibToHdf5Transcoder",
+    "dump",
+    "load",
+    "parse_primitives",
+]

@@ -1,0 +1,217 @@
+"""A self-contained hierarchical container format ("HDF5-lite").
+
+§6 challenge 2 asks how to "integrate payload processing along the
+path? For example, DPDK-capable or FPGA resources could be used to
+[...] transcode into other formats, such as HDF5 which is ubiquitously
+used for storage in scientific computing."
+
+Real HDF5 is a large external dependency; this module implements the
+subset the transcoding path needs — groups, typed n-dimensional
+datasets, and attributes — as a compact, byte-exact binary format, so
+in-path transcoding is a real bytes-to-bytes transform the tests can
+round-trip.
+
+Layout (all integers big-endian)::
+
+    file    := magic "HL1\\0" root:group
+    group   := 0x01 name nattrs attr* nchildren node*
+    dataset := 0x02 name dtype:u8 ndim:u8 dim:u32* nattrs attr* raw
+    attr    := name tag:u8 value   (tag 0=int64, 1=float64, 2=str)
+    name/str:= len:u16 utf8
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+import numpy as np
+
+MAGIC = b"HL1\x00"
+
+#: dtype code ↔ numpy dtype (big-endian on the wire).
+_DTYPES: dict[int, str] = {0: ">u2", 1: ">u4", 2: ">i4", 3: ">i8", 4: ">f4", 5: ">f8"}
+_DTYPE_CODES = {np.dtype(v): k for k, v in _DTYPES.items()}
+
+AttrValue = int | float | str
+
+
+class Hdf5LiteError(ValueError):
+    """Raised on malformed containers."""
+
+
+def _pack_str(text: str) -> bytes:
+    raw = text.encode("utf-8")
+    if len(raw) > 0xFFFF:
+        raise Hdf5LiteError(f"string too long ({len(raw)} bytes)")
+    return struct.pack(">H", len(raw)) + raw
+
+
+def _unpack_str(data: bytes, offset: int) -> tuple[str, int]:
+    if offset + 2 > len(data):
+        raise Hdf5LiteError("truncated string length")
+    (length,) = struct.unpack_from(">H", data, offset)
+    offset += 2
+    if offset + length > len(data):
+        raise Hdf5LiteError("truncated string body")
+    return data[offset : offset + length].decode("utf-8"), offset + length
+
+
+def _pack_attrs(attrs: dict[str, AttrValue]) -> bytes:
+    out = bytearray(struct.pack(">H", len(attrs)))
+    for name, value in attrs.items():
+        out += _pack_str(name)
+        if isinstance(value, bool):
+            raise Hdf5LiteError("boolean attributes are not supported")
+        if isinstance(value, int):
+            out += struct.pack(">Bq", 0, value)
+        elif isinstance(value, float):
+            out += struct.pack(">Bd", 1, value)
+        elif isinstance(value, str):
+            out += struct.pack(">B", 2) + _pack_str(value)
+        else:
+            raise Hdf5LiteError(f"unsupported attribute type {type(value)}")
+    return bytes(out)
+
+
+def _unpack_attrs(data: bytes, offset: int) -> tuple[dict[str, AttrValue], int]:
+    (count,) = struct.unpack_from(">H", data, offset)
+    offset += 2
+    attrs: dict[str, AttrValue] = {}
+    for _ in range(count):
+        name, offset = _unpack_str(data, offset)
+        (tag,) = struct.unpack_from(">B", data, offset)
+        offset += 1
+        if tag == 0:
+            (value,) = struct.unpack_from(">q", data, offset)
+            offset += 8
+        elif tag == 1:
+            (value,) = struct.unpack_from(">d", data, offset)
+            offset += 8
+        elif tag == 2:
+            value, offset = _unpack_str(data, offset)
+        else:
+            raise Hdf5LiteError(f"unknown attribute tag {tag}")
+        attrs[name] = value
+    return attrs, offset
+
+
+@dataclass
+class Dataset:
+    """A typed n-dimensional array with attributes."""
+
+    name: str
+    data: np.ndarray
+    attrs: dict[str, AttrValue] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.data = np.asarray(self.data)
+        wire = self.data.dtype.newbyteorder(">")
+        if wire not in _DTYPE_CODES:
+            raise Hdf5LiteError(f"unsupported dtype {self.data.dtype}")
+
+    def encode(self) -> bytes:
+        wire_dtype = self.data.dtype.newbyteorder(">")
+        code = _DTYPE_CODES[wire_dtype]
+        out = bytearray(b"\x02")
+        out += _pack_str(self.name)
+        out += struct.pack(">BB", code, self.data.ndim)
+        for dim in self.data.shape:
+            out += struct.pack(">I", dim)
+        out += _pack_attrs(self.attrs)
+        out += self.data.astype(wire_dtype).tobytes()
+        return bytes(out)
+
+
+@dataclass
+class Group:
+    """A named collection of datasets and sub-groups."""
+
+    name: str
+    attrs: dict[str, AttrValue] = field(default_factory=dict)
+    children: list["Group | Dataset"] = field(default_factory=list)
+
+    def add(self, child: "Group | Dataset") -> "Group | Dataset":
+        if any(c.name == child.name for c in self.children):
+            raise Hdf5LiteError(f"duplicate child name {child.name!r}")
+        self.children.append(child)
+        return child
+
+    def child(self, name: str) -> "Group | Dataset":
+        for candidate in self.children:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(f"{self.name!r} has no child {name!r}")
+
+    def dataset(self, path: str) -> Dataset:
+        """Look up a dataset by ``a/b/c`` path."""
+        node: Group | Dataset = self
+        for part in path.split("/"):
+            if not isinstance(node, Group):
+                raise KeyError(f"{part!r}: not a group")
+            node = node.child(part)
+        if not isinstance(node, Dataset):
+            raise KeyError(f"{path!r} is a group, not a dataset")
+        return node
+
+    def encode(self) -> bytes:
+        out = bytearray(b"\x01")
+        out += _pack_str(self.name)
+        out += _pack_attrs(self.attrs)
+        out += struct.pack(">H", len(self.children))
+        for item in self.children:
+            out += item.encode()
+        return bytes(out)
+
+
+def dump(root: Group) -> bytes:
+    """Serialize a tree to container bytes."""
+    return MAGIC + root.encode()
+
+
+def load(data: bytes) -> Group:
+    """Parse container bytes back into a tree."""
+    if not data.startswith(MAGIC):
+        raise Hdf5LiteError("bad magic")
+    node, offset = _parse_node(data, len(MAGIC))
+    if offset != len(data):
+        raise Hdf5LiteError(f"{len(data) - offset} trailing bytes")
+    if not isinstance(node, Group):
+        raise Hdf5LiteError("root must be a group")
+    return node
+
+
+def _parse_node(data: bytes, offset: int) -> tuple[Group | Dataset, int]:
+    if offset >= len(data):
+        raise Hdf5LiteError("truncated node")
+    tag = data[offset]
+    offset += 1
+    name, offset = _unpack_str(data, offset)
+    if tag == 0x01:
+        attrs, offset = _unpack_attrs(data, offset)
+        (count,) = struct.unpack_from(">H", data, offset)
+        offset += 2
+        group = Group(name=name, attrs=attrs)
+        for _ in range(count):
+            child, offset = _parse_node(data, offset)
+            group.children.append(child)
+        return group, offset
+    if tag == 0x02:
+        code, ndim = struct.unpack_from(">BB", data, offset)
+        offset += 2
+        if code not in _DTYPES:
+            raise Hdf5LiteError(f"unknown dtype code {code}")
+        shape = []
+        for _ in range(ndim):
+            (dim,) = struct.unpack_from(">I", data, offset)
+            offset += 4
+            shape.append(dim)
+        attrs, offset = _unpack_attrs(data, offset)
+        dtype = np.dtype(_DTYPES[code])
+        nbytes = int(np.prod(shape)) * dtype.itemsize if shape else dtype.itemsize
+        if offset + nbytes > len(data):
+            raise Hdf5LiteError("truncated dataset body")
+        array = np.frombuffer(data[offset : offset + nbytes], dtype=dtype).reshape(shape)
+        offset += nbytes
+        return Dataset(name=name, data=array, attrs=attrs), offset
+    raise Hdf5LiteError(f"unknown node tag {tag}")

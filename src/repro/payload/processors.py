@@ -1,0 +1,226 @@
+"""In-path payload processors (§6, challenge 2).
+
+These model the *DPDK/FPGA class* of in-network resources — explicitly
+beyond what P4 header pipelines can do (and therefore kept apart from
+:mod:`repro.dataplane`, whose constraint model forbids payload access):
+
+- :class:`WibToHdf5Transcoder` — raw WIB-framed DAQ messages →
+  HDF5-lite containers, ready for the storage tier;
+- :class:`TriggerPrimitiveExtractor` — raw waveforms → compact trigger
+  primitives (channel, amplitude, time), the input to multi-domain
+  alert generation;
+- :class:`InlineProcessorNode` — a bump-in-the-wire node that applies
+  a processor to MMT DATA payloads at a modelled per-byte cost, leaving
+  headers (and therefore the transport's multi-modal machinery) intact.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.features import MsgType
+from ..core.header import MmtHeader
+from ..netsim.engine import Simulator
+from ..netsim.headers import EthernetHeader, Ipv4Header
+from ..netsim.link import Port
+from ..netsim.node import Node
+from ..netsim.packet import Packet
+from ..netsim.switch import RoutingTable
+from ..netsim.units import SECOND
+from ..daq.formats import DaqFrameHeader, PayloadKind, WibFrame, parse_message
+from .hdf5lite import Dataset, Group, dump
+
+
+class PayloadProcessor:
+    """Interface: transform one DAQ message payload (or drop it)."""
+
+    name = "processor"
+
+    def process(self, payload: bytes) -> bytes | None:
+        raise NotImplementedError
+
+
+class WibToHdf5Transcoder(PayloadProcessor):
+    """Raw WIB message → HDF5-lite container.
+
+    The container mirrors the layout HEP offline software expects:
+    ``/<detector>/slice<k>/frame<ts>`` with the ADC block as a typed
+    dataset and the acquisition metadata as attributes.
+    """
+
+    name = "wib-to-hdf5"
+
+    def __init__(self) -> None:
+        self.transcoded = 0
+        self.skipped = 0
+
+    def process(self, payload: bytes) -> bytes | None:
+        try:
+            header, body = parse_message(payload)
+        except Exception:
+            self.skipped += 1
+            return payload  # not a DAQ message; pass through untouched
+        if header.payload_kind != PayloadKind.WIB_FRAME:
+            self.skipped += 1
+            return payload
+        frame = WibFrame.decode(body)
+        root = Group(name=f"detector{header.detector_id}")
+        slice_group = root.add(Group(name=f"slice{header.slice_id}"))
+        frame_group = slice_group.add(Group(
+            name=f"frame{header.timestamp_ticks}",
+            attrs={
+                "run": header.run_number,
+                "timestamp_ticks": header.timestamp_ticks,
+                "crate": frame.crate,
+                "slot": frame.slot,
+                "fiber": frame.fiber,
+            },
+        ))
+        frame_group.add(Dataset(
+            name="adc",
+            data=np.asarray(frame.adc_counts, dtype=np.uint16),
+            attrs={"units": "ADC counts"},
+        ))
+        self.transcoded += 1
+        return dump(root)
+
+
+@dataclass(frozen=True)
+class TriggerPrimitive:
+    """A hit summary: where, when, how big (what alert logic consumes)."""
+
+    channel: int
+    timestamp_ticks: int
+    amplitude: int
+
+    _FORMAT = ">HQI"
+    SIZE = struct.calcsize(_FORMAT)
+
+    def encode(self) -> bytes:
+        return struct.pack(self._FORMAT, self.channel, self.timestamp_ticks, self.amplitude)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "TriggerPrimitive":
+        channel, ts, amplitude = struct.unpack(cls._FORMAT, data[: cls.SIZE])
+        return cls(channel, ts, amplitude)
+
+
+class TriggerPrimitiveExtractor(PayloadProcessor):
+    """Raw waveform message → packed trigger primitives (or nothing).
+
+    Channels whose ADC exceeds ``pedestal + threshold`` produce one
+    primitive each; messages with no hits are suppressed entirely —
+    the data reduction that makes in-network alert generation viable.
+    """
+
+    name = "trigger-primitives"
+
+    def __init__(self, pedestal: int = 2300, threshold: int = 150) -> None:
+        self.pedestal = pedestal
+        self.threshold = threshold
+        self.primitives_emitted = 0
+        self.messages_suppressed = 0
+
+    def process(self, payload: bytes) -> bytes | None:
+        try:
+            header, body = parse_message(payload)
+        except Exception:
+            return payload
+        if header.payload_kind != PayloadKind.WIB_FRAME:
+            return payload
+        frame = WibFrame.decode(body)
+        hits = [
+            TriggerPrimitive(channel, frame.timestamp_ticks, count - self.pedestal)
+            for channel, count in enumerate(frame.adc_counts)
+            if count > self.pedestal + self.threshold
+        ]
+        if not hits:
+            self.messages_suppressed += 1
+            return None
+        self.primitives_emitted += len(hits)
+        out = struct.pack(">H", len(hits))
+        for hit in hits:
+            out += hit.encode()
+        return out
+
+
+def parse_primitives(data: bytes) -> list[TriggerPrimitive]:
+    """Decode a packed trigger-primitive message."""
+    (count,) = struct.unpack_from(">H", data, 0)
+    offset = 2
+    hits = []
+    for _ in range(count):
+        hits.append(TriggerPrimitive.decode(data[offset : offset + TriggerPrimitive.SIZE]))
+        offset += TriggerPrimitive.SIZE
+    return hits
+
+
+class InlineProcessorNode(Node):
+    """A DPDK/FPGA bump-in-the-wire applying a processor to DATA payloads.
+
+    Forwarding is IP-routed (routes installed by the topology builder).
+    Processing costs ``per_byte_ns`` × payload size of added latency.
+    Control messages and non-MMT traffic pass through untouched, so the
+    transport machinery (NAKs, heartbeats, deadline reports) is never
+    disturbed. Note: a *transformed* payload changes size; sequenced
+    streams stay recoverable because the processor sits after/before
+    buffers, never between a buffer and its NAK path.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        mac: str,
+        processor: PayloadProcessor,
+        per_byte_ns: float = 0.05,  # ~20 GB/s of processing bandwidth
+    ) -> None:
+        super().__init__(sim, name)
+        self.mac = mac
+        self.routes = RoutingTable()
+        self.processor = processor
+        self.per_byte_ns = per_byte_ns
+        self.processed = 0
+        self.suppressed = 0
+        self.passthrough = 0
+        self.dropped_no_route = 0
+
+    def add_route(self, prefix: str, port_name: str, next_hop_mac: str) -> None:
+        if port_name not in self.ports:
+            raise ValueError(f"{self.name} has no port {port_name!r}")
+        self.routes.add(prefix, port_name, next_hop_mac)
+
+    def receive(self, packet: Packet, port: Port) -> None:
+        mmt = packet.find(MmtHeader)
+        if mmt is None or mmt.msg_type != MsgType.DATA or packet.payload is None:
+            self.passthrough += 1
+            self._forward(packet)
+            return
+        transformed = self.processor.process(packet.payload)
+        if transformed is None:
+            self.suppressed += 1
+            return
+        delay = int(self.per_byte_ns * packet.payload_size)
+        self.processed += 1
+        packet.payload = transformed
+        packet.payload_size = len(transformed)
+        self.sim.schedule(delay, self._forward, packet)
+
+    def _forward(self, packet: Packet) -> None:
+        ip = packet.find(Ipv4Header)
+        if ip is None:
+            self.dropped_no_route += 1
+            return
+        route = self.routes.lookup(ip.dst)
+        if route is None or ip.ttl <= 1:
+            self.dropped_no_route += 1
+            return
+        ip.ttl -= 1
+        eth = packet.find(EthernetHeader)
+        if eth is not None:
+            eth.src = self.mac
+            eth.dst = route.next_hop_mac
+        self.ports[route.port_name].send(packet)

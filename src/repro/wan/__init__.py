@@ -1,0 +1,31 @@
+"""WAN substrate: circuits, Science DMZ, and end-to-end scenarios."""
+
+from .circuits import CircuitError, CircuitManager, Reservation
+from .dmz import Campus, FirewallNode, build_campus
+from .esnet import EsnetBackbone, POPS, SITES, TRUNKS_KM, build_esnet
+from .scenarios import (
+    MultimodalScenario,
+    SCENARIO_EXPERIMENT,
+    ScenarioConfig,
+    ScenarioResult,
+    TodayScenario,
+)
+
+__all__ = [
+    "Campus",
+    "CircuitError",
+    "CircuitManager",
+    "EsnetBackbone",
+    "FirewallNode",
+    "MultimodalScenario",
+    "Reservation",
+    "SCENARIO_EXPERIMENT",
+    "ScenarioConfig",
+    "ScenarioResult",
+    "TodayScenario",
+    "POPS",
+    "SITES",
+    "TRUNKS_KM",
+    "build_campus",
+    "build_esnet",
+]

@@ -1,0 +1,118 @@
+"""Science DMZ and perimeter models.
+
+"DTNs are placed in the DMZ to avoid the overhead of traversing
+perimeter appliances such as firewalls" (§2). To make that overhead
+measurable, :class:`FirewallNode` models a stateful perimeter
+appliance: per-packet inspection latency and a bounded inspection
+rate, both of which crush elephant flows. :func:`build_campus`
+assembles a campus edge with both paths — through the firewall to
+inside hosts, and the DMZ bypass to the DTN — so benches can compare
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..netsim.engine import Simulator
+from ..netsim.headers import EthernetHeader, Ipv4Header
+from ..netsim.host import Host
+from ..netsim.link import Port
+from ..netsim.node import Node
+from ..netsim.packet import Packet
+from ..netsim.switch import RoutingTable
+from ..netsim.topology import Topology
+from ..netsim.units import MICROSECOND, SECOND, gbps
+
+
+class FirewallNode(Node):
+    """A stateful perimeter appliance: inspection latency + rate cap.
+
+    Packets are inspected one at a time: each costs
+    ``inspection_ns``, and no more than ``inspection_rate_pps`` can be
+    inspected per second — the typical reasons DTNs bypass the
+    perimeter.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        mac: str,
+        inspection_ns: int = 20 * MICROSECOND,
+        inspection_rate_pps: int = 1_000_000,
+    ) -> None:
+        super().__init__(sim, name)
+        self.mac = mac
+        self.routes = RoutingTable()
+        self.inspection_ns = inspection_ns
+        self.min_gap_ns = SECOND // inspection_rate_pps
+        self.inspected = 0
+        self.dropped_no_route = 0
+        self._next_free_ns = 0
+
+    def add_route(self, prefix: str, port_name: str, next_hop_mac: str) -> None:
+        if port_name not in self.ports:
+            raise ValueError(f"{self.name} has no port {port_name!r}")
+        self.routes.add(prefix, port_name, next_hop_mac)
+
+    def receive(self, packet: Packet, port: Port) -> None:
+        start = max(self.sim.now, self._next_free_ns)
+        self._next_free_ns = start + self.min_gap_ns
+        done = start + self.inspection_ns
+        self.sim.schedule_at(done, self._forward, packet)
+
+    def _forward(self, packet: Packet) -> None:
+        self.inspected += 1
+        ip = packet.find(Ipv4Header)
+        if ip is None:
+            self.dropped_no_route += 1
+            return
+        route = self.routes.lookup(ip.dst)
+        if route is None:
+            self.dropped_no_route += 1
+            return
+        eth = packet.find(EthernetHeader)
+        if eth is not None:
+            eth.src = self.mac
+            eth.dst = route.next_hop_mac
+        self.ports[route.port_name].send(packet)
+
+
+@dataclass
+class Campus:
+    """A campus edge: border router, DMZ DTN, firewalled inside host."""
+
+    border: Node
+    dtn: Host
+    firewall: FirewallNode
+    inside: Host
+
+
+def build_campus(
+    topology: Topology,
+    name: str,
+    uplink_of: Node,
+    uplink_rate_bps: int = gbps(100),
+    uplink_delay_ns: int = 5 * 1_000_000,
+    inside_rate_bps: int = gbps(10),
+) -> Campus:
+    """Attach a campus (Fig. 1 stage D) below ``uplink_of``.
+
+    The DTN hangs directly off the border router (Science DMZ); the
+    inside host sits behind a :class:`FirewallNode`.
+    """
+    border = topology.add_router(f"{name}-border")
+    dtn = topology.add_host(f"{name}-dtn")
+    firewall = FirewallNode(
+        topology.sim, f"{name}-firewall", mac=topology.allocate_mac()
+    )
+    topology.add(firewall)
+    inside = topology.add_host(f"{name}-inside")
+
+    short = 2 * MICROSECOND
+    topology.connect(uplink_of, border, uplink_rate_bps, uplink_delay_ns)
+    topology.connect(border, dtn, uplink_rate_bps, short)
+    topology.connect(border, firewall, inside_rate_bps, short)
+    topology.connect(firewall, inside, inside_rate_bps, short)
+    return Campus(border=border, dtn=dtn, firewall=firewall, inside=inside)

@@ -1,0 +1,51 @@
+"""Result-table rendering and SI formatting."""
+
+import pytest
+
+from repro.analysis import ResultTable, format_duration, format_rate
+
+
+class TestFormatRate:
+    def test_si_bands(self):
+        assert format_rate(63e12) == "63.0 Tbps"
+        assert format_rate(400e9) == "400.0 Gbps"
+        assert format_rate(5.4e9) == "5.4 Gbps"
+        assert format_rate(160e6) == "160.0 Mbps"
+        assert format_rate(3e3) == "3.0 Kbps"
+        assert format_rate(12) == "12 bps"
+
+
+class TestFormatDuration:
+    def test_bands(self):
+        assert format_duration(2.5e9) == "2.50 s"
+        assert format_duration(25e6) == "25.00 ms"
+        assert format_duration(50e3) == "50.00 us"
+        assert format_duration(800) == "800 ns"
+
+
+class TestResultTable:
+    def test_render_aligns_columns(self):
+        table = ResultTable("Table X — demo", ["name", "value"])
+        table.add_row("alpha", 1)
+        table.add_row("a-much-longer-name", 22)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "Table X — demo"
+        header_index = lines.index(next(l for l in lines if l.startswith("name")))
+        assert "alpha" in text and "22" in text
+        # all data lines equal width or less than rule
+        rule = lines[1]
+        assert all(len(l) <= len(rule) for l in lines[2:])
+
+    def test_row_arity_checked(self):
+        table = ResultTable("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_show_prints(self, capsys):
+        table = ResultTable("caption", ["col"])
+        table.add_row("x")
+        table.show()
+        out = capsys.readouterr().out
+        assert "caption" in out
+        assert "x" in out

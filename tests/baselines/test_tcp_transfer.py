@@ -1,0 +1,183 @@
+"""TCP end-to-end behaviour over the simulator.
+
+These are the properties the paper's §4 comparison leans on, so they
+are pinned by test: window-limited goodput, source-RTT recovery,
+head-of-line blocking, and loss sensitivity.
+"""
+
+import pytest
+
+from repro.baselines import TcpConfig, TcpError, TcpStack, tuned_100g, untuned
+from repro.netsim import Simulator, units
+from tests.conftest import TwoHostRig
+
+
+def transfer(sim, rig, size_bytes, config=None, run_for=units.seconds(60)):
+    """One-way bulk transfer a→b; returns (fct_ns or None, client conn)."""
+    stack_a = TcpStack(rig.a)
+    stack_b = TcpStack(rig.b)
+    config = config or TcpConfig()
+    stack_b.listen(5000, config=config)
+    done = {}
+    conn = stack_a.connect(rig.b.ip, 5000, config=config)
+    conn.on_all_acked = lambda: done.setdefault("t", sim.now)
+    conn.send(size_bytes)
+    sim.run(until_ns=run_for)
+    return done.get("t"), conn
+
+
+class TestBasics:
+    def test_handshake_then_complete_transfer(self, sim, rig):
+        fct, conn = transfer(sim, rig, 500_000)
+        assert fct is not None
+        assert conn.stats.retransmits == 0
+        assert conn.state == "ESTABLISHED"
+
+    def test_receiver_gets_every_byte_in_order(self, sim, rig):
+        stack_a = TcpStack(rig.a)
+        stack_b = TcpStack(rig.b)
+        config = TcpConfig()
+        deliveries = []
+        stack_b.listen(
+            5000, config=config,
+            on_connection=lambda c: setattr(
+                c, "on_delivered", lambda n, total: deliveries.append(total)
+            ),
+        )
+        conn = stack_a.connect(rig.b.ip, 5000, config=config)
+        conn.send(100_000)
+        sim.run()
+        assert deliveries[-1] == 100_000
+        assert deliveries == sorted(deliveries)
+
+    def test_connect_twice_rejected(self, sim, rig):
+        stack_a = TcpStack(rig.a)
+        TcpStack(rig.b).listen(5000)
+        conn = stack_a.connect(rig.b.ip, 5000)
+        with pytest.raises(TcpError):
+            conn.connect()
+
+    def test_listen_port_conflict(self, sim, rig):
+        stack = TcpStack(rig.b)
+        stack.listen(5000)
+        with pytest.raises(TcpError):
+            stack.listen(5000)
+
+    def test_syn_to_closed_port_counted(self, sim, rig):
+        stack_a = TcpStack(rig.a)
+        stack_b = TcpStack(rig.b)
+        stack_a.connect(rig.b.ip, 4444)
+        sim.run(until_ns=units.seconds(2))
+        assert stack_b.rx_no_connection >= 1
+
+    def test_syn_ack_loss_recovers(self, sim):
+        """A lost SYN-ACK must not deadlock: the retried SYN gets a
+        fresh SYN-ACK from the half-open server (regression test)."""
+        rig = TwoHostRig(sim)
+        stack_a = TcpStack(rig.a)
+        stack_b = TcpStack(rig.b)
+        stack_b.listen(5000)
+        # Drop exactly the first SYN-ACK: blackhole b->a briefly after
+        # the SYN (which needs ~110 us to cross) arrives.
+        sim.schedule(units.microseconds(104), lambda: setattr(rig.link_b, "loss_rate", 0.999999))
+        sim.schedule(units.microseconds(120), lambda: setattr(rig.link_b, "loss_rate", 0.0))
+        done = {}
+        conn = stack_a.connect(rig.b.ip, 5000)
+        conn.on_all_acked = lambda: done.setdefault("t", sim.now)
+        conn.send(10_000)
+        sim.run(until_ns=units.seconds(30))
+        assert "t" in done, "transfer must complete despite the lost SYN-ACK"
+
+    def test_syn_loss_retried(self, sim):
+        rig = TwoHostRig(sim, loss_rate=0.0)
+        stack_a = TcpStack(rig.a)
+        stack_b = TcpStack(rig.b)
+        stack_b.listen(5000)
+        rig.link_b.loss_rate = 0.999999  # swallow the first SYN
+        established = []
+        conn = stack_a.connect(rig.b.ip, 5000)
+        conn.on_established = lambda: established.append(sim.now)
+        sim.schedule(units.milliseconds(500), lambda: setattr(rig.link_b, "loss_rate", 0.0))
+        sim.run(until_ns=units.seconds(10))
+        assert established, "handshake must recover from SYN loss"
+        assert conn.stats.timeouts >= 1
+
+
+class TestWindowLimits:
+    def test_untuned_goodput_is_rwnd_over_rtt(self, sim):
+        rig = TwoHostRig(
+            sim, rate_bps=units.gbps(100), middle_delay_ns=units.milliseconds(5)
+        )
+        config = untuned()
+        fct, _conn = transfer(sim, rig, 4_000_000, config=config)
+        assert fct is not None
+        goodput = 4_000_000 * 8 * units.SECOND / fct
+        ceiling = config.recv_buffer_bytes * 8 * units.SECOND / units.milliseconds(10)
+        assert goodput < ceiling * 1.1
+
+    def test_tuned_profile_much_faster_on_lfn(self, sim):
+        delay = units.milliseconds(5)
+        rig1 = TwoHostRig(Simulator(seed=1), rate_bps=units.gbps(100), middle_delay_ns=delay)
+        fct_untuned, _ = transfer(rig1.sim, rig1, 20_000_000, config=untuned(),
+                                  run_for=units.seconds(120))
+        rig2 = TwoHostRig(Simulator(seed=1), rate_bps=units.gbps(100), middle_delay_ns=delay)
+        fct_tuned, _ = transfer(rig2.sim, rig2, 20_000_000, config=tuned_100g(),
+                                run_for=units.seconds(120))
+        assert fct_tuned is not None and fct_untuned is not None
+        assert fct_tuned < fct_untuned / 5
+
+
+class TestLossBehaviour:
+    def test_recovery_completes_under_loss(self, sim):
+        rig = TwoHostRig(sim, middle_delay_ns=units.milliseconds(2), loss_rate=0.01)
+        fct, conn = transfer(sim, rig, 3_000_000, config=tuned_100g())
+        assert fct is not None
+        assert conn.stats.retransmits > 0
+
+    def test_retransmission_originates_at_source(self, sim):
+        """All retransmitted bytes leave the sender's own NIC — TCP has
+        no closer place to recover from (§4.1 point 2)."""
+        rig = TwoHostRig(sim, middle_delay_ns=units.milliseconds(2), loss_rate=0.02)
+        tx_port = rig.a.ports["to_r"]
+        fct, conn = transfer(sim, rig, 2_000_000, config=tuned_100g())
+        assert fct is not None
+        total_data_packets = tx_port.stats.tx_packets
+        # Everything (originals + retransmissions) crossed the source NIC.
+        assert total_data_packets >= conn.stats.segments_sent
+
+    def test_head_of_line_blocking_observable(self, sim):
+        """A single early loss delays delivery of everything behind it
+        by at least the recovery time (§4.1 point 1)."""
+        rig = TwoHostRig(sim, middle_delay_ns=units.milliseconds(10))
+        stack_a = TcpStack(rig.a)
+        stack_b = TcpStack(rig.b)
+        config = tuned_100g()
+        deliveries = []
+        stack_b.listen(
+            5000, config=config,
+            on_connection=lambda c: setattr(
+                c, "on_delivered", lambda n, total: deliveries.append((rig.sim.now, total))
+            ),
+        )
+        conn = stack_a.connect(rig.b.ip, 5000, config=config)
+
+        # Lose exactly one packet mid-stream via a transient blackhole.
+        def blackhole_on():
+            rig.link_b.loss_rate = 0.999999
+
+        def blackhole_off():
+            rig.link_b.loss_rate = 0.0
+
+        conn.on_established = lambda: conn.send(5_000_000)
+        established_wait = units.milliseconds(25)
+        sim.schedule(established_wait, blackhole_on)
+        sim.schedule(established_wait + units.microseconds(50), blackhole_off)
+        sim.run(until_ns=units.seconds(30))
+        totals = [t for _now, t in deliveries]
+        assert totals and totals[-1] == 5_000_000
+        # Find the largest delivery stall: it must span the recovery.
+        stalls = [
+            later - earlier
+            for (earlier, _a), (later, _b) in zip(deliveries, deliveries[1:])
+        ]
+        assert max(stalls) > units.milliseconds(15), "HoL stall must be visible"

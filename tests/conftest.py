@@ -1,0 +1,42 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netsim import Simulator, Topology, units
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator(seed=1234)
+
+
+class TwoHostRig:
+    """host_a --- router --- host_b with configurable middle link."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rate_bps: int = units.gbps(10),
+        middle_delay_ns: int = units.microseconds(100),
+        loss_rate: float = 0.0,
+        mtu_bytes: int = 9000,
+    ) -> None:
+        self.sim = sim
+        self.topology = Topology(sim)
+        self.a = self.topology.add_host("a", ip="10.0.1.2")
+        self.b = self.topology.add_host("b", ip="10.0.2.2")
+        self.router = self.topology.add_router("r")
+        self.link_a = self.topology.connect(
+            self.a, self.router, rate_bps, units.microseconds(5), mtu_bytes
+        )
+        self.link_b = self.topology.connect(
+            self.router, self.b, rate_bps, middle_delay_ns, mtu_bytes, loss_rate=loss_rate
+        )
+        self.topology.install_routes()
+
+
+@pytest.fixture
+def rig(sim: Simulator) -> TwoHostRig:
+    return TwoHostRig(sim)

@@ -1,0 +1,68 @@
+"""Age tracking semantics."""
+
+from repro.core import (
+    AGE_EPOCH_META,
+    Feature,
+    MmtHeader,
+    activate_age_tracking,
+    remaining_budget_ns,
+    update_age,
+)
+from repro.netsim import Packet
+
+
+def tracked_header(budget=1000):
+    header = MmtHeader(features=Feature.AGE_TRACKING, age_ns=0, age_budget_ns=budget)
+    return header
+
+
+def test_activation_resets_and_stamps():
+    header = tracked_header()
+    packet = Packet()
+    activate_age_tracking(header, packet, now_ns=500, budget_ns=2000)
+    assert header.age_ns == 0
+    assert header.age_budget_ns == 2000
+    assert packet.meta[AGE_EPOCH_META] == 500
+
+
+def test_age_accumulates_monotonically():
+    header = tracked_header(budget=10_000)
+    packet = Packet(meta={AGE_EPOCH_META: 100})
+    update_age(header, packet, now_ns=600)
+    assert header.age_ns == 500
+    update_age(header, packet, now_ns=1100)
+    assert header.age_ns == 1000
+    # A stale update cannot reduce the age.
+    update_age(header, packet, now_ns=400)
+    assert header.age_ns == 1000
+
+
+def test_aged_flag_set_exactly_once_past_budget():
+    header = tracked_header(budget=1000)
+    packet = Packet(meta={AGE_EPOCH_META: 0})
+    assert not update_age(header, packet, now_ns=999)
+    assert not header.aged
+    assert update_age(header, packet, now_ns=1001)  # newly aged
+    assert header.aged
+    assert not update_age(header, packet, now_ns=5000)  # already aged
+    assert header.aged
+
+
+def test_untracked_packet_untouched():
+    header = MmtHeader()
+    packet = Packet(meta={AGE_EPOCH_META: 0})
+    assert not update_age(header, packet, now_ns=100)
+
+
+def test_missing_epoch_is_noop():
+    header = tracked_header()
+    assert not update_age(header, Packet(), now_ns=100)
+    assert header.age_ns == 0
+
+
+def test_remaining_budget():
+    header = tracked_header(budget=1000)
+    packet = Packet(meta={AGE_EPOCH_META: 0})
+    update_age(header, packet, now_ns=300)
+    assert remaining_budget_ns(header) == 700
+    assert remaining_budget_ns(MmtHeader()) is None

@@ -1,0 +1,75 @@
+"""Property-based tests over arbitrary mode transition sequences."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    Feature,
+    MmtHeader,
+    TransitionContext,
+    extended_registry,
+    transition,
+)
+
+_REGISTRY = extended_registry()
+_MODES = list(_REGISTRY)
+
+
+def full_context(step: int) -> TransitionContext:
+    return TransitionContext(
+        now_ns=step * 1000,
+        seq=step,
+        buffer_addr=f"10.0.0.{step % 250 + 1}",
+        deadline_ns=step * 1000 + 500,
+        notify_addr="10.0.1.1",
+        age_budget_ns=10_000,
+        pace_rate_mbps=100 + step,
+        source_addr="10.0.2.1",
+        dup_group=step % 100,
+        dup_copies=2,
+    )
+
+
+@given(st.lists(st.sampled_from(_MODES), min_size=1, max_size=12))
+@settings(max_examples=200)
+def test_any_transition_chain_yields_valid_encodable_headers(chain):
+    """Whatever sequence of modes a packet passes through, the header
+    stays valid, encodable, and round-trips byte-exactly."""
+    header = MmtHeader(config_id=0, experiment_id=42 << 8)
+    for step, mode in enumerate(chain):
+        transition(header, mode, full_context(step))
+        header.validate()
+        assert header.config_id == mode.config_id
+        assert header.features == mode.features
+        data = header.encode()
+        assert MmtHeader.decode(data) == header
+
+
+@given(st.lists(st.sampled_from(_MODES), min_size=2, max_size=8))
+@settings(max_examples=100)
+def test_seq_preserved_while_sequencing_stays_active(chain):
+    """The sequence number assigned at activation survives every later
+    transition that keeps SEQUENCED on (re-numbering would break
+    recovery mid-path)."""
+    header = MmtHeader(config_id=0, experiment_id=7 << 8)
+    assigned: int | None = None
+    for step, mode in enumerate(chain):
+        transition(header, mode, full_context(step + 100))
+        if mode.has(Feature.SEQUENCED):
+            if assigned is None:
+                assigned = header.seq
+            else:
+                assert header.seq == assigned
+        else:
+            assigned = None  # deactivated: a later activation renumbers
+
+
+@given(st.sampled_from(_MODES), st.sampled_from(_MODES))
+@settings(max_examples=100)
+def test_transition_size_matches_feature_set(first, second):
+    header = MmtHeader(config_id=0, experiment_id=1 << 8)
+    transition(header, first, full_context(1))
+    transition(header, second, full_context(2))
+    # Size depends only on the final feature set, not the path taken.
+    fresh = MmtHeader(config_id=0, experiment_id=1 << 8)
+    transition(fresh, second, full_context(3))
+    assert header.size_bytes == fresh.size_bytes

@@ -1,0 +1,95 @@
+"""Retransmission buffers and the buffer directory."""
+
+import pytest
+
+from repro.core import BufferDirectory, NakPayload, RetransmitBuffer, SeqRange
+from repro.netsim import Packet
+
+
+def pkt(size=1000, **meta):
+    return Packet(payload_size=size, meta=meta)
+
+
+class TestBuffer:
+    def test_store_and_fetch_returns_copy(self):
+        buf = RetransmitBuffer(10_000, address="10.0.0.1")
+        original = pkt(flow="x")
+        buf.store(1, 0, original)
+        fetched = buf.fetch(1, 0)
+        assert fetched is not None
+        assert fetched.packet_id != original.packet_id
+        assert fetched.meta["flow"] == "x"
+
+    def test_miss_counted(self):
+        buf = RetransmitBuffer(10_000, address="10.0.0.1")
+        assert buf.fetch(1, 99) is None
+        assert buf.stats.misses == 1
+
+    def test_duplicate_store_ignored(self):
+        buf = RetransmitBuffer(10_000, address="10.0.0.1")
+        buf.store(1, 0, pkt())
+        buf.store(1, 0, pkt())
+        assert len(buf) == 1
+        assert buf.stats.duplicates_ignored == 1
+
+    def test_fifo_eviction_under_pressure(self):
+        buf = RetransmitBuffer(2_500, address="10.0.0.1")
+        for seq in range(4):
+            buf.store(1, seq, pkt(1000))
+        assert len(buf) == 2
+        assert not buf.holds(1, 0)
+        assert not buf.holds(1, 1)
+        assert buf.holds(1, 2) and buf.holds(1, 3)
+        assert buf.stats.evicted == 2
+
+    def test_keying_by_experiment(self):
+        buf = RetransmitBuffer(10_000, address="10.0.0.1")
+        buf.store(1, 0, pkt(100))
+        buf.store(2, 0, pkt(200))
+        assert buf.fetch(1, 0).payload_size == 100
+        assert buf.fetch(2, 0).payload_size == 200
+
+    def test_serve_nak_splits_hits_and_misses(self):
+        buf = RetransmitBuffer(100_000, address="10.0.0.1")
+        for seq in (0, 1, 3):
+            buf.store(7, seq, pkt())
+        recovered, unmet = buf.serve_nak(7, NakPayload(ranges=[SeqRange(0, 4)]))
+        assert len(recovered) == 3
+        assert unmet == [SeqRange(2, 2), SeqRange(4, 4)]
+
+    def test_occupancy(self):
+        buf = RetransmitBuffer(2_000, address="10.0.0.1")
+        buf.store(1, 0, pkt(1000))
+        assert buf.occupancy == pytest.approx(0.5)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            RetransmitBuffer(0, address="10.0.0.1")
+
+
+class TestDirectory:
+    def test_nearest_upstream_picks_closest_behind(self):
+        directory = BufferDirectory()
+        directory.register("10.0.0.1", path_position=1)
+        directory.register("10.0.0.2", path_position=3)
+        hit = directory.nearest_upstream(1, position=4)
+        assert hit.address == "10.0.0.2"
+        hit = directory.nearest_upstream(1, position=2)
+        assert hit.address == "10.0.0.1"
+
+    def test_nothing_behind_returns_none(self):
+        directory = BufferDirectory()
+        directory.register("10.0.0.2", path_position=5)
+        assert directory.nearest_upstream(1, position=2) is None
+
+    def test_experiment_scoping(self):
+        directory = BufferDirectory()
+        directory.register("10.0.0.1", path_position=1, experiments={42})
+        assert directory.nearest_upstream(42, 5) is not None
+        assert directory.nearest_upstream(7, 5) is None
+
+    def test_empty_experiments_serves_all(self):
+        directory = BufferDirectory()
+        registration = directory.register("10.0.0.1", path_position=0)
+        assert registration.serves(123)
+        assert len(directory) == 1

@@ -1,0 +1,125 @@
+"""MmtStack control-message handling edge cases."""
+
+import pytest
+
+from repro.core import (
+    Feature,
+    MmtHeader,
+    MmtStack,
+    MsgType,
+    NakPayload,
+    SeqRange,
+    make_experiment_id,
+)
+from repro.netsim import Packet, Simulator, Topology, units
+
+EXP = 7
+EXP_ID = make_experiment_id(EXP)
+
+
+def chain(sim):
+    """source, mid, sink hosts joined through one router hub."""
+    topo = Topology(sim)
+    source = topo.add_host("source", ip="10.0.0.2")
+    mid = topo.add_host("mid", ip="10.0.1.2")
+    sink = topo.add_host("sink", ip="10.0.2.2")
+    hub = topo.add_router("hub")
+    topo.connect(source, hub, units.gbps(10), 10_000)
+    topo.connect(mid, hub, units.gbps(10), 10_000)
+    topo.connect(sink, hub, units.gbps(10), 10_000)
+    topo.install_routes()
+    return topo, source, mid, sink
+
+
+def cached_packet(seq, payload=b"x" * 32):
+    return Packet(
+        headers=[MmtHeader(
+            features=Feature.SEQUENCED | Feature.RETRANSMISSION,
+            seq=seq, buffer_addr="10.0.1.2", experiment_id=EXP_ID,
+        )],
+        payload=payload,
+    )
+
+
+def test_nak_without_local_buffer_is_ignored(sim):
+    _topo, source, mid, sink = chain(sim)
+    stack_mid = MmtStack(mid)  # no buffer attached
+    stack_sink = MmtStack(sink)
+    header = MmtHeader(msg_type=MsgType.NAK, experiment_id=EXP_ID)
+    stack_sink.send_control(mid.ip, header, NakPayload(ranges=[SeqRange(0, 3)]).encode())
+    sim.run()  # must not raise; silently dropped
+
+
+def test_nak_fallback_chains_across_hosts(sim):
+    """mid misses -> forwards the unmet ranges to source, preserving
+    the original requester so the resend goes straight to the sink."""
+    _topo, source, mid, sink = chain(sim)
+    stack_source = MmtStack(source)
+    stack_mid = MmtStack(mid)
+    stack_sink = MmtStack(sink)
+    got = []
+    stack_sink.bind_receiver(EXP, on_message=lambda p, h: got.append(h.seq))
+
+    stack_source.attach_buffer(1_000_000)
+    stack_mid.attach_buffer(1_000_000)
+    stack_mid.nak_fallback_addr = source.ip
+    # mid holds seq 1 only; source holds 0 and 2.
+    stack_mid.buffer.store(EXP_ID, 1, cached_packet(1))
+    stack_source.buffer.store(EXP_ID, 0, cached_packet(0))
+    stack_source.buffer.store(EXP_ID, 2, cached_packet(2))
+
+    header = MmtHeader(msg_type=MsgType.NAK, experiment_id=EXP_ID)
+    stack_sink.send_control(
+        mid.ip, header, NakPayload(ranges=[SeqRange(0, 2)]).encode()
+    )
+    sim.run()
+    assert sorted(got) == [0, 1, 2]
+    assert stack_mid.buffer.stats.hits == 1
+    assert stack_source.buffer.stats.hits == 2
+
+
+def test_fallback_loop_terminates(sim):
+    """Even if operators mis-wire fallbacks into a cycle, a NAK for
+    data nobody holds dies out instead of circulating forever."""
+    _topo, source, mid, sink = chain(sim)
+    stack_source = MmtStack(source)
+    stack_mid = MmtStack(mid)
+    stack_sink = MmtStack(sink)
+    stack_source.attach_buffer(1_000_000)
+    stack_mid.attach_buffer(1_000_000)
+    stack_mid.nak_fallback_addr = source.ip
+    stack_source.nak_fallback_addr = mid.ip  # the mis-wiring
+    header = MmtHeader(msg_type=MsgType.NAK, experiment_id=EXP_ID)
+    stack_sink.send_control(
+        mid.ip, header, NakPayload(ranges=[SeqRange(5, 5)]).encode()
+    )
+    processed = sim.run(max_events=100_000)
+    assert processed < 100_000, "fallback NAKs must not loop forever"
+
+
+def test_deadline_miss_callback_invoked(sim):
+    _topo, source, mid, _sink = chain(sim)
+    stack_source = MmtStack(source)
+    stack_mid = MmtStack(mid)
+    seen = []
+    stack_source.on_deadline_miss = seen.append
+    from repro.core import DeadlineMissPayload
+
+    report = DeadlineMissPayload(seq=4, deadline_ns=10, observed_ns=20, experiment_id=EXP_ID)
+    header = MmtHeader(msg_type=MsgType.DEADLINE_MISS, experiment_id=EXP_ID)
+    stack_mid.send_control(source.ip, header, report.encode())
+    sim.run()
+    assert seen == [report]
+    assert stack_source.deadline_misses == [report]
+
+
+def test_unknown_experiment_data_counted(sim):
+    _topo, source, mid, _sink = chain(sim)
+    stack_source = MmtStack(source)
+    stack_mid = MmtStack(mid)
+    sender = stack_source.create_sender(
+        experiment_id=make_experiment_id(99), mode="identify", dst_ip=mid.ip
+    )
+    sender.send(10)
+    sim.run()
+    assert stack_mid.rx_unknown_experiment == 1

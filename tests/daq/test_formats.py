@@ -1,0 +1,131 @@
+"""DAQ frame formats: byte-exact codecs."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.daq import (
+    DaqFrameHeader,
+    FormatError,
+    Mu2ePacket,
+    PayloadKind,
+    WIB_ADC_BITS,
+    WIB_CHANNELS,
+    WibFrame,
+    frame_message,
+    parse_message,
+)
+
+
+def make_header(**over):
+    fields = dict(
+        detector_id=1,
+        slice_id=2,
+        timestamp_ticks=123456789,
+        run_number=42,
+        payload_kind=PayloadKind.WIB_FRAME,
+        payload_bytes=0,
+    )
+    fields.update(over)
+    return DaqFrameHeader(**fields)
+
+
+class TestDaqHeader:
+    def test_size(self):
+        assert len(make_header().encode()) == DaqFrameHeader.SIZE == 24
+
+    def test_roundtrip(self):
+        header = make_header(payload_bytes=512)
+        assert DaqFrameHeader.decode(header.encode()) == header
+
+    def test_truncation_rejected(self):
+        with pytest.raises(FormatError):
+            DaqFrameHeader.decode(b"\x00" * 10)
+
+    def test_payload_range(self):
+        with pytest.raises(FormatError):
+            make_header(payload_bytes=1 << 16).encode()
+
+    @given(
+        det=st.integers(0, 2**16 - 1),
+        sl=st.integers(0, 2**16 - 1),
+        ts=st.integers(0, 2**64 - 1),
+        run=st.integers(0, 2**32 - 1),
+        kind=st.sampled_from(list(PayloadKind)),
+        size=st.integers(0, 2**16 - 1),
+    )
+    def test_roundtrip_property(self, det, sl, ts, run, kind, size):
+        header = DaqFrameHeader(det, sl, ts, run, kind, size)
+        assert DaqFrameHeader.decode(header.encode()) == header
+
+
+class TestWibFrame:
+    def frame(self, counts=None):
+        return WibFrame(
+            crate=1,
+            slot=2,
+            fiber=3,
+            timestamp_ticks=999,
+            adc_counts=tuple(counts or [i % (1 << WIB_ADC_BITS) for i in range(WIB_CHANNELS)]),
+        )
+
+    def test_size_constant(self):
+        assert len(self.frame().encode()) == WibFrame.SIZE
+
+    def test_roundtrip(self):
+        frame = self.frame()
+        decoded = WibFrame.decode(frame.encode())
+        assert decoded == frame
+
+    def test_channel_count_enforced(self):
+        with pytest.raises(FormatError):
+            WibFrame(0, 0, 0, 0, adc_counts=(1, 2, 3)).encode()
+
+    def test_adc_range_enforced(self):
+        counts = [0] * WIB_CHANNELS
+        counts[7] = 1 << WIB_ADC_BITS
+        with pytest.raises(FormatError):
+            self.frame(counts).encode()
+
+    def test_truncation_rejected(self):
+        with pytest.raises(FormatError):
+            WibFrame.decode(self.frame().encode()[:-1])
+
+    @given(
+        counts=st.lists(
+            st.integers(0, (1 << WIB_ADC_BITS) - 1),
+            min_size=WIB_CHANNELS,
+            max_size=WIB_CHANNELS,
+        )
+    )
+    def test_bitpacking_roundtrip_property(self, counts):
+        frame = self.frame(counts)
+        assert WibFrame.decode(frame.encode()).adc_counts == tuple(counts)
+
+
+class TestMu2ePacket:
+    def test_roundtrip(self):
+        packet = Mu2ePacket(roc_id=3, packet_type=1, timestamp_ticks=777, body=b"\x01" * 64)
+        assert Mu2ePacket.decode(packet.encode()) == packet
+
+    def test_short_body_rejected(self):
+        packet = Mu2ePacket(roc_id=3, packet_type=1, timestamp_ticks=777, body=b"abcdef")
+        with pytest.raises(FormatError):
+            Mu2ePacket.decode(packet.encode()[:-2])
+
+    def test_truncated_header_rejected(self):
+        with pytest.raises(FormatError):
+            Mu2ePacket.decode(b"\x00" * 4)
+
+
+class TestMessageFraming:
+    def test_frame_and_parse(self):
+        payload = b"\xAB" * 100
+        message = frame_message(make_header(), payload)
+        header, parsed = parse_message(message)
+        assert parsed == payload
+        assert header.payload_bytes == 100
+
+    def test_short_message_rejected(self):
+        message = frame_message(make_header(), b"\x01" * 50)
+        with pytest.raises(FormatError):
+            parse_message(message[:-10])

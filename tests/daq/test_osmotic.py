@@ -1,0 +1,66 @@
+"""Osmotic sensor fleets over cell backhaul (§6, challenge 3)."""
+
+import pytest
+
+from repro.analysis import percentile
+from repro.daq.osmotic import READING_BYTES, build_osmotic_field
+from repro.netsim import Simulator, units
+from repro.netsim.units import MILLISECOND
+
+
+def run_field(sensors=8, readings=25, loss=0.01, seed=3, batch_size=16):
+    sim = Simulator(seed=seed)
+    field = build_osmotic_field(
+        sim,
+        sensors=sensors,
+        cell_loss=loss,
+        reading_interval_ns=50 * MILLISECOND,
+        batch_size=batch_size,
+    )
+    field.start(readings)
+    field.run()
+    return field
+
+
+def test_every_reading_reaches_the_gateway_despite_loss():
+    field = run_field(loss=0.02)
+    assert field.total_sent == 8 * 25
+    # TCP is adequate at these volumes: nothing is lost end to end.
+    assert field.gateway.stats.readings_received == field.total_sent
+
+
+def test_readings_aggregate_into_mmt_batches():
+    field = run_field(batch_size=16)
+    total = field.gateway.stats.readings_received
+    batches = field.gateway.stats.batches_forwarded
+    assert batches >= total // 16
+    assert len(field.lab_received) == batches
+    # Batch payloads carry the readings plus a DAQ header.
+    biggest = max(size for _t, size in field.lab_received)
+    assert biggest == 24 + 16 * READING_BYTES
+
+
+def test_ingest_latency_reflects_cell_rtt():
+    field = run_field(loss=0.0)
+    latencies = field.gateway.stats.ingest_latencies_ns
+    assert len(latencies) == field.total_sent
+    # One-way cell delay is 30 ms (+1 ms backhaul); the p50 must sit
+    # just above it, far below a reading interval.
+    p50 = percentile(latencies, 0.5)
+    assert 31 * MILLISECOND <= p50 < 45 * MILLISECOND
+
+
+def test_loss_adds_recovery_tail_but_not_loss():
+    clean = run_field(loss=0.0, seed=5)
+    lossy = run_field(loss=0.05, seed=5)
+    assert lossy.gateway.stats.readings_received == lossy.total_sent
+    assert percentile(lossy.gateway.stats.ingest_latencies_ns, 0.99) > percentile(
+        clean.gateway.stats.ingest_latencies_ns, 0.99
+    )
+
+
+def test_final_partial_batch_flushed():
+    field = run_field(sensors=3, readings=5, batch_size=100)
+    # 15 readings never fill a batch of 100; run() must flush the rest.
+    assert field.gateway.stats.batches_forwarded == 1
+    assert len(field.lab_received) == 1

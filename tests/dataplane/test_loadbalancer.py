@@ -1,0 +1,175 @@
+"""The EJ-FAT-style load balancer."""
+
+import pytest
+
+from repro.core import MmtStack, ReceiverConfig, make_experiment_id
+from repro.core.modes import pilot_registry
+from repro.dataplane import (
+    AgeUpdateProgram,
+    BufferTapProgram,
+    LoadBalancerError,
+    LoadBalancerProgram,
+    ModeTransitionProgram,
+    ProgrammableElement,
+    SegmentRecoveryProgram,
+    TransitionRule,
+)
+from repro.netsim import Simulator, Topology, units
+
+EXP = 23
+EXP_ID = make_experiment_id(EXP)
+
+
+def build(sim, workers=3, window=16, loss=0.0, lb_repairs=False):
+    """src - e1(seq+buffer) - lb - {worker0..n}."""
+    topo = Topology(sim)
+    src = topo.add_host("src", ip="10.0.0.2")
+    e1 = ProgrammableElement(sim, "e1", mac=topo.allocate_mac(), ip="10.0.1.1")
+    lb = ProgrammableElement(sim, "lb", mac=topo.allocate_mac(), ip="10.0.2.1")
+    topo.add(e1)
+    topo.add(lb)
+    topo.connect(src, e1, units.gbps(10), 10_000)
+    topo.connect(e1, lb, units.gbps(10), 10_000, loss_rate=loss)
+    worker_hosts = []
+    for i in range(workers):
+        worker = topo.add_host(f"worker{i}", ip=f"10.0.3.{i + 2}")
+        topo.connect(lb, worker, units.gbps(10), 10_000)
+        worker_hosts.append(worker)
+    topo.install_routes()
+
+    registry = pilot_registry()
+    ModeTransitionProgram(registry, [
+        TransitionRule(from_config_id=0, to_mode="age-recover",
+                       buffer_addr=e1.ip, age_budget_ns=units.seconds(1)),
+    ]).install(e1)
+    e1.attach_buffer(128 * 1024 * 1024)
+    BufferTapProgram(buffer_addr=e1.ip).install(e1)
+    AgeUpdateProgram().install(e1)
+
+    recovery = None
+    if lb_repairs:
+        # The balancer heals upstream losses before striping, so the
+        # workers never have to reason about the shared seq space.
+        lb.attach_buffer(128 * 1024 * 1024)
+        recovery = SegmentRecoveryProgram(
+            upstream_buffer_addr=e1.ip,
+            reorder_wait_ns=units.microseconds(200),
+            retry_interval_ns=units.milliseconds(5),
+        )
+        recovery.install(lb)
+    balancer = LoadBalancerProgram(
+        experiment_id=EXP_ID,
+        backends=[w.ip for w in worker_hosts],
+        window=window,
+    )
+    balancer.install(lb)
+
+    src_stack = MmtStack(src, registry)
+    received: dict[str, list[int]] = {w.name: [] for w in worker_hosts}
+    receivers = {}
+    for worker in worker_hosts:
+        stack = MmtStack(worker, registry)
+        receivers[worker.name] = stack.bind_receiver(
+            EXP,
+            on_message=lambda p, h, n=worker.name: received[n].append(h.seq),
+            # Stripe consumers: the in-between windows belong to peers.
+            config=ReceiverConfig(
+                initial_rtt_ns=units.milliseconds(1), detect_gaps=False
+            ),
+        )
+    # The sender targets worker0; the balancer re-steers per window.
+    sender = src_stack.create_sender(
+        experiment_id=EXP_ID, mode="identify", dst_ip=worker_hosts[0].ip
+    )
+    return topo, sender, balancer, worker_hosts, received, receivers
+
+
+def send_all(sim, sender, count):
+    for _ in range(count):
+        sender.send(1000)
+    sender.finish()
+    sim.run()
+
+
+class TestSteering:
+    def test_windows_are_sticky(self, sim):
+        _topo, sender, balancer, workers, received, _rx = build(sim, window=16)
+        send_all(sim, sender, 320)
+        # Each worker's sequences form whole windows.
+        for name, seqs in received.items():
+            ticks = {s // 16 for s in seqs}
+            assert len(seqs) == 16 * len(ticks), f"{name} got partial windows"
+        # Every message landed somewhere, exactly once.
+        everything = sorted(s for seqs in received.values() for s in seqs)
+        assert everything == list(range(320))
+
+    def test_even_distribution_without_load_skew(self, sim):
+        _topo, sender, balancer, workers, received, _rx = build(sim, workers=4, window=8)
+        send_all(sim, sender, 640)
+        counts = [len(v) for v in received.values()]
+        assert max(counts) - min(counts) <= 8  # within one window
+
+    def test_load_reports_skew_assignment(self, sim):
+        _topo, sender, balancer, workers, received, _rx = build(sim, workers=2, window=8)
+        balancer.report_load(workers[1].ip, 90)  # worker1 nearly full
+        send_all(sim, sender, 400)
+        assert len(received["worker0"]) > len(received["worker1"]) * 5
+
+    def test_drain_stops_new_windows(self, sim):
+        _topo, sender, balancer, workers, received, _rx = build(sim, workers=2, window=8)
+        balancer.drain(workers[0].ip)
+        send_all(sim, sender, 200)
+        assert len(received["worker0"]) == 0
+        assert len(received["worker1"]) == 200
+
+    def test_repairs_follow_the_calendar(self, sim):
+        """Loss between the sequencer and the balancer: the balancer
+        heals it (segment recovery) and repairs are *steered* like
+        first-pass data, so each window completes on its one worker."""
+        _topo, sender, balancer, workers, received, receivers = build(
+            sim, workers=3, window=16, loss=0.05, lb_repairs=True
+        )
+        send_all(sim, sender, 480)
+        # Every message landed exactly once, striped in whole windows.
+        everything = sorted(s for seqs in received.values() for s in seqs)
+        assert everything == list(range(480))
+        for name, seqs in received.items():
+            ticks = {s // 16 for s in seqs}
+            assert len(seqs) == 16 * len(ticks), f"{name}: split window"
+        # The workers never NAK-ed anything: repair was in-network.
+        for rx in receivers.values():
+            assert rx.stats.naks_sent == 0
+
+
+class TestControlPlane:
+    def test_validation(self):
+        with pytest.raises(LoadBalancerError):
+            LoadBalancerProgram(EXP_ID, backends=[])
+        with pytest.raises(LoadBalancerError):
+            LoadBalancerProgram(EXP_ID, backends=["10.0.0.1"], window=0)
+        balancer = LoadBalancerProgram(EXP_ID, backends=["10.0.0.1"])
+        with pytest.raises(LoadBalancerError):
+            balancer.drain("10.9.9.9")
+        with pytest.raises(LoadBalancerError):
+            balancer.add_backend("10.0.0.1")
+
+    def test_add_backend_participates(self, sim):
+        _topo, sender, balancer, workers, received, _rx = build(sim, workers=2, window=8)
+        # A third worker joins before traffic flows.
+        topo2 = None  # the host must exist in the topology to receive
+        # (covered by steering tests; here check bookkeeping only)
+        balancer.add_backend("10.0.3.99")
+        assert "10.0.3.99" in balancer.backends
+
+    def test_calendar_pruned(self, sim):
+        balancer = LoadBalancerProgram(EXP_ID, backends=["10.0.0.1"],
+                                       window=1, calendar_horizon=10)
+        for tick in range(100):
+            balancer._assign(tick)
+        assert len(balancer._calendar) <= 11 + 10
+
+    def test_backend_for_lookup(self, sim):
+        _topo, sender, balancer, workers, received, _rx = build(sim, window=8)
+        send_all(sim, sender, 16)
+        assert balancer.backend_for(0) in {w.ip for w in workers}
+        assert balancer.backend_for(0) == balancer.backend_for(7)

@@ -1,0 +1,90 @@
+"""MODE_ANNOUNCE control messaging (§4.2)."""
+
+import pytest
+
+from repro.core import ModeAnnouncePayload, MmtStack, make_experiment_id
+from repro.core.modes import pilot_registry
+from repro.dataplane import (
+    BufferTapProgram,
+    ModeTransitionProgram,
+    ProgrammableElement,
+    TransitionRule,
+)
+from repro.netsim import Simulator, Topology, units
+
+EXP = 5
+EXP_ID = make_experiment_id(EXP)
+
+
+def test_payload_roundtrip():
+    announce = ModeAnnouncePayload(config_id=2, element="10.0.0.9", at_ns=123456)
+    assert ModeAnnouncePayload.decode(announce.encode()) == announce
+
+
+def build(sim, announce=True):
+    topo = Topology(sim)
+    src = topo.add_host("src", ip="10.0.0.2")
+    dst = topo.add_host("dst", ip="10.0.9.2")
+    element = ProgrammableElement(sim, "e1", mac=topo.allocate_mac(), ip="10.0.1.1")
+    topo.add(element)
+    topo.connect(src, element, units.gbps(10), 1000)
+    topo.connect(element, dst, units.gbps(10), 1000)
+    topo.install_routes()
+    registry = pilot_registry()
+    program = ModeTransitionProgram(
+        registry,
+        [TransitionRule(from_config_id=0, to_mode="age-recover",
+                        buffer_addr=element.ip, age_budget_ns=units.seconds(1))],
+        announce_to_source=announce,
+    )
+    program.install(element)
+    element.attach_buffer(1_000_000)
+    BufferTapProgram(buffer_addr=element.ip).install(element)
+    src_stack = MmtStack(src, registry)
+    dst_stack = MmtStack(dst, registry)
+    dst_stack.bind_receiver(EXP)
+    sender = src_stack.create_sender(experiment_id=EXP_ID, mode="identify", dst_ip=dst.ip)
+    return src_stack, sender, program, element
+
+
+def test_source_learns_downstream_mode(sim):
+    src_stack, sender, program, element = build(sim)
+    seen = []
+    src_stack.on_mode_announce = lambda eid, a: seen.append((eid, a))
+    for _ in range(20):
+        sender.send(500)
+    sender.finish()
+    sim.run()
+    # Exactly one announcement per flow, however many packets flow.
+    history = src_stack.mode_announcements[EXP_ID]
+    assert len(history) == 1
+    assert history[0].config_id == 1  # "age-recover"
+    assert history[0].element == element.ip
+    assert program.announcements_sent == 1
+    assert seen and seen[0][0] == EXP_ID
+
+
+def test_no_announcement_when_disabled(sim):
+    src_stack, sender, program, _element = build(sim, announce=False)
+    for _ in range(5):
+        sender.send(500)
+    sender.finish()
+    sim.run()
+    assert src_stack.mode_announcements == {}
+    assert program.announcements_sent == 0
+
+
+def test_per_flow_deduplication(sim):
+    """Two slices of the same experiment are distinct flows: each gets
+    its own (single) announcement."""
+    src_stack, _sender, program, _element = build(sim)
+    other = src_stack.create_sender(
+        experiment_id=make_experiment_id(EXP, 3), mode="identify",
+        dst_ip="10.0.9.2", flow="slice3",
+    )
+    for _ in range(10):
+        _sender.send(100)
+        other.send(100)
+    sim.run()
+    assert program.announcements_sent == 2
+    assert len(src_stack.mode_announcements) == 2

@@ -1,0 +1,301 @@
+"""The MMT dataplane programs, unit-tested on a bare element."""
+
+import pytest
+
+from repro.core import (
+    AGE_EPOCH_META,
+    Feature,
+    MmtHeader,
+    MsgType,
+    extended_registry,
+    pilot_registry,
+)
+from repro.dataplane import (
+    AgeUpdateProgram,
+    BackpressureProgram,
+    BufferTapProgram,
+    DeadlineEnforceProgram,
+    DuplicationProgram,
+    Metadata,
+    ModeTransitionProgram,
+    NearestBufferProgram,
+    ProgrammableElement,
+    TransitionRule,
+)
+from repro.netsim import EthernetHeader, Ipv4Header, Packet, Simulator
+
+
+@pytest.fixture
+def element(sim):
+    return ProgrammableElement(sim, "el", mac="02:00:00:00:00:01", ip="10.0.0.50")
+
+
+def mmt_packet(header=None, **kwargs):
+    return Packet(
+        headers=[EthernetHeader(), Ipv4Header(dst="10.9.9.9"), header or MmtHeader(**kwargs)],
+        payload_size=200,
+    )
+
+
+def run_pipeline(element, packet, **meta_kwargs):
+    meta = Metadata(now_ns=element.sim.now, **meta_kwargs)
+    element.pipeline.process(packet, meta)
+    return meta
+
+
+class TestModeTransition:
+    def test_mode0_data_transitions(self, element):
+        program = ModeTransitionProgram(
+            pilot_registry(),
+            [TransitionRule(from_config_id=0, to_mode="age-recover",
+                            buffer_addr="10.0.0.50", age_budget_ns=5000)],
+        )
+        program.install(element)
+        packet = mmt_packet(experiment_id=42 << 8)
+        run_pipeline(element, packet)
+        header = packet.find(MmtHeader)
+        assert header.config_id == 1
+        assert header.seq == 0
+        assert header.buffer_addr == "10.0.0.50"
+        assert packet.meta[AGE_EPOCH_META] == 0
+        assert program.transitions_applied == 1
+
+    def test_sequence_numbers_from_register_increment(self, element):
+        program = ModeTransitionProgram(
+            pilot_registry(),
+            [TransitionRule(from_config_id=0, to_mode="age-recover",
+                            buffer_addr="10.0.0.50", age_budget_ns=5000)],
+        )
+        program.install(element)
+        seqs = []
+        for _ in range(3):
+            packet = mmt_packet(experiment_id=42 << 8)
+            run_pipeline(element, packet)
+            seqs.append(packet.find(MmtHeader).seq)
+        assert seqs == [0, 1, 2]
+
+    def test_independent_seq_spaces_per_flow(self, element):
+        program = ModeTransitionProgram(
+            pilot_registry(),
+            [TransitionRule(from_config_id=0, to_mode="age-recover",
+                            buffer_addr="10.0.0.50", age_budget_ns=5000)],
+        )
+        program.install(element)
+        p1 = mmt_packet(experiment_id=1 << 8)
+        p2 = mmt_packet(experiment_id=2 << 8)
+        run_pipeline(element, p1)
+        run_pipeline(element, p2)
+        assert p1.find(MmtHeader).seq == 0
+        assert p2.find(MmtHeader).seq == 0
+
+    def test_control_messages_not_transitioned(self, element):
+        program = ModeTransitionProgram(
+            pilot_registry(),
+            [TransitionRule(from_config_id=0, to_mode="age-recover",
+                            buffer_addr="10.0.0.50", age_budget_ns=5000)],
+        )
+        program.install(element)
+        packet = mmt_packet(msg_type=MsgType.NAK)
+        run_pipeline(element, packet)
+        assert packet.find(MmtHeader).config_id == 0
+
+    def test_ingress_port_scoping(self, element):
+        program = ModeTransitionProgram(
+            pilot_registry(),
+            [TransitionRule(from_config_id=0, to_mode="age-recover",
+                            ingress_port="wan", buffer_addr="10.0.0.50",
+                            age_budget_ns=5000)],
+        )
+        program.install(element)
+        packet = mmt_packet()
+        run_pipeline(element, packet, ingress_port="lan")
+        assert packet.find(MmtHeader).config_id == 0
+        run_pipeline(element, packet, ingress_port="wan")
+        assert packet.find(MmtHeader).config_id == 1
+
+    def test_deadline_set_relative_to_now(self, element):
+        registry = pilot_registry()
+        program = ModeTransitionProgram(
+            registry,
+            [TransitionRule(from_config_id=1, to_mode="deliver-check",
+                            deadline_offset_ns=1_000_000, notify_addr="10.0.0.9")],
+        )
+        program.install(element)
+        header = MmtHeader(
+            config_id=1,
+            features=Feature.SEQUENCED | Feature.RETRANSMISSION | Feature.AGE_TRACKING,
+            seq=5, buffer_addr="10.0.0.50", age_ns=0, age_budget_ns=100,
+        )
+        packet = mmt_packet(header=header)
+        element.sim.schedule(500, lambda: None)
+        element.sim.run()
+        meta = Metadata(now_ns=element.sim.now)
+        element.pipeline.process(packet, meta)
+        assert header.deadline_ns == 500 + 1_000_000
+
+
+class TestAgeUpdate:
+    def make_aged_packet(self, epoch=0, budget=1000):
+        header = MmtHeader(
+            features=Feature.AGE_TRACKING, age_ns=0, age_budget_ns=budget
+        )
+        packet = mmt_packet(header=header)
+        packet.meta[AGE_EPOCH_META] = epoch
+        return packet, header
+
+    def test_age_written_and_dscp_marked(self, element):
+        program = AgeUpdateProgram(prioritize_dscp=46)
+        program.install(element)
+        packet, header = self.make_aged_packet()
+        element.sim.schedule(700, lambda: None)
+        element.sim.run()
+        run_pipeline(element, packet)
+        assert header.age_ns == 700
+        assert not header.aged
+        assert packet.find(Ipv4Header).dscp == 46
+        assert program.updates == 1
+
+    def test_aged_flag_past_budget(self, element):
+        program = AgeUpdateProgram(prioritize_dscp=None)
+        program.install(element)
+        packet, header = self.make_aged_packet(budget=100)
+        element.sim.schedule(500, lambda: None)
+        element.sim.run()
+        run_pipeline(element, packet)
+        assert header.aged
+        assert program.newly_aged == 1
+        assert packet.find(Ipv4Header).dscp == 0  # remarking disabled
+
+    def test_untracked_ignored(self, element):
+        program = AgeUpdateProgram()
+        program.install(element)
+        packet = mmt_packet()
+        run_pipeline(element, packet)
+        assert program.updates == 0
+
+
+class TestBufferPrograms:
+    def seq_header(self):
+        return MmtHeader(
+            features=Feature.SEQUENCED | Feature.RETRANSMISSION,
+            seq=3,
+            buffer_addr="10.0.0.1",
+        )
+
+    def test_buffer_tap_mirrors_and_rewrites(self, element):
+        BufferTapProgram(buffer_addr="10.0.0.50").install(element)
+        packet = mmt_packet(header=self.seq_header())
+        meta = run_pipeline(element, packet)
+        assert meta.mirror_to_buffer
+        assert packet.find(MmtHeader).buffer_addr == "10.0.0.50"
+
+    def test_buffer_tap_skips_unsequenced_and_retx(self, element):
+        BufferTapProgram(buffer_addr="10.0.0.50").install(element)
+        plain = mmt_packet()
+        assert not run_pipeline(element, plain).mirror_to_buffer
+        retx = self.seq_header()
+        retx.msg_type = MsgType.RETX_DATA
+        packet = mmt_packet(header=retx)
+        assert not run_pipeline(element, packet).mirror_to_buffer
+
+    def test_nearest_buffer_rewrites_only_retransmission(self, element):
+        program = NearestBufferProgram(buffer_addr="10.0.0.99")
+        program.install(element)
+        packet = mmt_packet(header=self.seq_header())
+        run_pipeline(element, packet)
+        assert packet.find(MmtHeader).buffer_addr == "10.0.0.99"
+        assert program.rewrites == 1
+        plain = mmt_packet()
+        run_pipeline(element, plain)
+        assert program.rewrites == 1
+
+
+class TestDeadlineEnforce:
+    def timely_header(self, deadline):
+        return MmtHeader(
+            features=Feature.TIMELINESS, deadline_ns=deadline, notify_addr="10.0.0.9"
+        )
+
+    def test_late_packet_dropped_and_reported(self, element):
+        program = DeadlineEnforceProgram()
+        program.install(element)
+        element.sim.schedule(1000, lambda: None)
+        element.sim.run()
+        packet = mmt_packet(header=self.timely_header(deadline=500))
+        meta = run_pipeline(element, packet)
+        assert meta.drop
+        assert program.dropped_late == 1
+        assert len(meta.generated) == 1
+        dst, header, payload = meta.generated[0]
+        assert dst == "10.0.0.9"
+        assert header.msg_type == MsgType.DEADLINE_MISS
+
+    def test_timely_packet_passes(self, element):
+        program = DeadlineEnforceProgram()
+        program.install(element)
+        packet = mmt_packet(header=self.timely_header(deadline=10_000))
+        meta = run_pipeline(element, packet)
+        assert not meta.drop
+
+
+class TestDuplication:
+    def dup_header(self, group=5):
+        return MmtHeader(
+            features=Feature.SEQUENCED | Feature.DUPLICATION,
+            seq=0,
+            dup_group=group,
+            dup_copies=1,
+        )
+
+    def test_matching_group_cloned(self, element):
+        program = DuplicationProgram({5: ["10.3.0.1", "10.3.0.2"]})
+        program.install(element)
+        packet = mmt_packet(header=self.dup_header())
+        meta = run_pipeline(element, packet)
+        assert meta.clones == ["10.3.0.1", "10.3.0.2"]
+        assert packet.find(MmtHeader).dup_copies == 3
+        assert program.duplicated == 1
+
+    def test_other_group_untouched(self, element):
+        program = DuplicationProgram({5: ["10.3.0.1"]})
+        program.install(element)
+        packet = mmt_packet(header=self.dup_header(group=6))
+        meta = run_pipeline(element, packet)
+        assert meta.clones == []
+
+
+class TestBackpressure:
+    def bp_header(self):
+        return MmtHeader(features=Feature.BACKPRESSURE, source_addr="10.0.0.2")
+
+    def test_signal_generated_when_hot(self, element):
+        program = BackpressureProgram(occupancy_threshold_pct=60, min_interval_ns=0)
+        program.install(element)
+        packet = mmt_packet(header=self.bp_header())
+        meta = Metadata(now_ns=1)
+        meta.scratch["queue_occupancy_pct"] = 80
+        element.pipeline.process(packet, meta)
+        assert len(meta.generated) == 1
+        assert meta.generated[0][0] == "10.0.0.2"
+        assert program.signals_sent == 1
+
+    def test_quiet_queue_no_signal(self, element):
+        program = BackpressureProgram(occupancy_threshold_pct=60)
+        program.install(element)
+        packet = mmt_packet(header=self.bp_header())
+        meta = Metadata(now_ns=1)
+        meta.scratch["queue_occupancy_pct"] = 10
+        element.pipeline.process(packet, meta)
+        assert meta.generated == []
+
+    def test_rate_limited_by_register(self, element):
+        program = BackpressureProgram(
+            occupancy_threshold_pct=50, min_interval_ns=1_000_000
+        )
+        program.install(element)
+        for t in (2_000_000, 2_000_001, 3_500_000):
+            packet = mmt_packet(header=self.bp_header())
+            meta = Metadata(now_ns=t)
+            meta.scratch["queue_occupancy_pct"] = 90
+            element.pipeline.process(packet, meta)
+        assert program.signals_sent == 2  # second packet rate-limited

@@ -1,0 +1,135 @@
+"""Segment-local (hop-by-hop) recovery."""
+
+import pytest
+
+from repro.core import MmtStack, ReceiverConfig, make_experiment_id
+from repro.dataplane import (
+    AgeUpdateProgram,
+    BufferTapProgram,
+    ModeTransitionProgram,
+    ProgrammableElement,
+    SegmentRecoveryProgram,
+    TransitionRule,
+)
+from repro.core.modes import pilot_registry
+from repro.netsim import Simulator, Topology, units
+from repro.netsim.units import MILLISECOND
+
+EXP = 18
+EXP_ID = make_experiment_id(EXP)
+
+
+def build(sim, mid_loss=0.05, last_loss=0.0, segment_recovery=True):
+    """src - e1(buffer, transitions) ==lossy== e2(buffer, repair) - dst."""
+    topo = Topology(sim)
+    src = topo.add_host("src", ip="10.0.0.2")
+    dst = topo.add_host("dst", ip="10.0.9.2")
+    e1 = ProgrammableElement(sim, "e1", mac=topo.allocate_mac(), ip="10.0.1.1")
+    e2 = ProgrammableElement(sim, "e2", mac=topo.allocate_mac(), ip="10.0.2.1")
+    topo.add(e1)
+    topo.add(e2)
+    topo.connect(src, e1, units.gbps(10), units.milliseconds(1))
+    topo.connect(e1, e2, units.gbps(10), units.milliseconds(5), loss_rate=mid_loss)
+    topo.connect(e2, dst, units.gbps(10), units.milliseconds(1), loss_rate=last_loss)
+    topo.install_routes()
+
+    registry = pilot_registry()
+    ModeTransitionProgram(registry, [
+        TransitionRule(from_config_id=0, to_mode="age-recover",
+                       buffer_addr=e1.ip, age_budget_ns=units.seconds(1)),
+    ]).install(e1)
+    e1.attach_buffer(256 * 1024 * 1024)
+    BufferTapProgram(buffer_addr=e1.ip).install(e1)
+    AgeUpdateProgram().install(e1)
+
+    e2.attach_buffer(256 * 1024 * 1024)
+    e2.nak_fallback_addr = e1.ip  # chained buffers, as placement wires them
+    BufferTapProgram(buffer_addr=e2.ip).install(e2)
+    recovery = None
+    if segment_recovery:
+        recovery = SegmentRecoveryProgram(
+            upstream_buffer_addr=e1.ip,
+            reorder_wait_ns=units.microseconds(200),
+            retry_interval_ns=units.milliseconds(25),
+        )
+        recovery.install(e2)
+
+    src_stack = MmtStack(src, registry)
+    dst_stack = MmtStack(dst, registry)
+    got = []
+    # A *patient* receiver: with in-network repair deployed, the
+    # destination defers its own NAKs long enough for the segment to
+    # heal itself (25 ms > one e2->e1 repair round trip).
+    receiver = dst_stack.bind_receiver(
+        EXP, on_message=lambda p, h: got.append(h),
+        config=ReceiverConfig(
+            initial_rtt_ns=units.milliseconds(6),
+            reorder_wait_ns=units.milliseconds(25),
+        ),
+    )
+    sender = src_stack.create_sender(experiment_id=EXP_ID, mode="identify", dst_ip=dst.ip)
+    return topo, src, dst, e1, e2, recovery, sender, receiver, got
+
+
+def run_stream(sim, sender, receiver, count=400):
+    for i in range(count):
+        sim.schedule(i * 20_000, sender.send, 1500)
+    sim.run()
+    receiver.request_missing(EXP_ID, count)
+    sim.run()
+
+
+class TestSegmentRepair:
+    def test_mid_segment_losses_healed_in_network(self, sim):
+        _topo, _src, _dst, e1, e2, recovery, sender, receiver, got = build(sim)
+        run_stream(sim, sender, receiver)
+        assert {h.seq for h in got} == set(range(400))
+        assert recovery.stats.gaps_detected > 0
+        assert recovery.stats.naks_sent > 0
+        assert recovery.stats.repairs_forwarded > 0
+        # The element repaired upstream losses in-network; the receiver
+        # only ever NAKs for the tail (end-of-run reconciliation),
+        # never for mid-stream gaps.
+        assert receiver.stats.naks_sent <= 3
+        assert receiver.stats.unrecovered == 0
+
+    def test_destination_latency_better_with_segment_repair(self):
+        """In-network repair saves the destination's NAK round trip for
+        upstream losses: worst-case delivery latency shrinks."""
+        def worst_latency(segment_recovery):
+            sim = Simulator(seed=88)
+            _t, _s, _d, _e1, _e2, _rec, sender, receiver, _got = build(
+                sim, mid_loss=0.08, segment_recovery=segment_recovery
+            )
+            run_stream(sim, sender, receiver, count=500)
+            assert receiver.stats.unrecovered == 0
+            return max(lat for _t2, lat in receiver.delivery_log)
+
+        assert worst_latency(True) < worst_latency(False)
+
+    def test_repairs_cached_locally_for_downstream(self, sim):
+        """A repaired packet is stored at the repairing element, so a
+        *later* downstream loss of the same seq recovers from there."""
+        _topo, _src, _dst, e1, e2, recovery, sender, receiver, got = build(sim)
+        run_stream(sim, sender, receiver, count=200)
+        # Every repaired seq is now in e2's buffer.
+        for seq in recovery._flows[EXP_ID].repaired:
+            from repro.core.seqspace import wrap
+
+            assert e2.buffer.holds(EXP_ID, wrap(seq))
+
+    def test_losses_on_final_hop_fall_back_to_receiver_naks(self, sim):
+        _topo, _src, _dst, _e1, e2, recovery, sender, receiver, got = build(
+            sim, mid_loss=0.0, last_loss=0.05
+        )
+        run_stream(sim, sender, receiver)
+        assert {h.seq for h in got} == set(range(400))
+        assert recovery.stats.naks_sent == 0  # nothing lost upstream
+        assert receiver.stats.naks_sent > 0   # receiver handled its hop
+        # And the receiver's NAKs were served by e2 (nearest), not e1.
+        assert e2.stats.naks_served > 0
+
+    def test_requires_element_ip(self, sim):
+        element = ProgrammableElement(sim, "bare", mac="02:00:00:00:00:01")
+        with pytest.raises(ValueError):
+            SegmentRecoveryProgram(upstream_buffer_addr="10.0.0.1").install(element)

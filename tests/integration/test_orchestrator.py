@@ -1,0 +1,82 @@
+"""Trigger routing and timelines."""
+
+import pytest
+
+from repro.integration import Orchestrator
+from repro.netsim import Simulator
+
+
+@pytest.fixture
+def orchestrator(sim):
+    return Orchestrator(sim)
+
+
+def direct_route(orchestrator, delay_ns):
+    """A route that delivers after a fixed simulated delay."""
+
+    def route(subscriber, payload, record):
+        orchestrator.sim.schedule(
+            delay_ns, orchestrator.confirm_delivery, record, subscriber, payload
+        )
+
+    return route
+
+
+def test_trigger_reaches_subscriber_with_latency(sim, orchestrator):
+    received = []
+    orchestrator.register("dune", "fnal", {"neutrino"})
+    orchestrator.register(
+        "rubin", "chile", {"optical"},
+        on_trigger=lambda topic, payload, record: received.append((topic, payload)),
+    )
+    orchestrator.subscribe("snb", "rubin")
+    orchestrator.set_route("dune", "rubin", direct_route(orchestrator, 1000))
+    record = orchestrator.emit("snb", "dune", b"pointing")
+    sim.run()
+    assert received == [("snb", b"pointing")]
+    assert record.latency_ns("rubin") == 1000
+
+
+def test_origin_not_self_notified(sim, orchestrator):
+    orchestrator.register("dune", "fnal")
+    orchestrator.subscribe("snb", "dune")
+    record = orchestrator.emit("snb", "dune", b"x")
+    sim.run()
+    assert record.deliveries == {}
+
+
+def test_multiple_subscribers_fan_out(sim, orchestrator):
+    orchestrator.register("dune", "fnal")
+    for name, delay in (("rubin", 1000), ("icecube", 5000)):
+        orchestrator.register(name, "site")
+        orchestrator.subscribe("snb", name)
+        orchestrator.set_route("dune", name, direct_route(orchestrator, delay))
+    record = orchestrator.emit("snb", "dune", b"x")
+    sim.run()
+    assert record.latency_ns("rubin") == 1000
+    assert record.latency_ns("icecube") == 5000
+
+
+def test_missing_route_raises(sim, orchestrator):
+    orchestrator.register("dune", "fnal")
+    orchestrator.register("rubin", "chile")
+    orchestrator.subscribe("snb", "rubin")
+    with pytest.raises(ValueError):
+        orchestrator.emit("snb", "dune", b"x")
+
+
+def test_duplicate_registration_rejected(sim, orchestrator):
+    orchestrator.register("dune", "fnal")
+    with pytest.raises(ValueError):
+        orchestrator.register("dune", "elsewhere")
+
+
+def test_subscribe_unknown_instrument(sim, orchestrator):
+    with pytest.raises(ValueError):
+        orchestrator.subscribe("snb", "ghost")
+
+
+def test_latency_none_before_delivery(sim, orchestrator):
+    orchestrator.register("dune", "fnal")
+    record = orchestrator.emit("snb", "dune", b"x")
+    assert record.latency_ns("rubin") is None

@@ -1,0 +1,69 @@
+"""The DUNE → Rubin early-warning scenario."""
+
+import pytest
+
+from repro.integration import SupernovaConfig, SupernovaScenario, compare
+from repro.daq import SUPERNOVA_LEAD_TIME_MIN_NS
+from repro.netsim.units import MILLISECOND, SECOND
+
+
+def fast_config(**over):
+    base = dict(
+        background_rate_hz=50.0,
+        burst_rate_hz=5_000.0,
+        burst_start_ns=1 * SECOND,
+        burst_duration_ns=500 * MILLISECOND,
+        trigger_threshold=30,
+    )
+    base.update(over)
+    return SupernovaConfig(**base)
+
+
+def test_invalid_mode_rejected():
+    with pytest.raises(ValueError):
+        SupernovaScenario("carrier-pigeon")
+
+
+def test_today_detects_and_alerts():
+    result = SupernovaScenario("today", fast_config(), seed=4).run()
+    assert result.trigger_fired_ns is not None
+    assert result.alert_at_scope_ns is not None
+    assert result.trigger_fired_ns > result.burst_start_ns
+    assert result.alert_at_scope_ns > result.trigger_fired_ns
+
+
+def test_mmt_detects_and_alerts():
+    result = SupernovaScenario("mmt", fast_config(), seed=4).run()
+    assert result.trigger_fired_ns is not None
+    assert result.alert_at_scope_ns == result.trigger_fired_ns  # local handoff
+
+
+def test_background_alone_never_triggers():
+    config = fast_config(burst_rate_hz=50.0)  # "burst" same as background
+    result = SupernovaScenario("mmt", config, seed=4).run()
+    assert result.trigger_fired_ns is None
+    assert result.alert_at_scope_ns is None
+    assert result.warning_latency_ns is None
+
+
+def test_mmt_warns_earlier_than_today():
+    results = compare(fast_config(), seed=4)
+    today = results["today"].warning_latency_ns
+    mmt = results["mmt"].warning_latency_ns
+    assert today is not None and mmt is not None
+    assert mmt < today
+
+
+def test_warning_well_inside_neutrino_photon_lead_time():
+    """The whole point: the alert must land long before the photons."""
+    results = compare(fast_config(), seed=4)
+    for result in results.values():
+        assert result.warning_latency_ns < SUPERNOVA_LEAD_TIME_MIN_NS / 100
+
+
+def test_identical_physics_across_modes():
+    """Both modes must see the same candidate process (same seed)."""
+    a = SupernovaScenario("mmt", fast_config(), seed=9)
+    b = SupernovaScenario("today", fast_config(), seed=9)
+    ra, rb = a.run(), b.run()
+    assert a._candidates_sent == b._candidates_sent

@@ -1,0 +1,112 @@
+"""Orchestrator triggers over real MMT sessions."""
+
+import pytest
+
+from repro.core import MmtStack
+from repro.integration import Orchestrator
+from repro.integration.transport import (
+    MmtTriggerTransport,
+    TriggerCodecError,
+    decode_trigger,
+    encode_trigger,
+)
+from repro.netsim import Simulator, Topology, units
+from repro.netsim.units import MILLISECOND
+
+
+def test_frame_roundtrip():
+    frame = encode_trigger(7, "snb-pointing", b"\x01\x02")
+    assert decode_trigger(frame) == (7, "snb-pointing", b"\x01\x02")
+
+
+def test_frame_truncation_rejected():
+    with pytest.raises(TriggerCodecError):
+        decode_trigger(b"\x00\x00")
+    frame = encode_trigger(1, "topic", b"")
+    with pytest.raises(TriggerCodecError):
+        decode_trigger(frame[:7])
+
+
+@pytest.fixture
+def facilities(sim):
+    topo = Topology(sim)
+    dune = topo.add_host("dune", ip="10.1.0.2")
+    rubin = topo.add_host("rubin", ip="10.2.0.2")
+    icecube = topo.add_host("icecube", ip="10.3.0.2")
+    core = topo.add_router("core")
+    topo.connect(dune, core, units.gbps(100), 20 * MILLISECOND)
+    topo.connect(core, rubin, units.gbps(100), 40 * MILLISECOND)
+    topo.connect(core, icecube, units.gbps(100), 10 * MILLISECOND)
+    topo.install_routes()
+    stacks = {h.name: MmtStack(h) for h in (dune, rubin, icecube)}
+    hosts = {"dune": dune, "rubin": rubin, "icecube": icecube}
+    return topo, hosts, stacks
+
+
+def test_trigger_latency_is_network_latency(sim, facilities):
+    _topo, hosts, stacks = facilities
+    orchestrator = Orchestrator(sim)
+    orchestrator.register("dune", "surf")
+    got = []
+    orchestrator.register(
+        "rubin", "chile",
+        on_trigger=lambda topic, payload, record: got.append((topic, payload)),
+    )
+    orchestrator.subscribe("snb", "rubin")
+    transport = MmtTriggerTransport(orchestrator)
+    transport.connect(
+        "dune", stacks["dune"], "rubin", stacks["rubin"], hosts["rubin"].ip
+    )
+    record = orchestrator.emit("snb", "dune", b"pointing-data")
+    sim.run()
+    assert got == [("snb", b"pointing-data")]
+    latency = record.latency_ns("rubin")
+    assert 60 * MILLISECOND <= latency < 61 * MILLISECOND  # 20 + 40 ms path
+
+
+def test_fan_out_to_multiple_facilities(sim, facilities):
+    _topo, hosts, stacks = facilities
+    orchestrator = Orchestrator(sim)
+    orchestrator.register("dune", "surf")
+    orchestrator.register("rubin", "chile")
+    orchestrator.register("icecube", "pole")
+    orchestrator.subscribe("snb", "rubin")
+    orchestrator.subscribe("snb", "icecube")
+    transport = MmtTriggerTransport(orchestrator)
+    transport.connect("dune", stacks["dune"], "rubin", stacks["rubin"], hosts["rubin"].ip)
+    transport.connect("dune", stacks["dune"], "icecube", stacks["icecube"], hosts["icecube"].ip)
+    record = orchestrator.emit("snb", "dune", b"x")
+    sim.run()
+    assert record.latency_ns("icecube") < record.latency_ns("rubin")
+    assert transport.frames_sent == 2
+    assert transport.frames_delivered == 2
+
+
+def test_duplicate_session_rejected(sim, facilities):
+    _topo, hosts, stacks = facilities
+    orchestrator = Orchestrator(sim)
+    orchestrator.register("dune", "surf")
+    orchestrator.register("rubin", "chile")
+    transport = MmtTriggerTransport(orchestrator)
+    transport.connect("dune", stacks["dune"], "rubin", stacks["rubin"], hosts["rubin"].ip)
+    with pytest.raises(ValueError):
+        transport.connect("dune", stacks["dune"], "rubin", stacks["rubin"], hosts["rubin"].ip)
+
+
+def test_multiple_triggers_keep_distinct_records(sim, facilities):
+    _topo, hosts, stacks = facilities
+    orchestrator = Orchestrator(sim)
+    orchestrator.register("dune", "surf")
+    payloads = []
+    orchestrator.register(
+        "rubin", "chile",
+        on_trigger=lambda topic, payload, record: payloads.append(payload),
+    )
+    orchestrator.subscribe("snb", "rubin")
+    transport = MmtTriggerTransport(orchestrator)
+    transport.connect("dune", stacks["dune"], "rubin", stacks["rubin"], hosts["rubin"].ip)
+    first = orchestrator.emit("snb", "dune", b"one")
+    second = orchestrator.emit("snb", "dune", b"two")
+    sim.run()
+    assert payloads == [b"one", b"two"]
+    assert first.deliveries and second.deliveries

@@ -1,0 +1,171 @@
+"""Engine semantics: ordering, cancellation, determinism, timers."""
+
+import pytest
+
+from repro.netsim import SimulationError, Simulator, Timer
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(30, order.append, "c")
+    sim.schedule(10, order.append, "a")
+    sim.schedule(20, order.append, "b")
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_ties_fire_in_scheduling_order():
+    sim = Simulator()
+    order = []
+    for tag in ("first", "second", "third"):
+        sim.schedule(5, order.append, tag)
+    sim.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_clock_advances_to_event_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(42, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [42]
+    assert sim.now == 42
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1, lambda: None)
+
+
+def test_schedule_at_past_rejected():
+    sim = Simulator()
+    sim.schedule(10, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(5, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(10, fired.append, 1)
+    event.cancel()
+    sim.run()
+    assert fired == []
+    assert sim.pending_events() == 0
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10, fired.append, "early")
+    sim.schedule(100, fired.append, "late")
+    sim.run(until_ns=50)
+    assert fired == ["early"]
+    assert sim.now == 50  # clock advanced exactly to the bound
+    sim.run()
+    assert fired == ["early", "late"]
+
+
+def test_run_until_advances_clock_on_empty_queue():
+    sim = Simulator()
+    sim.run(until_ns=1000)
+    assert sim.now == 1000
+
+
+def test_max_events_limits_processing():
+    sim = Simulator()
+    fired = []
+    for i in range(10):
+        sim.schedule(i + 1, fired.append, i)
+    processed = sim.run(max_events=3)
+    assert processed == 3
+    assert fired == [0, 1, 2]
+
+
+def test_events_scheduled_during_run_fire():
+    sim = Simulator()
+    order = []
+
+    def first():
+        order.append("first")
+        sim.schedule(5, lambda: order.append("nested"))
+
+    sim.schedule(10, first)
+    sim.run()
+    assert order == ["first", "nested"]
+
+
+def test_named_rng_streams_are_independent_and_stable():
+    sim1 = Simulator(seed=9)
+    sim2 = Simulator(seed=9)
+    a1 = [sim1.rng("a").random() for _ in range(5)]
+    # Interleaving another stream must not perturb stream "a".
+    sim2.rng("b").random()
+    a2 = [sim2.rng("a").random() for _ in range(5)]
+    assert a1 == a2
+
+
+def test_different_seeds_differ():
+    assert Simulator(seed=1).rng("x").random() != Simulator(seed=2).rng("x").random()
+
+
+def test_peek_time_skips_cancelled():
+    sim = Simulator()
+    event = sim.schedule(5, lambda: None)
+    sim.schedule(9, lambda: None)
+    event.cancel()
+    assert sim.peek_time() == 9
+
+
+class TestTimer:
+    def test_fires_after_delay(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(100)
+        sim.run()
+        assert fired == [100]
+        assert not timer.running
+
+    def test_stop_prevents_firing(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(1))
+        timer.start(100)
+        timer.stop()
+        sim.run()
+        assert fired == []
+
+    def test_restart_supersedes_previous(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(100)
+        timer.start(500)
+        sim.run()
+        assert fired == [500]
+
+    def test_expires_at_reports_deadline(self):
+        sim = Simulator()
+        timer = Timer(sim, lambda: None)
+        timer.start(250)
+        assert timer.expires_at == 250
+        timer.stop()
+        assert timer.expires_at is None
+
+    def test_timer_can_rearm_itself(self):
+        sim = Simulator()
+        fired = []
+
+        def tick():
+            fired.append(sim.now)
+            if len(fired) < 3:
+                timer.start(10)
+
+        timer = Timer(sim, tick)
+        timer.start(10)
+        sim.run()
+        assert fired == [10, 20, 30]

@@ -1,0 +1,63 @@
+"""Flow tracking and accounting."""
+
+import pytest
+
+from repro.netsim import FlowTracker, Packet
+
+
+def pkt(flow, size=100, sent_at=None):
+    meta = {"flow": flow}
+    if sent_at is not None:
+        meta["sent_at"] = sent_at
+    return Packet(payload_size=size, meta=meta)
+
+
+def test_per_flow_separation():
+    tracker = FlowTracker()
+    tracker.record(pkt("x"), 10)
+    tracker.record(pkt("y"), 20)
+    tracker.record(pkt("x"), 30)
+    assert len(tracker) == 2
+    assert tracker.flow("x").packets == 2
+    assert tracker.flow("y").packets == 1
+    assert tracker.total_packets == 3
+
+
+def test_latency_samples():
+    tracker = FlowTracker()
+    tracker.record(pkt("x", sent_at=100), 150)
+    tracker.record(pkt("x", sent_at=200), 280)
+    assert tracker.flow("x").latencies_ns == [50, 80]
+
+
+def test_latency_collection_can_be_disabled():
+    tracker = FlowTracker(keep_latencies=False)
+    tracker.record(pkt("x", sent_at=0), 50)
+    assert tracker.flow("x").latencies_ns == []
+
+
+def test_throughput_over_active_window():
+    tracker = FlowTracker()
+    tracker.record(pkt("x", size=1000), 0)
+    tracker.record(pkt("x", size=1000), 1_000_000)  # 1 ms apart
+    record = tracker.flow("x")
+    assert record.duration_ns == 1_000_000
+    assert record.throughput_bps == pytest.approx(16_000_000)  # 2kB/ms
+
+
+def test_single_packet_flow_has_zero_duration():
+    tracker = FlowTracker()
+    tracker.record(pkt("x"), 5)
+    assert tracker.flow("x").duration_ns == 0
+    assert tracker.flow("x").throughput_bps == 0.0
+
+
+def test_default_flow_tag():
+    tracker = FlowTracker()
+    tracker.record(Packet(payload_size=1), 0)
+    assert "default" in tracker.flows
+
+
+def test_unknown_flow_raises():
+    with pytest.raises(KeyError):
+        FlowTracker().flow("missing")

@@ -1,0 +1,95 @@
+"""HDF5-lite container codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.payload import Dataset, Group, Hdf5LiteError, dump, load
+
+
+def sample_tree():
+    root = Group(name="detector1", attrs={"facility": "fnal", "run": 42})
+    s = root.add(Group(name="slice0"))
+    s.add(Dataset(
+        name="adc",
+        data=np.arange(16, dtype=np.uint16).reshape(4, 4),
+        attrs={"units": "counts", "gain": 1.5},
+    ))
+    return root
+
+
+def test_roundtrip_tree():
+    data = dump(sample_tree())
+    tree = load(data)
+    assert tree.name == "detector1"
+    assert tree.attrs == {"facility": "fnal", "run": 42}
+    dataset = tree.dataset("slice0/adc")
+    assert dataset.data.shape == (4, 4)
+    assert dataset.data.dtype == np.dtype(">u2")
+    assert dataset.attrs["gain"] == 1.5
+    np.testing.assert_array_equal(dataset.data, np.arange(16).reshape(4, 4))
+
+
+def test_bad_magic():
+    with pytest.raises(Hdf5LiteError):
+        load(b"NOPE" + dump(sample_tree())[4:])
+
+
+def test_trailing_bytes_rejected():
+    with pytest.raises(Hdf5LiteError):
+        load(dump(sample_tree()) + b"\x00")
+
+
+def test_truncation_rejected():
+    data = dump(sample_tree())
+    with pytest.raises(Hdf5LiteError):
+        load(data[:-3])
+
+
+def test_duplicate_child_names_rejected():
+    g = Group(name="g")
+    g.add(Group(name="x"))
+    with pytest.raises(Hdf5LiteError):
+        g.add(Dataset(name="x", data=np.zeros(1, dtype=np.uint16)))
+
+
+def test_unsupported_dtype_rejected():
+    with pytest.raises(Hdf5LiteError):
+        Dataset(name="bad", data=np.zeros(2, dtype=np.complex64))
+
+
+def test_dataset_path_errors():
+    tree = load(dump(sample_tree()))
+    with pytest.raises(KeyError):
+        tree.dataset("slice0")        # group, not dataset
+    with pytest.raises(KeyError):
+        tree.dataset("missing/adc")
+
+
+def test_scalar_and_empty_shapes():
+    root = Group(name="r")
+    root.add(Dataset(name="empty", data=np.zeros(0, dtype=np.int64)))
+    tree = load(dump(root))
+    assert tree.dataset("empty").data.size == 0
+
+
+@given(
+    values=st.lists(st.integers(0, 2**16 - 1), min_size=1, max_size=64),
+    run=st.integers(-(2**62), 2**62),
+    label=st.text(max_size=32),
+)
+def test_roundtrip_property(values, run, label):
+    root = Group(name="root", attrs={"run": run, "label": label})
+    root.add(Dataset(name="d", data=np.array(values, dtype=np.uint16)))
+    tree = load(dump(root))
+    assert tree.attrs["run"] == run
+    assert tree.attrs["label"] == label
+    np.testing.assert_array_equal(tree.dataset("d").data, np.array(values))
+
+
+def test_all_dtypes_roundtrip():
+    for dtype in (np.uint16, np.uint32, np.int32, np.int64, np.float32, np.float64):
+        root = Group(name="r")
+        root.add(Dataset(name="d", data=np.array([1, 2, 3], dtype=dtype)))
+        out = load(dump(root)).dataset("d")
+        np.testing.assert_array_equal(out.data.astype(dtype), np.array([1, 2, 3], dtype=dtype))

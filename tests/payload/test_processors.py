@@ -1,0 +1,141 @@
+"""In-path payload processors: transcoding, extraction, inline node."""
+
+import numpy as np
+import pytest
+
+from repro.core import MmtStack, make_experiment_id
+from repro.daq import LArTpcWaveformSynth, parse_message
+from repro.netsim import Simulator, Topology, units
+from repro.payload import (
+    InlineProcessorNode,
+    TriggerPrimitiveExtractor,
+    WibToHdf5Transcoder,
+    load,
+    parse_primitives,
+)
+
+EXP = 13
+EXP_ID = make_experiment_id(EXP)
+
+
+@pytest.fixture
+def synth():
+    return LArTpcWaveformSynth(seed=5, noise_rms=2.0, pulse_amplitude=800)
+
+
+class TestTranscoder:
+    def test_wib_message_becomes_container(self, synth):
+        transcoder = WibToHdf5Transcoder()
+        message = synth.message(detector_id=3, slice_id=1, timestamp_ticks=99, run_number=7)
+        out = transcoder.process(message)
+        tree = load(out)
+        assert tree.name == "detector3"
+        frame = tree.child("slice1").child("frame99")
+        assert frame.attrs["run"] == 7
+        adc = tree.dataset("slice1/frame99/adc")
+        assert adc.data.shape == (256,)
+        assert transcoder.transcoded == 1
+
+    def test_adc_values_preserved_exactly(self, synth):
+        transcoder = WibToHdf5Transcoder()
+        message = synth.message(detector_id=1, slice_id=0, timestamp_ticks=5)
+        _header, body = parse_message(message)
+        from repro.daq import WibFrame
+
+        original = WibFrame.decode(body).adc_counts
+        tree = load(transcoder.process(message))
+        np.testing.assert_array_equal(
+            tree.dataset("slice0/frame5/adc").data, np.array(original)
+        )
+
+    def test_non_daq_payload_passes_through(self):
+        transcoder = WibToHdf5Transcoder()
+        blob = b"not a daq message"
+        assert transcoder.process(blob) == blob
+        assert transcoder.skipped == 1
+
+
+class TestExtractor:
+    def test_hits_become_primitives(self, synth):
+        extractor = TriggerPrimitiveExtractor(threshold=200)
+        message = synth.message(detector_id=1, slice_id=0, timestamp_ticks=9, hits=2)
+        out = extractor.process(message)
+        assert out is not None
+        primitives = parse_primitives(out)
+        assert primitives
+        assert all(p.timestamp_ticks == 9 for p in primitives)
+        assert all(p.amplitude > 200 for p in primitives)
+        assert len(out) < len(message) / 4  # strong data reduction
+
+    def test_quiet_frame_suppressed(self, synth):
+        extractor = TriggerPrimitiveExtractor(threshold=200)
+        message = synth.message(detector_id=1, slice_id=0, timestamp_ticks=9, hits=0)
+        assert extractor.process(message) is None
+        assert extractor.messages_suppressed == 1
+
+
+class TestInlineNode:
+    def build(self, sim, processor):
+        topo = Topology(sim)
+        src = topo.add_host("src", ip="10.0.0.2")
+        dst = topo.add_host("dst", ip="10.0.1.2")
+        node = InlineProcessorNode(
+            sim, "proc", mac=topo.allocate_mac(), processor=processor
+        )
+        topo.add(node)
+        topo.connect(src, node, units.gbps(10), 1000)
+        topo.connect(node, dst, units.gbps(10), 1000)
+        topo.install_routes()
+        return topo, src, dst, node
+
+    def test_payloads_transformed_in_flight(self, sim, synth):
+        extractor = TriggerPrimitiveExtractor(threshold=200)
+        _topo, src, dst, node = self.build(sim, extractor)
+        src_stack = MmtStack(src)
+        dst_stack = MmtStack(dst)
+        got = []
+        dst_stack.bind_receiver(EXP, on_message=lambda p, h: got.append(p.payload))
+        sender = src_stack.create_sender(
+            experiment_id=EXP_ID, mode="identify", dst_ip=dst.ip
+        )
+        hit_message = synth.message(1, 0, timestamp_ticks=1, hits=3)
+        quiet_message = synth.message(1, 0, timestamp_ticks=2, hits=0)
+        sender.send(len(hit_message), payload=hit_message)
+        sender.send(len(quiet_message), payload=quiet_message)
+        sim.run()
+        # The quiet frame was suppressed in-network; the hit frame
+        # arrived as compact primitives.
+        assert len(got) == 1
+        assert parse_primitives(got[0])
+        assert node.processed == 1
+        assert node.suppressed == 1
+
+    def test_processing_adds_latency(self, sim, synth):
+        transcoder = WibToHdf5Transcoder()
+        _topo, src, dst, node = self.build(sim, transcoder)
+        node.per_byte_ns = 10.0
+        src_stack = MmtStack(src)
+        dst_stack = MmtStack(dst)
+        arrivals = []
+        dst_stack.bind_receiver(EXP, on_message=lambda p, h: arrivals.append(sim.now))
+        sender = src_stack.create_sender(
+            experiment_id=EXP_ID, mode="identify", dst_ip=dst.ip
+        )
+        message = synth.message(1, 0, timestamp_ticks=1)
+        sender.send(len(message), payload=message)
+        sim.run()
+        assert arrivals[0] > 10.0 * len(message)
+
+    def test_control_traffic_untouched(self, sim):
+        extractor = TriggerPrimitiveExtractor()
+        _topo, src, dst, node = self.build(sim, extractor)
+        from repro.core import MmtHeader, MsgType, NakPayload, SeqRange
+
+        src_stack = MmtStack(src)
+        dst_stack = MmtStack(dst)
+        dst_stack.attach_buffer(1_000_000)
+        header = MmtHeader(msg_type=MsgType.NAK, experiment_id=EXP_ID)
+        src_stack.send_control(dst.ip, header, NakPayload(ranges=[SeqRange(0, 0)]).encode())
+        sim.run()
+        assert node.passthrough == 1
+        assert node.processed == 0

@@ -1,0 +1,60 @@
+"""The ``repro`` console entry point."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_catalog_prints_table1(capsys):
+    assert main(["catalog"]) == 0
+    out = capsys.readouterr().out
+    for name in ("CMS L1 Trigger", "DUNE", "ECCE detector", "Mu2e", "Vera Rubin"):
+        assert name in out
+    assert "63.0 Tbps" in out
+    assert "400.0 Gbps" in out
+
+
+def test_header_lists_every_mode(capsys):
+    assert main(["header"]) == 0
+    out = capsys.readouterr().out
+    for mode in ("identify", "age-recover", "deliver-check", "paced", "fanout"):
+        assert mode in out
+    assert " 8 " in out  # the bare core header size
+
+
+def test_pilot_small_run(capsys):
+    code = main([
+        "pilot", "--messages", "50", "--wan-ms", "1",
+        "--loss", "0.02", "--interval-us", "5",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "delivered" in out
+    assert "complete" in out
+    assert "True" in out
+
+
+def test_compare_small_run(capsys):
+    assert main([
+        "compare", "--messages", "100", "--wan-ms", "2", "--loss", "0",
+        "--interval-us", "64",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "today (UDP+TCP)" in out
+    assert "multi-modal (MMT)" in out
+
+
+def test_supernova_run(capsys):
+    assert main(["supernova"]) == 0
+    out = capsys.readouterr().out
+    assert "today" in out and "mmt" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["frobnicate"])
+
+
+def test_command_required():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

@@ -1,0 +1,112 @@
+"""Failure injection across modules: outages, partitions, overload.
+
+These tests intentionally break things mid-run and check the system
+degrades the way the design says it should — recovery after healing,
+bounded give-up when recovery is impossible, counters that tell the
+operator what happened.
+"""
+
+import pytest
+
+from repro.core import MmtStack, ReceiverConfig, make_experiment_id
+from repro.dataplane import PilotConfig, PilotTestbed
+from repro.netsim import Simulator, units
+from tests.conftest import TwoHostRig
+
+EXP = 7
+EXP_ID = make_experiment_id(EXP)
+
+
+class TestLinkOutage:
+    def build(self, sim):
+        rig = TwoHostRig(sim, middle_delay_ns=units.milliseconds(2))
+        stack_a = MmtStack(rig.a)
+        stack_b = MmtStack(rig.b)
+        got = set()
+        receiver = stack_b.bind_receiver(
+            EXP, on_message=lambda p, h: got.add(h.seq),
+            config=ReceiverConfig(initial_rtt_ns=units.milliseconds(8)),
+        )
+        stack_a.attach_buffer(256 * 1024 * 1024)
+        sender = stack_a.create_sender(
+            experiment_id=EXP_ID, mode="age-recover", dst_ip=rig.b.ip,
+            age_budget_ns=units.seconds(10), buffer_local=True,
+        )
+        return rig, sender, receiver, got
+
+    def test_outage_mid_stream_fully_recovered_after_heal(self, sim):
+        rig, sender, receiver, got = self.build(sim)
+        for i in range(600):
+            sim.schedule(i * 50_000, sender.send, 2000)  # 30 ms stream
+        # A hard 8 ms outage in the middle of the stream.
+        sim.schedule(units.milliseconds(10), lambda: setattr(rig.link_b, "up", False))
+        sim.schedule(units.milliseconds(18), lambda: setattr(rig.link_b, "up", True))
+        sim.schedule(units.milliseconds(31), sender.finish)
+        sim.run()
+        receiver.request_missing(EXP_ID, 600)
+        sim.run()
+        assert got == set(range(600))
+        assert receiver.stats.retransmissions_received > 50  # the outage window
+        assert receiver.stats.unrecovered == 0
+
+    def test_permanent_partition_gives_up_boundedly(self, sim):
+        rig, sender, receiver, got = self.build(sim)
+        for i in range(50):
+            sender.send(1000)
+        sim.schedule(units.microseconds(10), lambda: setattr(rig.link_b, "up", False))
+        sender.finish()
+        sim.run(until_ns=units.seconds(600))
+        # Whatever was in flight before the cut arrived; the rest was
+        # eventually abandoned (bounded NAK retries), not retried forever.
+        assert receiver.stats.naks_sent <= receiver.config.max_naks + 2
+        assert sim.pending_events() == 0  # no timer leaks after give-up
+
+
+class TestBufferUndersizing:
+    def test_eviction_makes_old_losses_unrecoverable_but_counted(self, sim):
+        """An undersized buffer cannot serve old NAKs: the receiver
+        gives up on exactly those, and the buffer counts the misses."""
+        rig = TwoHostRig(sim, middle_delay_ns=units.milliseconds(20), loss_rate=0.05)
+        stack_a = MmtStack(rig.a)
+        stack_b = MmtStack(rig.b)
+        receiver = stack_b.bind_receiver(
+            EXP, config=ReceiverConfig(initial_rtt_ns=units.milliseconds(45), max_naks=3),
+        )
+        buffer = stack_a.attach_buffer(20_000)  # holds ~6 messages only
+        sender = stack_a.create_sender(
+            experiment_id=EXP_ID, mode="age-recover", dst_ip=rig.b.ip,
+            age_budget_ns=units.seconds(10), buffer_local=True,
+        )
+        for i in range(400):
+            sim.schedule(i * 20_000, sender.send, 3000)
+        sim.schedule(400 * 20_000, sender.finish)
+        sim.run()
+        assert buffer.stats.evicted > 300
+        assert buffer.stats.misses > 0
+        assert receiver.stats.unrecovered > 0
+        # The stream still terminated cleanly.
+        assert receiver.outstanding() == 0
+
+
+class TestPilotUnderStress:
+    def test_pilot_survives_outage_and_recovers(self):
+        config = PilotConfig(wan_delay_ns=2 * units.MILLISECOND)
+        pilot = PilotTestbed(sim=Simulator(seed=77), config=config)
+        pilot.send_stream(800, payload_size=4000, interval_ns=20_000)  # 16 ms stream
+        sim = pilot.sim
+        sim.schedule(units.milliseconds(5), lambda: setattr(pilot.wan_link, "up", False))
+        sim.schedule(units.milliseconds(9), lambda: setattr(pilot.wan_link, "up", True))
+        report = pilot.run()
+        assert report.complete
+        assert report.retransmissions > 100
+        assert report.naks_served >= 1
+
+    def test_pilot_heavy_loss_still_complete(self):
+        config = PilotConfig(
+            wan_delay_ns=1 * units.MILLISECOND, wan_loss_rate=0.15
+        )
+        pilot = PilotTestbed(sim=Simulator(seed=78), config=config)
+        pilot.send_stream(300, payload_size=2000, interval_ns=10_000)
+        report = pilot.run()
+        assert report.complete
+        assert report.naks_sent > 0

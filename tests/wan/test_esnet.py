@@ -1,0 +1,84 @@
+"""The ESnet-like backbone substrate."""
+
+import pytest
+
+from repro.baselines import UdpStack
+from repro.core import MmtStack, make_experiment_id
+from repro.netsim.units import MILLISECOND, gbps
+from repro.wan import CircuitError
+from repro.wan.esnet import POPS, SITES, build_esnet
+
+
+@pytest.fixture
+def backbone(sim):
+    return build_esnet(sim)
+
+
+def test_all_pops_and_sites_built(backbone):
+    assert set(backbone.routers) == set(POPS)
+    assert set(backbone.sites) == set(SITES)
+
+
+def test_coast_to_coast_delay_realistic(backbone):
+    """SUNN→NEWY one-way must land in the real 15-25 ms band, and the
+    SURF→FNAL (DUNE) path in the 5-15 ms band."""
+    coast = backbone.one_way_delay_ns("SUNN", "NEWY")
+    assert 15 * MILLISECOND < coast < 35 * MILLISECOND
+    dune = backbone.one_way_delay_ns("SURF", "FNAL")
+    assert 5 * MILLISECOND < dune < 15 * MILLISECOND
+
+
+def test_site_to_site_connectivity(backbone, sim):
+    """Every facility pair can exchange packets over installed routes."""
+    surf = backbone.sites["SURF"]
+    fnal = backbone.sites["FNAL"]
+    stack_a = MmtStack(surf)
+    stack_b = MmtStack(fnal)
+    got = []
+    stack_b.bind_receiver(2, on_message=lambda p, h: got.append(sim.now))
+    sender = stack_a.create_sender(
+        experiment_id=make_experiment_id(2), mode="identify", dst_ip=fnal.ip
+    )
+    sender.send(8192)
+    sim.run()
+    assert len(got) == 1
+    # Arrival time ~ the computed path delay (plus serialization).
+    assert abs(got[0] - backbone.one_way_delay_ns("SURF", "FNAL")) < MILLISECOND
+
+
+def test_lowest_latency_path_chosen(backbone):
+    """CHIC→NEWY has a direct trunk; the path must not detour via WASH."""
+    names = backbone.path_link_names("CHIC", "NEWY")
+    assert len(names) == 1
+
+
+def test_circuit_reservation_along_path(backbone):
+    legs = backbone.reserve_circuit(
+        "SURF", "FNAL", gbps(100), 0, 10**12, owner="dune-run-7"
+    )
+    assert len(legs) == len(backbone.path_link_names("SURF", "FNAL"))
+    # The same capacity again still fits (400G trunks), but 4x does not.
+    backbone.reserve_circuit("SURF", "FNAL", gbps(100), 0, 10**12, owner="dune-run-8")
+    with pytest.raises(CircuitError):
+        backbone.reserve_circuit("SURF", "FNAL", gbps(300), 0, 10**12, owner="greedy")
+
+
+def test_attach_site_after_build(backbone, sim):
+    caltech = backbone.attach_site("CALTECH", "SUNN", tail_km=500)
+    fnal = backbone.sites["FNAL"]
+    ua = UdpStack(caltech)
+    ub = UdpStack(fnal)
+    got = []
+    ub.bind(9000, on_datagram=lambda p, s: got.append(p))
+    ua.bind(1).send_to(fnal.ip, 9000, 100)
+    sim.run()
+    assert len(got) == 1
+
+
+def test_attach_validation(backbone):
+    with pytest.raises(KeyError):
+        backbone.attach_site("X", "NOPE", 10)
+    with pytest.raises(KeyError):
+        backbone.attach_site("FNAL", "CHIC", 10)
+    with pytest.raises(KeyError):
+        backbone.one_way_delay_ns("FNAL", "GHOST")
