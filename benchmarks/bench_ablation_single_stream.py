@@ -14,7 +14,7 @@ from repro.analysis import ResultTable, format_rate
 from repro.baselines import TcpStack, tuned_100g, tuned_100g_bbr
 from repro.core import MmtStack, make_experiment_id
 from repro.netsim import Simulator, Topology, units
-from repro.netsim.units import MILLISECOND, SECOND
+from repro.netsim.units import SECOND
 
 EXP_ID = make_experiment_id(33)
 TRANSFER_BYTES = 400 * 1024 * 1024  # 400 MB bulk transfer

@@ -36,8 +36,22 @@ def run_cases(messages=800):
     return results
 
 
-def test_fig4_pilot_study(once):
+def test_fig4_pilot_study(once, bench_result):
     results = once(run_cases)
+    bench_result.seed = 31
+    bench_result.params = {"messages": 800, "payload_size": 8000, "interval_ns": 2000}
+    for name, _pilot, report in results:
+        latencies = report.delivery_latencies_ns
+        bench_result.record(
+            name,
+            delivered=report.delivered,
+            naks=report.naks_sent,
+            retransmissions=report.retransmissions,
+            aged=report.aged_packets,
+            deadline_misses=report.deadline_misses,
+            p50_latency_ns=percentile(latencies, 0.5),
+            p99_latency_ns=percentile(latencies, 0.99),
+        )
     table = ResultTable(
         "Figure 4 — pilot study (3 modes, NAK recovery from DTN 1)",
         ["Configuration", "Delivered", "NAKs", "Retx", "Aged",

@@ -6,11 +6,40 @@ deterministic; repetition adds nothing but wall time) via
 so EXPERIMENTS.md rows can be read straight off the output. Run with::
 
     pytest benchmarks/ --benchmark-only -s
+
+Benchmarks additionally emit machine-readable results: each
+``bench_<name>.py`` module gets a :class:`repro.telemetry.BenchResult`
+(via the ``bench_result`` fixture) and at session end every result is
+written to ``BENCH_<name>.json`` at the repo root in one shared schema
+(name, params, metrics, seed, wall time — see
+:mod:`repro.telemetry.benchfmt`). Wall time is captured automatically
+around the ``once`` runner. The JSON files are committed so the
+performance trajectory is tracked in version control (see .gitignore).
 """
 
 from __future__ import annotations
 
+import time
+
 import pytest
+
+from repro.telemetry import BenchResult
+
+#: BenchResult per bench module, keyed by short name ("fig4_pilot", ...).
+_RESULTS: dict[str, BenchResult] = {}
+
+
+def _bench_name(module_name: str) -> str:
+    short = module_name.rpartition(".")[2]
+    return short.removeprefix("bench_")
+
+
+def result_for(module_name: str) -> BenchResult:
+    """The shared :class:`BenchResult` for one bench module."""
+    name = _bench_name(module_name)
+    if name not in _RESULTS:
+        _RESULTS[name] = BenchResult(name=name)
+    return _RESULTS[name]
 
 
 def run_once(benchmark, fn, *args, **kwargs):
@@ -19,8 +48,31 @@ def run_once(benchmark, fn, *args, **kwargs):
 
 
 @pytest.fixture
-def once(benchmark):
+def bench_result(request) -> BenchResult:
+    """This bench module's result record; written at session end."""
+    return result_for(request.module.__name__)
+
+
+@pytest.fixture
+def once(benchmark, request):
+    """Single-round benchmark runner that also records wall time.
+
+    The elapsed time lands in the module's ``BenchResult`` under the
+    requesting test's name, so every ``BENCH_*.json`` carries timing
+    even when the bench records no other metrics.
+    """
+    result = result_for(request.module.__name__)
+
     def runner(fn, *args, **kwargs):
-        return run_once(benchmark, fn, *args, **kwargs)
+        start = time.perf_counter()
+        value = run_once(benchmark, fn, *args, **kwargs)
+        result.add_wall_time(request.node.name, time.perf_counter() - start)
+        return value
 
     return runner
+
+
+def pytest_sessionfinish(session):
+    for result in _RESULTS.values():
+        result.write(str(session.config.rootpath))
+    _RESULTS.clear()

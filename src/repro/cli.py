@@ -4,9 +4,11 @@ Installed as the ``repro`` console script::
 
     repro catalog                         # Table 1
     repro pilot --loss 0.01 --wan-ms 10   # the Fig. 4 pilot study
+    repro pilot --telemetry out.jsonl     # ... with a telemetry snapshot
     repro compare --loss 0.001            # Fig. 2 vs Fig. 3 head-to-head
     repro supernova                       # DUNE -> Rubin early warning
     repro header                          # per-mode wire-format costs
+    repro telemetry out.jsonl             # render a snapshot as tables
 
 Every subcommand prints the same tables the benchmark suite produces,
 so quick shell exploration and recorded experiments stay consistent.
@@ -17,13 +19,19 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .analysis import LatencySummary, ResultTable, format_duration, format_rate, percentile
+from .analysis import ResultTable, format_duration, format_rate, percentile
 from .core import MmtHeader, TransitionContext, extended_registry, transition
 from .daq import catalog
 from .dataplane import PilotConfig, PilotTestbed
 from .integration import SupernovaConfig, compare as supernova_compare
 from .netsim import Simulator
 from .netsim.units import MILLISECOND
+from .telemetry import (
+    TelemetryError,
+    quantile_from_buckets,
+    read_snapshots,
+    write_snapshot,
+)
 from .wan import MultimodalScenario, ScenarioConfig, TodayScenario
 
 
@@ -46,6 +54,7 @@ def _cmd_pilot(args: argparse.Namespace) -> int:
         wan_loss_rate=args.loss,
         age_budget_ns=round(args.age_budget_ms * MILLISECOND),
         deadline_offset_ns=round(args.deadline_ms * MILLISECOND),
+        telemetry=args.telemetry is not None,
     )
     pilot = PilotTestbed(sim=Simulator(seed=args.seed), config=config)
     pilot.send_stream(args.messages, payload_size=args.size, interval_ns=round(args.interval_us * 1000))
@@ -70,7 +79,96 @@ def _cmd_pilot(args: argparse.Namespace) -> int:
     for name, value in rows:
         table.add_row(name, value)
     table.show()
+    if args.telemetry is not None:
+        registry = pilot.collect_telemetry()
+        try:
+            written = write_snapshot(
+                registry,
+                args.telemetry,
+                meta={
+                    "scenario": "pilot",
+                    "seed": args.seed,
+                    "sim_now_ns": pilot.sim.now,
+                    "messages": args.messages,
+                    "wan_ms": args.wan_ms,
+                    "loss": args.loss,
+                },
+            )
+        except OSError as exc:
+            print(f"error: cannot write snapshot: {exc}", file=sys.stderr)
+            return 1
+        print(f"\ntelemetry: {written - 1} metrics -> {args.telemetry}")
     return 0 if report.complete else 1
+
+
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    try:
+        snapshots = read_snapshots(args.snapshot)
+    except (OSError, TelemetryError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    for index, snap in enumerate(snapshots):
+        suffix = f" [{index + 1}/{len(snapshots)}]" if len(snapshots) > 1 else ""
+        meta = {k: v for k, v in snap.meta.items() if k != "kind"}
+        print(f"snapshot {args.snapshot}{suffix}: " + ", ".join(
+            f"{k}={v}" for k, v in sorted(meta.items())
+        ))
+
+        histograms = snap.of_kind("histogram")
+        if histograms:
+            table = ResultTable(
+                "Histograms (quantiles are bucket upper bounds)",
+                ["Metric", "Labels", "Count", "p50", "p99", "Max"],
+            )
+            for metric in histograms:
+                if not args.all and metric["count"] == 0:
+                    continue
+                fmt = format_duration if metric["name"].endswith("_ns") else str
+                quantiles = [
+                    quantile_from_buckets(
+                        metric["buckets"], metric["overflow"], metric["count"], q,
+                        observed_max=metric.get("max"),
+                    )
+                    for q in (0.5, 0.99)
+                ]
+                table.add_row(
+                    metric["name"],
+                    _format_labels(metric["labels"]),
+                    metric["count"],
+                    *(fmt(q) if q is not None else "-" for q in quantiles),
+                    fmt(metric["max"]) if metric["max"] is not None else "-",
+                )
+            table.show()
+
+        gauges = snap.of_kind("gauge")
+        if gauges:
+            table = ResultTable("Gauges", ["Metric", "Labels", "Value", "Peak"])
+            for metric in gauges:
+                if not args.all and metric["value"] == 0 and metric["peak"] == 0:
+                    continue
+                table.add_row(
+                    metric["name"],
+                    _format_labels(metric["labels"]),
+                    metric["value"],
+                    metric["peak"],
+                )
+            table.show()
+
+        counters = snap.of_kind("counter")
+        if counters:
+            table = ResultTable("Counters", ["Metric", "Labels", "Value"])
+            for metric in counters:
+                if not args.all and metric["value"] == 0:
+                    continue
+                table.add_row(
+                    metric["name"], _format_labels(metric["labels"]), metric["value"]
+                )
+            table.show()
+    return 0
+
+
+def _format_labels(labels: dict) -> str:
+    return ",".join(f"{k}={v}" for k, v in sorted(labels.items())) or "-"
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
@@ -156,6 +254,12 @@ def build_parser() -> argparse.ArgumentParser:
     pilot.add_argument("--age-budget-ms", type=float, default=50.0)
     pilot.add_argument("--deadline-ms", type=float, default=5.0)
     pilot.add_argument("--seed", type=int, default=42)
+    pilot.add_argument(
+        "--telemetry",
+        metavar="FILE",
+        default=None,
+        help="enable telemetry and write a JSONL snapshot to FILE",
+    )
 
     comparison = sub.add_parser("compare", help="Fig. 2 vs Fig. 3 head-to-head")
     comparison.add_argument("--messages", type=int, default=1000)
@@ -167,6 +271,12 @@ def build_parser() -> argparse.ArgumentParser:
     supernova.add_argument("--seed", type=int, default=11)
 
     sub.add_parser("header", help="wire-format cost per mode")
+
+    telemetry = sub.add_parser("telemetry", help="render a telemetry snapshot")
+    telemetry.add_argument("snapshot", help="JSONL snapshot file (repro pilot --telemetry)")
+    telemetry.add_argument(
+        "--all", action="store_true", help="include zero-valued metrics"
+    )
     return parser
 
 
@@ -176,6 +286,7 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "supernova": _cmd_supernova,
     "header": _cmd_header,
+    "telemetry": _cmd_telemetry,
 }
 
 

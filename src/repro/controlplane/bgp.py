@@ -18,7 +18,7 @@ routes, so "newest version wins" replaces path ranking.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from ..netsim.engine import Simulator

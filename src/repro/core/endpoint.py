@@ -75,6 +75,10 @@ class MmtStack:
         self.mode_announcements: dict[int, list[ModeAnnouncePayload]] = {}
         self.on_mode_announce: Callable[[int, ModeAnnouncePayload], None] | None = None
         self.rx_unknown_experiment = 0
+        #: In-band telemetry sink (repro.telemetry.inband.IntSink);
+        #: when set, INT stacks are stripped off every arriving packet
+        #: and fed to the sink's registry before demux.
+        self.int_sink = None
         #: Identical unmet-NAK forwards are capped so a mis-wired
         #: fallback cycle dies out instead of circulating forever.
         self._nak_forward_counts: dict[tuple, int] = {}
@@ -127,6 +131,8 @@ class MmtStack:
         )
 
     def _receive(self, packet: Packet) -> None:
+        if self.int_sink is not None:
+            self.int_sink.absorb(packet)
         header = packet.find(MmtHeader)
         if header is None:
             return

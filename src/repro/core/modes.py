@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from .features import AckScheme, Feature, MsgType
+from .features import AckScheme, Feature
 from .header import HeaderError, MmtHeader
 
 

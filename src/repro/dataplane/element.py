@@ -29,6 +29,7 @@ from ..netsim.link import Port
 from ..netsim.node import Node
 from ..netsim.packet import Packet
 from ..netsim.switch import RoutingTable
+from ..telemetry.inband import IntHeader, IntPostcard
 from .pipeline import Metadata, Pipeline
 
 
@@ -45,6 +46,9 @@ class ElementStats:
     naks_served: int = 0
     nak_packets_resent: int = 0
     dropped_no_route: int = 0
+    int_packets_marked: int = 0
+    int_postcards_pushed: int = 0
+    int_stack_full: int = 0
 
 
 class ProgrammableElement(Node):
@@ -72,6 +76,15 @@ class ProgrammableElement(Node):
         #: (RETX_DATA addressed to this element) for re-forwarding.
         self.segment_recovery = None
         self.stats = ElementStats()
+        #: In-band telemetry (INT): set by IntDomain.enroll(). When
+        #: ``int_hop_id`` is set this element appends a postcard to every
+        #: marked MMT data packet; when additionally ``int_source`` is
+        #: set it marks every ``int_sample_every``-th unmarked one.
+        self.int_hop_id: int | None = None
+        self.int_source = False
+        self.int_sample_every = 1
+        self.int_max_hops = 8
+        self._int_sample_counter = 0
         self._mac_table: dict[str, Port] = {}
         #: Identical unmet-NAK forwards are capped (anti-loop guard,
         #: mirroring MmtStack's behaviour).
@@ -131,12 +144,47 @@ class ProgrammableElement(Node):
         if meta.mirror_to_buffer and self.buffer is not None and mmt.seq is not None:
             self.buffer.store(mmt.experiment_id, mmt.seq, packet)
             self.stats.mirrored_to_buffer += 1
+        if self.int_hop_id is not None:
+            self._int_push(packet, mmt)
         for dst_ip, header, payload in meta.generated:
             self.stats.control_generated += 1
             self._send_mmt(dst_ip, header, payload_size=len(payload), payload=payload)
         for clone_dst in meta.clones:
             self._forward_clone(packet, clone_dst)
         self._forward(packet, ingress=ingress, egress_spec=meta.egress_spec)
+
+    def _int_push(self, packet: Packet, mmt: MmtHeader) -> None:
+        """Append this hop's INT postcard (marking at source elements).
+
+        Runs after the pipeline (postcards record post-rewrite mode
+        bits) and after the buffer mirror, so retransmitted copies are
+        served without a stale telemetry stack.
+        """
+        if mmt.msg_type not in (MsgType.DATA, MsgType.RETX_DATA):
+            return
+        header = packet.find(IntHeader)
+        if header is None:
+            if not self.int_source:
+                return
+            self._int_sample_counter += 1
+            if self._int_sample_counter % self.int_sample_every:
+                return
+            header = IntHeader(max_hops=self.int_max_hops)
+            # Innermost (after MMT): forwarding never inspects it, but
+            # its bytes still count toward serialization time and MTU.
+            packet.headers.append(header)
+            self.stats.int_packets_marked += 1
+        postcard = IntPostcard(
+            hop_id=self.int_hop_id,
+            timestamp_ns=self.sim.now,
+            queue_depth_pct=self._max_queue_occupancy_pct(),
+            config_id=mmt.config_id,
+            seq=mmt.seq or 0,
+        )
+        if header.push(postcard):
+            self.stats.int_postcards_pushed += 1
+        else:
+            self.stats.int_stack_full += 1
 
     def _addressed_to_me(self, packet: Packet) -> bool:
         if self.ip is None:

@@ -31,10 +31,17 @@ from ..core.endpoint import MmtReceiver, MmtSender, MmtStack, ReceiverConfig
 from ..core.header import make_experiment_id
 from ..core.modes import ModeRegistry, pilot_registry
 from ..netsim.engine import Simulator
-from ..netsim.headers import EtherType
 from ..netsim.packet import Packet
 from ..netsim.topology import Topology
 from ..netsim.units import MICROSECOND, MILLISECOND, gbps
+from ..telemetry import (
+    IntDomain,
+    MetricsRegistry,
+    scrape_element,
+    scrape_simulator,
+    scrape_stack,
+    scrape_topology,
+)
 from .alveo import AlveoNic
 from .programs import (
     AgeUpdateProgram,
@@ -70,6 +77,12 @@ class PilotConfig:
     slice_id: int = 0
     #: Receiver tuning (reorder wait before NAK, retries).
     receiver: ReceiverConfig = field(default_factory=ReceiverConfig)
+    #: Enable the telemetry subsystem: INT postcards along
+    #: U280 → Tofino2 → U55C with the sink at DTN 2, plus end-of-run
+    #: scraping of every component into a MetricsRegistry.
+    telemetry: bool = False
+    #: Mark every Nth data packet at the INT source (1 = all).
+    int_sample_every: int = 1
 
 
 @dataclass
@@ -218,6 +231,19 @@ class PilotTestbed:
             PILOT_EXPERIMENT, on_message=self._deliver_at_dtn2, config=cfg.receiver
         )
 
+        # --- telemetry ------------------------------------------------------
+        self.metrics: MetricsRegistry | None = None
+        self.int_domain: IntDomain | None = None
+        if cfg.telemetry:
+            self.metrics = MetricsRegistry()
+            self.int_domain = IntDomain()
+            self.int_domain.enroll(
+                self.u280, source=True, sample_every=cfg.int_sample_every
+            )
+            self.int_domain.enroll(self.tofino)
+            self.int_domain.enroll(self.u55c)
+            self.dtn2_stack.int_sink = self.int_domain.make_sink(self.metrics)
+
     # -- dataflow callbacks ------------------------------------------------------
 
     def _relay_at_dtn1(self, packet: Packet, header) -> None:
@@ -257,6 +283,23 @@ class PilotTestbed:
             self.dtn2_receiver.request_missing(self.experiment_id, self.dtn1_relayed)
             self.sim.run()
         return self.report()
+
+    def collect_telemetry(self) -> MetricsRegistry:
+        """Scrape the whole testbed into the registry (end of run).
+
+        The INT sink has been feeding the registry live; this adds the
+        pull side — engine, topology, elements, and endpoint stacks —
+        and returns the registry ready for export.
+        """
+        if self.metrics is None:
+            raise RuntimeError("telemetry disabled; build with PilotConfig(telemetry=True)")
+        scrape_simulator(self.sim, self.metrics)
+        scrape_topology(self.topology, self.metrics, now_ns=self.sim.now)
+        for element in (self.u280, self.tofino, self.u55c):
+            scrape_element(element, self.metrics)
+        for stack in (self.sensor_stack, self.dtn1_stack, self.dtn2_stack):
+            scrape_stack(stack, self.metrics)
+        return self.metrics
 
     def report(self) -> PilotReport:
         rx = self.dtn2_receiver.stats

@@ -27,7 +27,6 @@ from dataclasses import dataclass
 
 from ..baselines.tcp import TcpStack
 from ..baselines.tuning import tuned_100g
-from ..baselines.udp import UdpStack
 from ..core.endpoint import MmtStack
 from ..core.header import make_experiment_id
 from ..core.modes import extended_registry

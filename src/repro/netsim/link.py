@@ -11,7 +11,7 @@ treats fragmentation as a configuration error, not a feature.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
 from .engine import Simulator

@@ -32,6 +32,8 @@ class QueueDiscipline:
             raise ValueError(f"capacity must be positive, got {capacity_bytes}")
         self.capacity_bytes = capacity_bytes
         self.bytes_queued = 0
+        #: High-water mark of byte occupancy (telemetry scrapes this).
+        self.peak_bytes = 0
         self.enqueued = 0
         self.dropped = 0
 
@@ -54,6 +56,8 @@ class QueueDiscipline:
             self.dropped += 1
             return False
         self.bytes_queued += packet.size_bytes
+        if self.bytes_queued > self.peak_bytes:
+            self.peak_bytes = self.bytes_queued
         self.enqueued += 1
         return True
 

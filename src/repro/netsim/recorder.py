@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import enum
 import json
-from dataclasses import asdict, dataclass, is_dataclass
+from dataclasses import asdict, dataclass, fields as dataclasses_fields, is_dataclass
 from typing import Callable
 
 from .link import Link, Port
@@ -36,6 +36,23 @@ class TraceEntry:
 
     def to_json(self) -> str:
         return json.dumps(asdict(self), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, line: str) -> TraceEntry:
+        """Inverse of :meth:`to_json`; raises ``ValueError`` on bad input."""
+        try:
+            fields = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"not a JSON trace entry: {line[:80]!r}") from exc
+        if not isinstance(fields, dict):
+            raise ValueError(f"trace entry must be an object, got {type(fields).__name__}")
+        missing = {f.name for f in dataclasses_fields(cls)} - fields.keys()
+        if missing:
+            raise ValueError(f"trace entry missing fields: {sorted(missing)}")
+        extra = fields.keys() - {f.name for f in dataclasses_fields(cls)}
+        if extra:
+            raise ValueError(f"trace entry has unknown fields: {sorted(extra)}")
+        return cls(**fields)
 
 
 def _summarize_header(header) -> dict:
@@ -134,6 +151,27 @@ class TraceRecorder:
                 handle.write(entry.to_json())
                 handle.write("\n")
         return len(self.entries)
+
+    def load_jsonl(self, path: str) -> int:
+        """Append entries from a file written by :meth:`export_jsonl`.
+
+        The round-trip inverse of export: ``matching()`` and friends
+        work identically on loaded traces (header values were already
+        flattened to JSON-safe strings/ints at record time). Returns
+        the number of entries loaded; blank lines are skipped and
+        malformed lines raise ``ValueError`` with the line number.
+        """
+        loaded = 0
+        with open(path, "r", encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle, start=1):
+                if not line.strip():
+                    continue
+                try:
+                    self.entries.append(TraceEntry.from_json(line))
+                except ValueError as exc:
+                    raise ValueError(f"{path}:{lineno}: {exc}") from exc
+                loaded += 1
+        return loaded
 
     def __len__(self) -> int:
         return len(self.entries)

@@ -29,8 +29,7 @@ from ..netsim.link import Port
 from ..netsim.node import Node
 from ..netsim.packet import Packet
 from ..netsim.switch import RoutingTable
-from ..netsim.units import SECOND
-from ..daq.formats import DaqFrameHeader, PayloadKind, WibFrame, parse_message
+from ..daq.formats import PayloadKind, WibFrame, parse_message
 from .hdf5lite import Dataset, Group, dump
 
 

@@ -1,0 +1,95 @@
+"""Telemetry: metrics registry, in-band network telemetry, and export.
+
+The measurement substrate for the whole stack, in four parts:
+
+- :mod:`.registry` — ``Counter`` / ``Gauge`` / ``Histogram`` instruments
+  behind a :class:`MetricsRegistry`; integers only, fixed buckets, and
+  shared no-op instruments when disabled (zero overhead off);
+- :mod:`.inband` — INT: programmable elements push per-hop postcards
+  (timestamp, queue depth, mode bits, seq) onto marked packets; an
+  :class:`IntSink` at the receiving endpoint strips them into the
+  registry;
+- :mod:`.collect` — pull-side scrapers lifting the existing stats
+  counters (ports, queues, links, endpoints, elements, buffers) into
+  one registry for a whole-stack snapshot;
+- :mod:`.export` — JSON-lines snapshot writer/reader, rendered by the
+  ``repro telemetry`` CLI; :mod:`.benchfmt` — the shared
+  ``BENCH_<name>.json`` benchmark-result schema.
+"""
+
+from .benchfmt import BenchResult, load_bench_result
+from .collect import (
+    scrape_buffer,
+    scrape_element,
+    scrape_link,
+    scrape_port,
+    scrape_receiver,
+    scrape_sender,
+    scrape_simulator,
+    scrape_stack,
+    scrape_topology,
+)
+from .export import (
+    SCHEMA_VERSION,
+    Snapshot,
+    SnapshotWriter,
+    read_snapshot,
+    read_snapshots,
+    write_snapshot,
+)
+from .inband import (
+    DEFAULT_MAX_HOPS,
+    INT_BASE_BYTES,
+    IntDomain,
+    IntHeader,
+    IntPostcard,
+    IntSink,
+    POSTCARD_BYTES,
+)
+from .registry import (
+    Counter,
+    DEFAULT_LATENCY_BUCKETS_NS,
+    DEFAULT_PCT_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    TelemetryError,
+    quantile_from_buckets,
+)
+
+__all__ = [
+    "BenchResult",
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS_NS",
+    "DEFAULT_MAX_HOPS",
+    "DEFAULT_PCT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "INT_BASE_BYTES",
+    "IntDomain",
+    "IntHeader",
+    "IntPostcard",
+    "IntSink",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "POSTCARD_BYTES",
+    "SCHEMA_VERSION",
+    "Snapshot",
+    "SnapshotWriter",
+    "TelemetryError",
+    "load_bench_result",
+    "quantile_from_buckets",
+    "read_snapshot",
+    "read_snapshots",
+    "scrape_buffer",
+    "scrape_element",
+    "scrape_link",
+    "scrape_port",
+    "scrape_receiver",
+    "scrape_sender",
+    "scrape_simulator",
+    "scrape_stack",
+    "scrape_topology",
+    "write_snapshot",
+]

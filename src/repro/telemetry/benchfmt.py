@@ -1,0 +1,80 @@
+"""The shared benchmark-result schema: ``BENCH_<name>.json``.
+
+Every bench module writes one file in this format at the repo root —
+the perf trajectory later PRs cite and compare against. One schema for
+all benches means a reviewer (or a script) can diff two commits' files
+field by field:
+
+.. code-block:: json
+
+    {
+      "schema_version": 1,
+      "name": "fig4_pilot",
+      "params": {"messages": 800},
+      "metrics": {"test_fig4_pilot_study": {"wall_time_s": 1.9}},
+      "seed": 31,
+      "wall_time_s": 1.9
+    }
+
+``metrics`` is free-form but flat-ish by convention: test or case name
+→ {metric → number}. ``wall_time_s`` at the top level is the summed
+wall time of the module's benchmarked calls.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+SCHEMA_VERSION = 1
+
+
+@dataclass
+class BenchResult:
+    """Accumulates one bench module's structured results."""
+
+    name: str
+    params: dict = field(default_factory=dict)
+    metrics: dict = field(default_factory=dict)
+    seed: int | None = None
+    wall_time_s: float = 0.0
+
+    def record(self, case: str, **values) -> None:
+        """Merge metric values for a named case (test or scenario)."""
+        self.metrics.setdefault(case, {}).update(values)
+
+    def add_wall_time(self, case: str, seconds: float) -> None:
+        self.record(case, wall_time_s=round(seconds, 6))
+        self.wall_time_s = round(self.wall_time_s + seconds, 6)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "name": self.name,
+            "params": self.params,
+            "metrics": self.metrics,
+            "seed": self.seed,
+            "wall_time_s": self.wall_time_s,
+        }
+
+    def write(self, directory: str | Path) -> Path:
+        """Write ``BENCH_<name>.json`` under ``directory``; returns the path."""
+        path = Path(directory) / f"BENCH_{self.name}.json"
+        path.write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return path
+
+
+def load_bench_result(path: str | Path) -> BenchResult:
+    """Read a ``BENCH_*.json`` file back into a :class:`BenchResult`."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    return BenchResult(
+        name=data["name"],
+        params=data.get("params", {}),
+        metrics=data.get("metrics", {}),
+        seed=data.get("seed"),
+        wall_time_s=data.get("wall_time_s", 0.0),
+    )

@@ -1,0 +1,130 @@
+"""Snapshot export: JSON-lines out, parsed snapshots back in.
+
+A snapshot file is one JSON object per line: a single ``meta`` record
+(schema version, run context supplied by the caller) followed by one
+record per instrument, exactly :meth:`Metric.to_dict` plus a ``kind``
+discriminator. The format is append-friendly — a
+:class:`SnapshotWriter` can lay down several snapshots in one file and
+:func:`read_snapshots` returns them all — which is what periodic
+in-run sampling produces.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from .registry import MetricsRegistry, TelemetryError, quantile_from_buckets
+
+SCHEMA_VERSION = 1
+
+
+@dataclass
+class Snapshot:
+    """A parsed snapshot: run metadata plus metric records."""
+
+    meta: dict = field(default_factory=dict)
+    metrics: list[dict] = field(default_factory=list)
+
+    def of_kind(self, kind: str) -> list[dict]:
+        return [m for m in self.metrics if m["kind"] == kind]
+
+    def get(self, name: str, **labels) -> dict | None:
+        """First metric record matching ``name`` and all given labels."""
+        for metric in self.metrics:
+            if metric["name"] != name:
+                continue
+            if all(metric["labels"].get(k) == str(v) for k, v in labels.items()):
+                return metric
+        return None
+
+    def value(self, name: str, **labels) -> int | None:
+        """Counter/gauge value shortcut (None when absent)."""
+        metric = self.get(name, **labels)
+        return None if metric is None else metric.get("value")
+
+    def quantile(self, name: str, q: float, **labels) -> int | None:
+        """Histogram quantile straight from a snapshot record."""
+        metric = self.get(name, **labels)
+        if metric is None or metric["kind"] != "histogram":
+            return None
+        return quantile_from_buckets(
+            metric["buckets"],
+            metric.get("overflow", 0),
+            metric.get("count", 0),
+            q,
+            observed_max=metric.get("max"),
+        )
+
+
+def write_snapshot(
+    registry: MetricsRegistry, path: str, meta: dict | None = None
+) -> int:
+    """Write one snapshot, replacing ``path``. Returns records written."""
+    with open(path, "w", encoding="utf-8") as handle:
+        return _emit(registry, handle, meta)
+
+
+def _emit(registry: MetricsRegistry, handle, meta: dict | None) -> int:
+    header = {"kind": "meta", "schema_version": SCHEMA_VERSION}
+    header.update(meta or {})
+    handle.write(json.dumps(header, sort_keys=True) + "\n")
+    written = 1
+    for record in registry.snapshot():
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+        written += 1
+    return written
+
+
+class SnapshotWriter:
+    """Appends successive snapshots of a registry to one JSONL file."""
+
+    def __init__(self, path: str, registry: MetricsRegistry) -> None:
+        self.path = path
+        self.registry = registry
+        self.snapshots_written = 0
+        # Truncate up front so a run's file never mixes with a prior run's.
+        open(path, "w", encoding="utf-8").close()
+
+    def write(self, meta: dict | None = None) -> int:
+        with open(self.path, "a", encoding="utf-8") as handle:
+            written = _emit(self.registry, handle, meta)
+        self.snapshots_written += 1
+        return written
+
+
+def read_snapshots(path: str) -> list[Snapshot]:
+    """Parse every snapshot in a JSONL file (in file order)."""
+    snapshots: list[Snapshot] = []
+    current: Snapshot | None = None
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TelemetryError(f"{path}:{line_number}: bad JSON: {exc}") from None
+            kind = record.get("kind")
+            if kind == "meta":
+                current = Snapshot(meta=record)
+                snapshots.append(current)
+            elif kind in ("counter", "gauge", "histogram"):
+                if current is None:
+                    current = Snapshot()
+                    snapshots.append(current)
+                current.metrics.append(record)
+            else:
+                raise TelemetryError(f"{path}:{line_number}: unknown kind {kind!r}")
+    return snapshots
+
+
+def read_snapshot(path: str) -> Snapshot:
+    """Parse a file expected to hold exactly one snapshot."""
+    snapshots = read_snapshots(path)
+    if not snapshots:
+        raise TelemetryError(f"{path}: no snapshot records")
+    if len(snapshots) > 1:
+        raise TelemetryError(f"{path}: {len(snapshots)} snapshots; use read_snapshots")
+    return snapshots[0]

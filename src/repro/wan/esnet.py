@@ -21,7 +21,7 @@ from ..netsim.engine import Simulator
 from ..netsim.host import Host
 from ..netsim.switch import IpRouter
 from ..netsim.topology import Topology
-from ..netsim.units import MICROSECOND, gbps
+from ..netsim.units import gbps
 from .circuits import CircuitManager
 
 #: Propagation in fiber: ~5 us per km.

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.baselines import UdpError, UdpStack, remote_address
-from repro.netsim import units
 from tests.conftest import TwoHostRig
 
 

@@ -9,7 +9,7 @@ from repro.controlplane import (
     ResourceDescriptor,
     converge,
 )
-from repro.netsim import Simulator, units
+from repro.netsim import units
 
 
 def descriptor(domain, node, version=1):

@@ -13,7 +13,7 @@ from repro.controlplane import (
 )
 from repro.core import Feature, MmtStack, ReceiverConfig, extended_registry, make_experiment_id
 from repro.dataplane import ProgrammableElement
-from repro.netsim import Simulator, Topology, units
+from repro.netsim import Topology, units
 
 EXP = 31
 EXP_ID = make_experiment_id(EXP)

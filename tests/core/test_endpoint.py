@@ -9,7 +9,7 @@ from repro.core import (
     ReceiverConfig,
     make_experiment_id,
 )
-from repro.netsim import Simulator, units
+from repro.netsim import units
 from tests.conftest import TwoHostRig
 
 EXP = 7

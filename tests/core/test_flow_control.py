@@ -1,6 +1,5 @@
 """Credit-based flow control (the FLOW_CONTROL feature bit)."""
 
-import pytest
 
 from repro.core import (
     AckScheme,

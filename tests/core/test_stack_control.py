@@ -1,6 +1,5 @@
 """MmtStack control-message handling edge cases."""
 
-import pytest
 
 from repro.core import (
     Feature,
@@ -11,7 +10,7 @@ from repro.core import (
     SeqRange,
     make_experiment_id,
 )
-from repro.netsim import Packet, Simulator, Topology, units
+from repro.netsim import Packet, Topology, units
 
 EXP = 7
 EXP_ID = make_experiment_id(EXP)

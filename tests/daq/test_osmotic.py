@@ -1,6 +1,5 @@
 """Osmotic sensor fleets over cell backhaul (§6, challenge 3)."""
 
-import pytest
 
 from repro.analysis import percentile
 from repro.daq.osmotic import READING_BYTES, build_osmotic_field

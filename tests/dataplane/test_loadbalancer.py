@@ -14,7 +14,7 @@ from repro.dataplane import (
     SegmentRecoveryProgram,
     TransitionRule,
 )
-from repro.netsim import Simulator, Topology, units
+from repro.netsim import Topology, units
 
 EXP = 23
 EXP_ID = make_experiment_id(EXP)

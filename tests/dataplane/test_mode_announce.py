@@ -1,6 +1,5 @@
 """MODE_ANNOUNCE control messaging (§4.2)."""
 
-import pytest
 
 from repro.core import ModeAnnouncePayload, MmtStack, make_experiment_id
 from repro.core.modes import pilot_registry
@@ -10,7 +9,7 @@ from repro.dataplane import (
     ProgrammableElement,
     TransitionRule,
 )
-from repro.netsim import Simulator, Topology, units
+from repro.netsim import Topology, units
 
 EXP = 5
 EXP_ID = make_experiment_id(EXP)

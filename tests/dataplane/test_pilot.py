@@ -1,11 +1,10 @@
 """The assembled Fig. 4 pilot: mode progression, recovery, timeliness."""
 
-import pytest
 
 from repro.core import Feature
 from repro.dataplane import PilotConfig, PilotTestbed
 from repro.netsim import Simulator, units
-from repro.netsim.units import MICROSECOND, MILLISECOND
+from repro.netsim.units import MILLISECOND
 
 
 def run_pilot(messages=200, **cfg_kwargs):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import Feature, MmtHeader
+from repro.core import MmtHeader
 from repro.dataplane import (
     Action,
     DROP,

@@ -22,7 +22,7 @@ from repro.dataplane import (
     ProgrammableElement,
     TransitionRule,
 )
-from repro.netsim import EthernetHeader, Ipv4Header, Packet, Simulator
+from repro.netsim import EthernetHeader, Ipv4Header, Packet
 
 
 @pytest.fixture

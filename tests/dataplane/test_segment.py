@@ -13,7 +13,6 @@ from repro.dataplane import (
 )
 from repro.core.modes import pilot_registry
 from repro.netsim import Simulator, Topology, units
-from repro.netsim.units import MILLISECOND
 
 EXP = 18
 EXP_ID = make_experiment_id(EXP)

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.integration import Orchestrator
-from repro.netsim import Simulator
 
 
 @pytest.fixture

@@ -10,7 +10,7 @@ from repro.integration.transport import (
     decode_trigger,
     encode_trigger,
 )
-from repro.netsim import Simulator, Topology, units
+from repro.netsim import Topology, units
 from repro.netsim.units import MILLISECOND
 
 

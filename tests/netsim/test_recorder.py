@@ -2,8 +2,13 @@
 
 import json
 
+import pytest
+
 from repro.core import MmtStack, make_experiment_id
+from repro.core.features import Feature, MsgType
+from repro.core.header import MmtHeader
 from repro.netsim import TraceRecorder, units
+from repro.netsim.recorder import TraceEntry, _summarize_header
 
 
 EXP = 7
@@ -94,3 +99,111 @@ def test_detach_stops_recording(rig):
     stream(rig, count=3)
     rig.sim.run()
     assert len(recorder) == 0
+
+
+# -- JSON round-trip ---------------------------------------------------------
+
+
+def test_load_jsonl_round_trip(rig, tmp_path):
+    recorder = TraceRecorder()
+    recorder.attach(rig.link_b)
+    stream(rig, count=50, loss=0.05)  # loss => NAK/RETX control traffic too
+    rig.sim.run()
+    out = tmp_path / "trace.jsonl"
+    written = recorder.export_jsonl(str(out))
+
+    replay = TraceRecorder()
+    assert replay.load_jsonl(str(out)) == written
+    assert replay.entries == recorder.entries
+    # Inspection helpers behave identically on the loaded trace.
+    assert replay.matching(type="MmtHeader", msg_type="MsgType.NAK") == \
+        recorder.matching(type="MmtHeader", msg_type="MsgType.NAK")
+
+
+def test_load_jsonl_appends_and_skips_blank_lines(rig, tmp_path):
+    recorder = TraceRecorder()
+    recorder.attach(rig.link_b)
+    stream(rig, count=2)
+    rig.sim.run()
+    out = tmp_path / "trace.jsonl"
+    recorder.export_jsonl(str(out))
+    out.write_text(out.read_text() + "\n\n")  # trailing blank lines
+
+    replay = TraceRecorder()
+    replay.load_jsonl(str(out))
+    before = len(replay)
+    replay.load_jsonl(str(out))  # load() appends, it does not replace
+    assert len(replay) == 2 * before
+
+
+@pytest.mark.parametrize(
+    "line,complaint",
+    [
+        ("not json at all", "not a JSON trace entry"),
+        ("[1, 2, 3]", "must be an object"),
+        ('{"time_ns": 1}', "missing fields"),
+        # A full entry plus a field from some future schema version.
+        (
+            json.dumps(
+                dict(time_ns=1, link="l", direction="a->b", packet_id=1,
+                     size_bytes=64, headers=[], flow="", surprise=True)
+            ),
+            "unknown fields",
+        ),
+    ],
+)
+def test_load_jsonl_rejects_malformed_lines(tmp_path, line, complaint):
+    path = tmp_path / "bad.jsonl"
+    path.write_text(line + "\n")
+    with pytest.raises(ValueError, match=complaint):
+        TraceRecorder().load_jsonl(str(path))
+
+
+def test_entry_from_json_reports_line_number(tmp_path):
+    good = TraceEntry(
+        time_ns=5, link="lan", direction="a->b", packet_id=9,
+        size_bytes=128, headers=[{"type": "MmtHeader"}], flow="f",
+    )
+    path = tmp_path / "mixed.jsonl"
+    path.write_text(good.to_json() + "\n{broken\n")
+    recorder = TraceRecorder()
+    with pytest.raises(ValueError, match=r"mixed\.jsonl:2"):
+        recorder.load_jsonl(str(path))
+    assert len(recorder) == 1  # the good line before the failure was kept
+
+
+def test_summarize_header_enum_and_flag_fields():
+    header = MmtHeader(config_id=3, experiment_id=EXP_ID, msg_type=MsgType.NAK)
+    summary = _summarize_header(header)
+    assert summary["type"] == "MmtHeader"
+    assert summary["msg_type"] == "MsgType.NAK"  # symbolic, not the bare int
+    assert summary["features"] == "Feature.NONE"
+    # Every value must survive JSON (this is what export writes).
+    assert json.loads(json.dumps(summary)) == summary
+
+
+def test_summarize_header_combined_flags_round_trip(tmp_path):
+    """Combined IntFlag values have no ``.name`` on 3.10 — the repr
+    fallback must kick in and the entry must still round-trip."""
+    header = MmtHeader(config_id=1, experiment_id=EXP_ID)
+    header.features = Feature.SEQUENCED | Feature.RETRANSMISSION
+    summary = _summarize_header(header)
+    assert "SEQUENCED" in summary["features"]
+    assert "RETRANSMISSION" in summary["features"]
+
+    entry = TraceEntry(
+        time_ns=1, link="lan", direction="a->b", packet_id=1,
+        size_bytes=64, headers=[summary], flow="mmt",
+    )
+    assert TraceEntry.from_json(entry.to_json()) == entry
+
+
+def test_summarize_header_non_scalar_fields_stringified():
+    header = MmtHeader(config_id=1, experiment_id=EXP_ID)
+    header.features = Feature.SEQUENCED
+    header.seq = 4
+    summary = _summarize_header(header)
+    # Ints/None pass through unchanged; nothing un-JSON-able remains.
+    assert summary["seq"] == 4
+    for value in summary.values():
+        assert value is None or isinstance(value, (int, str, bool, float))

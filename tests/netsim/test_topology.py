@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.netsim import IpProto, Simulator, Topology, TopologyError, units
+from repro.netsim import IpProto, Topology, TopologyError, units
 from repro.netsim.link import HOST_QUEUE_BYTES
 
 

@@ -5,7 +5,7 @@ import pytest
 
 from repro.core import MmtStack, make_experiment_id
 from repro.daq import LArTpcWaveformSynth, parse_message
-from repro.netsim import Simulator, Topology, units
+from repro.netsim import Topology, units
 from repro.payload import (
     InlineProcessorNode,
     TriggerPrimitiveExtractor,

@@ -58,3 +58,40 @@ def test_unknown_command_rejected():
 def test_command_required():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+def test_pilot_telemetry_snapshot_and_render(capsys, tmp_path):
+    snapshot = tmp_path / "pilot.jsonl"
+    code = main([
+        "pilot", "--messages", "40", "--wan-ms", "1", "--loss", "0.02",
+        "--interval-us", "5", "--telemetry", str(snapshot),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert f"-> {snapshot}" in out
+    assert snapshot.exists()
+
+    assert main(["telemetry", str(snapshot)]) == 0
+    rendered = capsys.readouterr().out
+    assert "Histograms" in rendered and "Counters" in rendered
+    assert "int_segment_latency_ns" in rendered
+    assert "alveo-u280->tofino2" in rendered
+    assert "queue_peak_bytes" in rendered
+    assert "scenario=pilot" in rendered
+
+
+def test_telemetry_all_flag_includes_zero_metrics(capsys, tmp_path):
+    snapshot = tmp_path / "pilot.jsonl"
+    main([
+        "pilot", "--messages", "10", "--wan-ms", "1", "--interval-us", "5",
+        "--telemetry", str(snapshot),
+    ])
+    capsys.readouterr()
+    main(["telemetry", str(snapshot)])
+    trimmed = capsys.readouterr().out
+    main(["telemetry", str(snapshot), "--all"])
+    full = capsys.readouterr().out
+    assert len(full.splitlines()) > len(trimmed.splitlines())
+    # A counter that never fires in a clean run only shows under --all.
+    assert "mmt_rx_naks_sent" not in trimmed
+    assert "mmt_rx_naks_sent" in full

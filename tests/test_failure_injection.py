@@ -6,7 +6,6 @@ bounded give-up when recovery is impossible, counters that tell the
 operator what happened.
 """
 
-import pytest
 
 from repro.core import MmtStack, ReceiverConfig, make_experiment_id
 from repro.dataplane import PilotConfig, PilotTestbed

@@ -5,7 +5,6 @@ suite is the executable form of the paper's requirements table — if a
 refactor breaks a requirement, the failing test names it.
 """
 
-import pytest
 
 from repro.core import (
     Feature,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.netsim import Simulator, Topology, units
+from repro.netsim import Topology, units
 from repro.wan import CircuitError, CircuitManager
 
 

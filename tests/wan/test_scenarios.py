@@ -1,9 +1,7 @@
 """Fig. 2 vs Fig. 3 scenario harnesses: the paper's headline shapes."""
 
-import pytest
 
 from repro.analysis import percentile
-from repro.netsim import Simulator
 from repro.netsim.units import MILLISECOND
 from repro.wan import MultimodalScenario, ScenarioConfig, TodayScenario
 
