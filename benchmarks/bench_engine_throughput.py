@@ -1,0 +1,41 @@
+"""P1 — event-engine throughput microbenchmark.
+
+Times :func:`repro.analysis.perf.engine_event_churn` (the same workload
+``repro bench`` runs) and records ``events_per_second`` into
+``BENCH_engine_throughput.json`` — the committed trajectory later PRs
+compare against.
+
+The assertions are *operation budgets*: exact counts the deterministic
+workload must produce. CI's perf-smoke job runs this on shared runners
+where wall-clock thresholds would flap, but an accidental extra
+schedule/cancel per event changes the counts and fails loudly.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.perf import engine_event_churn
+
+EVENTS = 200_000
+CANCEL_EVERY = 4
+BATCH = 512
+
+
+def test_engine_throughput(once, bench_result):
+    counts = once(engine_event_churn, events=EVENTS, cancel_every=CANCEL_EVERY, batch=BATCH)
+
+    # Operation budget: every count is a pure function of the workload
+    # arguments (see engine_event_churn's docstring).
+    assert counts["scheduled"] == EVENTS + BATCH
+    assert counts["cancelled"] == EVENTS // CANCEL_EVERY + BATCH - (BATCH + 9) // 10
+    assert counts["fired"] == counts["scheduled"] - counts["cancelled"]
+    assert counts["events_processed"] == counts["fired"]
+    assert counts["peak_pending"] == BATCH - BATCH // CANCEL_EVERY
+
+    wall = bench_result.metrics["test_engine_throughput"]["wall_time_s"]
+    bench_result.seed = 7
+    bench_result.params = {"events": EVENTS, "cancel_every": CANCEL_EVERY, "batch": BATCH}
+    bench_result.record(
+        "test_engine_throughput",
+        events_per_second=round(counts["events_processed"] / wall),
+        **counts,
+    )

@@ -1,0 +1,44 @@
+"""P2 — packet-path throughput microbenchmark.
+
+Times :func:`repro.analysis.perf.packet_path_churn` (the same workload
+``repro bench`` runs) and records ``packets_per_second`` into
+``BENCH_packet_path.json``.
+
+Like the engine bench, the assertions are deterministic *operation
+budgets* — exact counts, not wall-clock thresholds — so CI's perf-smoke
+job stays meaningful on noisy shared runners. ``size_bytes_total`` in
+particular pins the byte-accurate wire sizing through the memoized
+``Packet.size_bytes`` path: a caching bug that returned stale sizes
+would change the sum.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.perf import packet_path_churn
+
+PACKETS = 20_000
+HOPS = 4
+
+#: Wire bytes of one workload packet: Ethernet(18) + IPv4(20) + UDP(8)
+#: + MMT core+SEQ+RETX+AGE (8+4+4+17) + 8000B payload.
+PACKET_BYTES = 18 + 20 + 8 + 33 + 8000
+
+
+def test_packet_path_throughput(once, bench_result):
+    counts = once(packet_path_churn, packets=PACKETS, hops=HOPS)
+
+    # Operation budget (pure function of PACKETS/HOPS; see docstring).
+    assert counts["packets"] == PACKETS
+    assert counts["pushes"] == counts["pops"] == 3 * PACKETS
+    assert counts["size_checks"] == 2 * HOPS * PACKETS
+    assert counts["size_bytes_total"] == 2 * HOPS * PACKETS * PACKET_BYTES
+    assert counts["encoded_bytes"] == 33 * PACKETS
+    assert counts["decodes"] == PACKETS
+
+    wall = bench_result.metrics["test_packet_path_throughput"]["wall_time_s"]
+    bench_result.params = {"packets": PACKETS, "hops": HOPS}
+    bench_result.record(
+        "test_packet_path_throughput",
+        packets_per_second=round(counts["packets"] / wall),
+        **counts,
+    )

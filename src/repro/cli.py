@@ -9,6 +9,7 @@ Installed as the ``repro`` console script::
     repro supernova                       # DUNE -> Rubin early warning
     repro header                          # per-mode wire-format costs
     repro telemetry out.jsonl             # render a snapshot as tables
+    repro bench                           # perf microbenchmarks (events/s, packets/s)
 
 Every subcommand prints the same tables the benchmark suite produces,
 so quick shell exploration and recorded experiments stay consistent.
@@ -215,6 +216,61 @@ def _cmd_supernova(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Run the perf microbenchmarks and print throughput rates.
+
+    The workloads are the exact ones the benchmark suite times (see
+    :mod:`repro.analysis.perf`), so rates printed here are directly
+    comparable to the committed ``BENCH_engine_throughput.json`` /
+    ``BENCH_packet_path.json`` trajectory — shown alongside when the
+    files exist in the current directory.
+    """
+    from pathlib import Path
+    from time import perf_counter
+
+    from .analysis.perf import engine_event_churn, packet_path_churn
+    from .telemetry import load_bench_result
+
+    def committed_rate(bench: str, test: str, key: str) -> str:
+        path = Path(f"BENCH_{bench}.json")
+        if not path.exists():
+            return "-"
+        try:
+            result = load_bench_result(path)
+            return f"{result.metrics[test][key]:,.0f}/s"
+        except (KeyError, TypeError, ValueError):
+            return "-"
+
+    start = perf_counter()
+    engine = engine_event_churn(events=args.events)
+    engine_wall = perf_counter() - start
+
+    start = perf_counter()
+    packet = packet_path_churn(packets=args.packets)
+    packet_wall = perf_counter() - start
+
+    table = ResultTable(
+        "Perf microbenchmarks (deterministic workloads)",
+        ["Benchmark", "Ops", "Wall", "Rate", "Committed"],
+    )
+    table.add_row(
+        "engine (events/s)",
+        engine["events_processed"],
+        format_duration(round(engine_wall * 1e9)),
+        f"{engine['events_processed'] / engine_wall:,.0f}/s",
+        committed_rate("engine_throughput", "test_engine_throughput", "events_per_second"),
+    )
+    table.add_row(
+        "packet path (packets/s)",
+        packet["packets"],
+        format_duration(round(packet_wall * 1e9)),
+        f"{packet['packets'] / packet_wall:,.0f}/s",
+        committed_rate("packet_path", "test_packet_path_throughput", "packets_per_second"),
+    )
+    table.show()
+    return 0
+
+
 def _cmd_header(_args: argparse.Namespace) -> int:
     registry = extended_registry()
     table = ResultTable(
@@ -272,6 +328,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("header", help="wire-format cost per mode")
 
+    bench = sub.add_parser("bench", help="run the perf microbenchmarks")
+    bench.add_argument("--events", type=int, default=200_000,
+                       help="events for the engine workload")
+    bench.add_argument("--packets", type=int, default=20_000,
+                       help="packets for the packet-path workload")
+
     telemetry = sub.add_parser("telemetry", help="render a telemetry snapshot")
     telemetry.add_argument("snapshot", help="JSONL snapshot file (repro pilot --telemetry)")
     telemetry.add_argument(
@@ -287,6 +349,7 @@ _COMMANDS = {
     "supernova": _cmd_supernova,
     "header": _cmd_header,
     "telemetry": _cmd_telemetry,
+    "bench": _cmd_bench,
 }
 
 

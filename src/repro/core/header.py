@@ -27,12 +27,26 @@ feature               bytes   fields
 The codec is byte-exact (big-endian network order) so that the paper's
 "conservative, header-based processing" claim is testable: everything
 an on-path element rewrites is in these bytes, never in the payload.
+
+Performance: the codec is a per-packet hot path, so the loop-and-pack
+implementation was replaced by a table of precompiled
+:class:`struct.Struct` instances — one per extension-feature
+combination, built lazily and cached forever. ``size_bytes`` is a dict
+lookup keyed on the raw feature bits, ``encode`` is a single
+``Struct.pack`` over the whole header, and ``decode`` a single
+``Struct.unpack``. IPv4 string↔int conversions are memoized (topologies
+use a handful of addresses). ``encode`` validates once per header
+*configuration*: the result of :meth:`validate` is cached against the
+header's size-mutation counter, so trusted in-pipeline rewrites of
+value fields (seq, age, addresses) do not pay re-validation — only a
+``features`` change does. The equivalence of the fast path with the
+reference layout is pinned by ``tests/core/test_header_fastpath.py``.
 """
 
 from __future__ import annotations
 
-import struct
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass
+from struct import Struct
 
 from ..netsim.headers import Header
 from .features import (
@@ -55,8 +69,17 @@ class HeaderError(ValueError):
     """Raised for malformed MMT headers or codec misuse."""
 
 
+#: Memoized IPv4 codecs — topologies use a handful of distinct
+#: addresses, so both directions are effectively O(1) after warm-up.
+_IPV4_PACK_CACHE: dict[str, int] = {}
+_IPV4_UNPACK_CACHE: dict[int, str] = {}
+
+
 def pack_ipv4(address: str) -> int:
     """Dotted-quad string → 32-bit integer."""
+    cached = _IPV4_PACK_CACHE.get(address)
+    if cached is not None:
+        return cached
     parts = address.split(".")
     if len(parts) != 4:
         raise HeaderError(f"bad IPv4 address {address!r}")
@@ -69,14 +92,25 @@ def pack_ipv4(address: str) -> int:
         if not 0 <= octet <= 255:
             raise HeaderError(f"bad IPv4 address {address!r}")
         value = (value << 8) | octet
+    if len(_IPV4_PACK_CACHE) < 65536:
+        _IPV4_PACK_CACHE[address] = value
     return value
 
 
 def unpack_ipv4(value: int) -> str:
     """32-bit integer → dotted-quad string."""
+    cached = _IPV4_UNPACK_CACHE.get(value)
+    if cached is not None:
+        return cached
     if not 0 <= value <= 0xFFFFFFFF:
         raise HeaderError(f"IPv4 value out of range: {value:#x}")
-    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+    address = (
+        f"{(value >> 24) & 0xFF}.{(value >> 16) & 0xFF}."
+        f"{(value >> 8) & 0xFF}.{value & 0xFF}"
+    )
+    if len(_IPV4_UNPACK_CACHE) < 65536:
+        _IPV4_UNPACK_CACHE[value] = address
+    return address
 
 
 def make_experiment_id(experiment: int, slice_id: int = 0) -> int:
@@ -93,7 +127,66 @@ def split_experiment_id(experiment_id: int) -> tuple[int, int]:
     return experiment_id >> SLICE_BITS, experiment_id & SLICE_MASK
 
 
-@dataclass
+# -- precompiled codec table ---------------------------------------------------
+
+#: (feature bit value, struct segment, bytes) in wire order. The raw
+#: ints mirror :class:`Feature` — pinned by tests against the enum.
+_EXT_SEGMENTS: tuple[tuple[int, str, int], ...] = (
+    (int(Feature.SEQUENCED), "I", 4),
+    (int(Feature.RETRANSMISSION), "I", 4),
+    (int(Feature.TIMELINESS), "QI", 12),
+    (int(Feature.AGE_TRACKING), "QQB", 17),
+    (int(Feature.PACING), "I", 4),
+    (int(Feature.BACKPRESSURE), "I", 4),
+    (int(Feature.DUPLICATION), "HB", 3),
+)
+
+#: Bitmask of every feature that contributes extension bytes.
+_EXT_MASK = 0
+for _bit, _fmt, _size in _EXT_SEGMENTS:
+    _EXT_MASK |= _bit
+
+_CORE_STRUCT = Struct(">BBHI")
+
+
+class _Codec:
+    """Precompiled wire codec for one extension-feature combination."""
+
+    __slots__ = ("struct", "bits", "size")
+
+    def __init__(self, ext_bits: int) -> None:
+        fmt = ">BBHI"
+        size = CORE_HEADER_BYTES
+        for bit, segment, seg_size in _EXT_SEGMENTS:
+            if ext_bits & bit:
+                fmt += segment
+                size += seg_size
+        self.struct = Struct(fmt)
+        self.bits = ext_bits
+        self.size = size
+        assert self.struct.size == size
+
+
+#: ext-bits → codec, filled eagerly for all 128 extension combinations
+#: (7 size-bearing features), so lookups never miss.
+_CODECS: dict[int, _Codec] = {}
+for _combo in range(1 << len(_EXT_SEGMENTS)):
+    _bits = 0
+    for _index, (_bit, _fmt, _size) in enumerate(_EXT_SEGMENTS):
+        if _combo & (1 << _index):
+            _bits |= _bit
+    _CODECS[_bits] = _Codec(_bits)
+
+#: raw feature word → total header size. Keyed on the *unmasked* value
+#: so ``size_bytes`` needs no bitwise-and on the (slow) IntFlag; filled
+#: lazily because non-extension bits (flow control, encryption, ...)
+#: can appear in any combination.
+_SIZE_BY_FEATURES: dict[int, int] = {
+    bits: codec.size for bits, codec in _CODECS.items()
+}
+
+
+@dataclass(slots=True)
 class MmtHeader(Header):
     """A fully-parsed MMT header (core + active extension fields).
 
@@ -126,6 +219,10 @@ class MmtHeader(Header):
     dup_group: int | None = None
     dup_copies: int | None = None
 
+    #: Only a ``features`` rewrite can change the wire size (and the
+    #: validation verdict's shape); see :class:`Header`.
+    _SIZE_FIELDS = frozenset({"features"})
+
     _EXTENSION_LAYOUT = (
         (Feature.SEQUENCED, 4),
         (Feature.RETRANSMISSION, 4),
@@ -140,27 +237,54 @@ class MmtHeader(Header):
 
     @property
     def size_bytes(self) -> int:
-        size = CORE_HEADER_BYTES
-        for feature_bit, ext_bytes in self._EXTENSION_LAYOUT:
-            if self.features & feature_bit:
-                size += ext_bytes
+        features = self.features
+        size = _SIZE_BY_FEATURES.get(features)
+        if size is None:
+            # Unseen combination of non-extension bits: resolve via the
+            # codec table once, then remember the unmasked word.
+            size = _CODECS[int(features) & _EXT_MASK].size
+            if len(_SIZE_BY_FEATURES) < 65536:
+                _SIZE_BY_FEATURES[int(features)] = size
         return size
 
     def copy(self) -> "MmtHeader":
-        return replace(self)
+        # Explicit constructor call: measurably cheaper than
+        # dataclasses.replace() on this 16-field header (packet.copy()
+        # runs once per in-network duplicate and buffer mirror).
+        return MmtHeader(
+            config_id=self.config_id,
+            features=self.features,
+            msg_type=self.msg_type,
+            ack_scheme=self.ack_scheme,
+            experiment_id=self.experiment_id,
+            seq=self.seq,
+            buffer_addr=self.buffer_addr,
+            deadline_ns=self.deadline_ns,
+            notify_addr=self.notify_addr,
+            age_ns=self.age_ns,
+            age_budget_ns=self.age_budget_ns,
+            aged=self.aged,
+            pace_rate_mbps=self.pace_rate_mbps,
+            source_addr=self.source_addr,
+            dup_group=self.dup_group,
+            dup_copies=self.dup_copies,
+        )
 
     # -- convenience --------------------------------------------------------
 
     @property
     def experiment(self) -> int:
-        return split_experiment_id(self.experiment_id)[0]
+        return self.experiment_id >> SLICE_BITS
 
     @property
     def slice_id(self) -> int:
-        return split_experiment_id(self.experiment_id)[1]
+        return self.experiment_id & SLICE_MASK
 
     def has(self, feature: Feature) -> bool:
-        return bool(self.features & feature)
+        # Both operands must be plain ints: with an IntFlag on either
+        # side the bitwise-and dispatches to Feature.__and__/__rand__,
+        # which re-wraps the result through the enum machinery.
+        return bool(int(self.features) & int(feature))
 
     # -- validation -----------------------------------------------------------
 
@@ -189,6 +313,9 @@ class MmtHeader(Header):
         )
         if self.aged and not self.has(Feature.AGE_TRACKING):
             raise HeaderError("aged flag set without AGE_TRACKING")
+        # Validate-once: remember which configuration this verdict is
+        # for, so encode() only re-validates after a features rewrite.
+        object.__setattr__(self, "_vmut", self._mut)
 
     def _check(self, feature: Feature, **fields: object) -> None:
         active = self.has(feature)
@@ -200,37 +327,66 @@ class MmtHeader(Header):
 
     # -- codec ------------------------------------------------------------------
 
-    def encode(self) -> bytes:
-        """Serialize to network-order bytes (validates first)."""
-        self.validate()
+    def encode(self, *, validate: bool | None = None) -> bytes:
+        """Serialize to network-order bytes.
+
+        ``validate=None`` (default) validates once per header
+        configuration: the first encode after construction or after a
+        ``features`` rewrite validates, later encodes reuse the cached
+        verdict. ``validate=True`` forces a fresh validation;
+        ``validate=False`` skips it entirely (trusted in-pipeline use).
+        """
+        if validate is None:
+            try:
+                stale = self._vmut != self._mut
+            except AttributeError:
+                stale = True
+            if stale:
+                self.validate()
+        elif validate:
+            self.validate()
         config_data = pack_config_data(self.features, self.msg_type, self.ack_scheme)
         if config_data > CONFIG_DATA_MAX:
             raise HeaderError(f"config data overflow: {config_data:#x}")
-        out = bytearray()
-        out += struct.pack(
-            ">BBH I",
+        bits = int(self.features)
+        codec = _CODECS[bits & _EXT_MASK]
+        args = [
             self.config_id,
             (config_data >> 16) & 0xFF,
             config_data & 0xFFFF,
             self.experiment_id,
-        )
-        if self.has(Feature.SEQUENCED):
-            out += struct.pack(">I", self.seq & 0xFFFFFFFF)
-        if self.has(Feature.RETRANSMISSION):
-            out += struct.pack(">I", pack_ipv4(self.buffer_addr))
-        if self.has(Feature.TIMELINESS):
-            out += struct.pack(">QI", self.deadline_ns, pack_ipv4(self.notify_addr))
-        if self.has(Feature.AGE_TRACKING):
-            out += struct.pack(
-                ">QQB", self.age_ns, self.age_budget_ns, 1 if self.aged else 0
-            )
-        if self.has(Feature.PACING):
-            out += struct.pack(">I", self.pace_rate_mbps)
-        if self.has(Feature.BACKPRESSURE):
-            out += struct.pack(">I", pack_ipv4(self.source_addr))
-        if self.has(Feature.DUPLICATION):
-            out += struct.pack(">HB", self.dup_group, self.dup_copies)
-        return bytes(out)
+        ]
+        append = args.append
+        if bits & 0x01:  # SEQUENCED
+            append(self.seq & 0xFFFFFFFF)
+        if bits & 0x02:  # RETRANSMISSION
+            append(pack_ipv4(self.buffer_addr))
+        if bits & 0x04:  # TIMELINESS
+            append(self.deadline_ns)
+            append(pack_ipv4(self.notify_addr))
+        if bits & 0x08:  # AGE_TRACKING
+            append(self.age_ns)
+            append(self.age_budget_ns)
+            append(1 if self.aged else 0)
+        if bits & 0x10:  # PACING
+            append(self.pace_rate_mbps)
+        if bits & 0x80:  # BACKPRESSURE
+            append(pack_ipv4(self.source_addr))
+        if bits & 0x100:  # DUPLICATION
+            append(self.dup_group)
+            append(self.dup_copies)
+        try:
+            return codec.struct.pack(*args)
+        except Exception as exc:  # field out of struct range
+            raise HeaderError(f"cannot encode header: {exc}") from exc
+
+    def encode_into(self, buffer: bytearray, offset: int = 0) -> int:
+        """Serialize into ``buffer`` at ``offset`` (single-buffer path);
+        returns the number of bytes written."""
+        data = self.encode()
+        end = offset + len(data)
+        buffer[offset:end] = data
+        return len(data)
 
     @classmethod
     def decode(cls, data: bytes) -> "MmtHeader":
@@ -249,9 +405,7 @@ class MmtHeader(Header):
         bytes consumed). Use this when a payload follows the header."""
         if len(data) < CORE_HEADER_BYTES:
             raise HeaderError(f"truncated core header: {len(data)} bytes")
-        config_id, data_hi, data_lo, experiment_id = struct.unpack(
-            ">BBH I", data[:CORE_HEADER_BYTES]
-        )
+        config_id, data_hi, data_lo, experiment_id = _CORE_STRUCT.unpack_from(data)
         config_data = (data_hi << 16) | data_lo
         features, msg_type, ack_scheme = unpack_config_data(config_data)
         header = cls(
@@ -261,34 +415,35 @@ class MmtHeader(Header):
             ack_scheme=ack_scheme,
             experiment_id=experiment_id,
         )
-        offset = CORE_HEADER_BYTES
-
-        def take(count: int) -> bytes:
-            nonlocal offset
-            if len(data) < offset + count:
-                raise HeaderError("truncated extension field")
-            chunk = data[offset : offset + count]
-            offset += count
-            return chunk
-
-        if header.has(Feature.SEQUENCED):
-            (header.seq,) = struct.unpack(">I", take(4))
-        if header.has(Feature.RETRANSMISSION):
-            header.buffer_addr = unpack_ipv4(struct.unpack(">I", take(4))[0])
-        if header.has(Feature.TIMELINESS):
-            deadline, notify = struct.unpack(">QI", take(12))
-            header.deadline_ns = deadline
-            header.notify_addr = unpack_ipv4(notify)
-        if header.has(Feature.AGE_TRACKING):
-            age, budget, flags = struct.unpack(">QQB", take(17))
-            header.age_ns = age
-            header.age_budget_ns = budget
-            header.aged = bool(flags & 1)
-        if header.has(Feature.PACING):
-            (header.pace_rate_mbps,) = struct.unpack(">I", take(4))
-        if header.has(Feature.BACKPRESSURE):
-            header.source_addr = unpack_ipv4(struct.unpack(">I", take(4))[0])
-        if header.has(Feature.DUPLICATION):
-            header.dup_group, header.dup_copies = struct.unpack(">HB", take(3))
+        bits = int(features)
+        codec = _CODECS[bits & _EXT_MASK]
+        if len(data) < codec.size:
+            raise HeaderError("truncated extension field")
+        values = codec.struct.unpack_from(data)
+        index = 4  # core fields already consumed
+        if bits & 0x01:  # SEQUENCED
+            header.seq = values[index]
+            index += 1
+        if bits & 0x02:  # RETRANSMISSION
+            header.buffer_addr = unpack_ipv4(values[index])
+            index += 1
+        if bits & 0x04:  # TIMELINESS
+            header.deadline_ns = values[index]
+            header.notify_addr = unpack_ipv4(values[index + 1])
+            index += 2
+        if bits & 0x08:  # AGE_TRACKING
+            header.age_ns = values[index]
+            header.age_budget_ns = values[index + 1]
+            header.aged = bool(values[index + 2] & 1)
+            index += 3
+        if bits & 0x10:  # PACING
+            header.pace_rate_mbps = values[index]
+            index += 1
+        if bits & 0x80:  # BACKPRESSURE
+            header.source_addr = unpack_ipv4(values[index])
+            index += 1
+        if bits & 0x100:  # DUPLICATION
+            header.dup_group = values[index]
+            header.dup_copies = values[index + 1]
         header.validate()
-        return header, offset
+        return header, codec.size

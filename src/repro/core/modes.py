@@ -20,7 +20,7 @@ so the dataplane models can execute it under P4-like constraints.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from .features import AckScheme, Feature
 from .header import HeaderError, MmtHeader
@@ -49,7 +49,9 @@ class Mode:
             raise ModeError(f"mode {self.name!r}: RETRANSMISSION requires SEQUENCED")
 
     def has(self, feature: Feature) -> bool:
-        return bool(self.features & feature)
+        # Plain-int bitwise test on both sides; with an IntFlag operand
+        # the and dispatches to Feature.__and__/__rand__ (hot-path cost).
+        return bool(int(self.features) & int(feature))
 
 
 @dataclass
@@ -236,6 +238,17 @@ _FEATURE_FIELDS = {
     Feature.DUPLICATION: ("dup_group", "dup_copies"),
 }
 
+# Plain-int feature bits for transition()'s hot path: `int_mask &
+# Feature.X` dispatches to Feature.__rand__ and re-wraps through the
+# enum machinery, so the tests below must be int-vs-int.
+_SEQUENCED = int(Feature.SEQUENCED)
+_RETRANSMISSION = int(Feature.RETRANSMISSION)
+_TIMELINESS = int(Feature.TIMELINESS)
+_AGE_TRACKING = int(Feature.AGE_TRACKING)
+_PACING = int(Feature.PACING)
+_BACKPRESSURE = int(Feature.BACKPRESSURE)
+_DUPLICATION = int(Feature.DUPLICATION)
+
 
 def transition(header: MmtHeader, target: Mode, ctx: TransitionContext) -> MmtHeader:
     """Rewrite ``header`` in place into ``target`` mode.
@@ -250,11 +263,15 @@ def transition(header: MmtHeader, target: Mode, ctx: TransitionContext) -> MmtHe
     old_features = header.features
     new_features = target.features
 
-    activated = new_features & ~old_features
-    deactivated = old_features & ~new_features
+    # Plain ints: the bit tests below then run at C speed instead of
+    # round-tripping through IntFlag.__and__ on every transition.
+    old_bits = int(old_features)
+    new_bits = int(new_features)
+    activated = new_bits & ~old_bits
+    deactivated = old_bits & ~new_bits
 
     for feature, fields in _REQUIRED_CONTEXT.items():
-        if not activated & feature:
+        if not activated & feature._value_:
             continue
         for name in fields:
             if getattr(ctx, name) is None:
@@ -265,34 +282,34 @@ def transition(header: MmtHeader, target: Mode, ctx: TransitionContext) -> MmtHe
 
     # Clear fields of deactivated features first.
     for feature, fields in _FEATURE_FIELDS.items():
-        if deactivated & feature:
+        if deactivated & feature._value_:
             for name in fields:
                 setattr(header, name, None)
             if feature is Feature.AGE_TRACKING:
                 header.aged = False
 
     # Initialize newly activated features.
-    if activated & Feature.SEQUENCED:
+    if activated & _SEQUENCED:
         header.seq = ctx.seq
-    if activated & Feature.RETRANSMISSION:
+    if activated & _RETRANSMISSION:
         header.buffer_addr = ctx.buffer_addr
-    if activated & Feature.TIMELINESS:
+    if activated & _TIMELINESS:
         header.deadline_ns = ctx.deadline_ns
         header.notify_addr = ctx.notify_addr
-    if activated & Feature.AGE_TRACKING:
+    if activated & _AGE_TRACKING:
         header.age_ns = 0
         header.age_budget_ns = ctx.age_budget_ns
         header.aged = False
-    if activated & Feature.PACING:
+    if activated & _PACING:
         header.pace_rate_mbps = ctx.pace_rate_mbps
-    if activated & Feature.BACKPRESSURE:
+    if activated & _BACKPRESSURE:
         header.source_addr = ctx.source_addr
-    if activated & Feature.DUPLICATION:
+    if activated & _DUPLICATION:
         header.dup_group = ctx.dup_group
         header.dup_copies = ctx.dup_copies
 
     # Refresh the NAK target to the nearest buffer when one is offered.
-    if (new_features & Feature.RETRANSMISSION) and ctx.buffer_addr is not None:
+    if (new_bits & _RETRANSMISSION) and ctx.buffer_addr is not None:
         header.buffer_addr = ctx.buffer_addr
 
     header.config_id = target.config_id

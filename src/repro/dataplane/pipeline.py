@@ -53,6 +53,43 @@ HEADER_TYPES: dict[str, type[Header]] = {
 #: (Tofino has no float types) and never bytes (that would be payload).
 _ALLOWED_VALUE_TYPES = (int, bool, str)
 
+#: Memoized LPM machinery: prefix string → (version, network int, mask
+#: int) and address string → (version, int). Tables are configured once
+#: but matched per packet, so parsing with :mod:`ipaddress` on every
+#: lookup dominated table apply time; real hardware compiles prefixes
+#: into TCAM entries at table-programming time for the same reason.
+_LPM_PREFIX_CACHE: dict[str, tuple[int, int, int] | None] = {}
+_LPM_ADDR_CACHE: dict[object, tuple[int, int] | None] = {}
+
+
+def _lpm_match(pattern: str, value: object) -> bool:
+    prefix = _LPM_PREFIX_CACHE.get(pattern)
+    if prefix is None and pattern not in _LPM_PREFIX_CACHE:
+        try:
+            network = ipaddress.ip_network(pattern, strict=False)
+            prefix = (
+                network.version,
+                int(network.network_address),
+                int(network.netmask),
+            )
+        except ValueError:
+            prefix = None
+        _LPM_PREFIX_CACHE[pattern] = prefix
+    if prefix is None:
+        return False
+    addr = _LPM_ADDR_CACHE.get(value)
+    if addr is None and value not in _LPM_ADDR_CACHE:
+        try:
+            parsed = ipaddress.ip_address(value)
+            addr = (parsed.version, int(parsed))
+        except ValueError:
+            addr = None
+        if len(_LPM_ADDR_CACHE) < 65536:
+            _LPM_ADDR_CACHE[value] = addr
+    if addr is None or addr[0] != prefix[0]:
+        return False
+    return (addr[1] & prefix[2]) == prefix[1]
+
 
 class RegisterArray:
     """A bounded array of W-bit integers, as a P4 register extern."""
@@ -349,11 +386,7 @@ class Table:
                 if (value & mask) != (want & mask):
                     return False
             elif kind == MatchKind.LPM:
-                try:
-                    network = ipaddress.ip_network(pattern, strict=False)
-                    if ipaddress.ip_address(value) not in network:
-                        return False
-                except ValueError:
+                if not _lpm_match(pattern, value):
                     return False
             elif kind == MatchKind.RANGE:
                 lo, hi = pattern

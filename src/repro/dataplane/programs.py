@@ -29,7 +29,7 @@ Programs:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field as dataclass_field
+from dataclasses import dataclass
 
 from ..core.aging import AGE_EPOCH_META
 from ..core.control import BackpressurePayload, DeadlineMissPayload, ModeAnnouncePayload
@@ -133,23 +133,25 @@ class ModeTransitionProgram(Program):
             rule: TransitionRule = params["rule"]
             target: Mode = params["target"]
             ctx = TransitionContext(now_ns=meta.now_ns)
-            activating = target.features & ~header.features
-            if activating & Feature.SEQUENCED:
+            # Plain-int bit mask: IntFlag &/~ would re-wrap every result
+            # through the enum machinery on this per-packet path.
+            activating = int(target.features) & ~int(header.features)
+            if activating & int(Feature.SEQUENCED):
                 index = header.experiment_id % seq_register.size
                 ctx.seq = seq_register.read_add(index, 1)
             if rule.buffer_addr is not None:
                 ctx.buffer_addr = rule.buffer_addr
-            if activating & Feature.TIMELINESS:
+            if activating & int(Feature.TIMELINESS):
                 ctx.deadline_ns = meta.now_ns + (rule.deadline_offset_ns or 0)
                 ctx.notify_addr = rule.notify_addr
-            if activating & Feature.AGE_TRACKING:
+            if activating & int(Feature.AGE_TRACKING):
                 ctx.age_budget_ns = rule.age_budget_ns
             ctx.pace_rate_mbps = rule.pace_rate_mbps
             ctx.source_addr = rule.source_addr
             ctx.dup_group = rule.dup_group
             ctx.dup_copies = rule.dup_copies
             transition(header, target, ctx)
-            if activating & Feature.AGE_TRACKING:
+            if activating & int(Feature.AGE_TRACKING):
                 view.sim_stamp(AGE_EPOCH_META, meta.now_ns)
             self.transitions_applied += 1
             if (

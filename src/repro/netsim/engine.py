@@ -9,13 +9,24 @@ Determinism: ties at the same timestamp fire in scheduling order, and
 all randomness in the library flows through explicit ``random.Random``
 instances (see :meth:`Simulator.rng`) seeded from the simulator seed,
 so a run is fully reproducible from ``Simulator(seed=...)``.
+
+Performance notes (see README "Performance"): the heap holds plain
+``(time, seq, event)`` tuples — heap sift compares ints at C speed and
+never falls back to rich comparison of event objects. :class:`Event`
+uses ``__slots__`` and is only the cancellation handle. Cancelled
+events stay in the heap (removing from a heap is O(n)) but are counted:
+``pending_events`` is O(1) off a live counter, and when cancelled
+entries outnumber live ones the queue is compacted in one O(n) pass
+(``heapify``), so mass timer restarts (every retransmission window)
+cannot grow the heap without bound. ``schedule`` takes a fast path for
+int delays — the common case; in-tree callers schedule integer
+nanoseconds — and only rounds floats.
 """
 
 from __future__ import annotations
 
 import heapq
 import random
-from dataclasses import dataclass, field
 from typing import Any, Callable
 
 
@@ -23,32 +34,57 @@ class SimulationError(RuntimeError):
     """Raised for misuse of the simulation engine."""
 
 
-@dataclass(order=True)
+#: Compaction is skipped below this queue size; scanning a tiny list
+#: costs less than tracking would save.
+_COMPACT_MIN = 64
+
+
 class Event:
     """A scheduled callback; returned by ``schedule`` so it can be cancelled."""
 
-    time: int
-    seq: int
-    callback: Callable[..., None] = field(compare=False)
-    args: tuple = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_sim")
+
+    def __init__(
+        self,
+        time: int,
+        seq: int,
+        callback: Callable[..., None],
+        args: tuple = (),
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self._sim: "Simulator | None" = None
 
     def cancel(self) -> None:
         """Prevent the event from firing; cancelling twice is harmless."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        sim = self._sim
+        if sim is not None:
+            self._sim = None
+            sim._note_cancelled()
 
 
 class Simulator:
     """Deterministic discrete-event simulator with an integer-ns clock."""
 
     def __init__(self, seed: int = 0) -> None:
-        self._queue: list[Event] = []
+        #: Heap of (time, seq, Event); plain tuples keep heap sift
+        #: comparisons on ints (no dataclass rich-compare in the loop).
+        self._queue: list[tuple[int, int, Event]] = []
         self._now = 0
         self._seq = 0
         self._running = False
         self._seed = seed
         self._rngs: dict[str, random.Random] = {}
         self.events_processed = 0
+        #: Not-yet-cancelled events still queued (kept exact so
+        #: pending_events() is O(1) instead of scanning the heap).
+        self._live = 0
 
     @property
     def now(self) -> int:
@@ -73,39 +109,58 @@ class Simulator:
     def schedule(self, delay_ns: int, callback: Callable[..., None], *args: Any) -> Event:
         """Schedule ``callback(*args)`` to run ``delay_ns`` from now.
 
-        Delays are rounded to the integer-nanosecond clock; fractional
-        nanoseconds cannot be represented.
+        Delays are rounded to the integer-nanosecond clock (int delays —
+        the common case — skip the rounding); fractional nanoseconds
+        cannot be represented.
         """
-        delay_ns = round(delay_ns)
+        if type(delay_ns) is not int:
+            delay_ns = round(delay_ns)
         if delay_ns < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay_ns})")
         return self.schedule_at(self._now + delay_ns, callback, *args)
 
     def schedule_at(self, time_ns: int, callback: Callable[..., None], *args: Any) -> Event:
         """Schedule ``callback(*args)`` at absolute virtual time ``time_ns``."""
-        time_ns = round(time_ns)
+        if type(time_ns) is not int:
+            time_ns = round(time_ns)
         if time_ns < self._now:
             raise SimulationError(
                 f"cannot schedule at {time_ns} before now ({self._now})"
             )
-        event = Event(time=time_ns, seq=self._seq, callback=callback, args=args)
-        self._seq += 1
-        heapq.heappush(self._queue, event)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time_ns, seq, callback, args)
+        event._sim = self
+        heapq.heappush(self._queue, (time_ns, seq, event))
+        self._live += 1
         return event
+
+    def _note_cancelled(self) -> None:
+        """Bookkeeping for Event.cancel(); compacts when dead entries
+        outnumber live ones (lazy deletion would otherwise leak)."""
+        self._live -= 1
+        queue = self._queue
+        if len(queue) >= _COMPACT_MIN and self._live < len(queue) // 2:
+            self._queue = [entry for entry in queue if not entry[2].cancelled]
+            heapq.heapify(self._queue)
 
     def peek_time(self) -> int | None:
         """Time of the next pending event, or ``None`` if the queue is empty."""
-        while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
-        return self._queue[0].time if self._queue else None
+        queue = self._queue
+        while queue and queue[0][2].cancelled:
+            heapq.heappop(queue)
+        return queue[0][0] if queue else None
 
     def step(self) -> bool:
         """Run a single event. Returns False when no events remain."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
+        queue = self._queue
+        while queue:
+            time_ns, _seq, event = heapq.heappop(queue)
             if event.cancelled:
                 continue
-            self._now = event.time
+            event._sim = None
+            self._live -= 1
+            self._now = time_ns
             event.callback(*event.args)
             self.events_processed += 1
             return True
@@ -123,17 +178,30 @@ class Simulator:
             raise SimulationError("run() is not reentrant")
         self._running = True
         processed = 0
+        heappop = heapq.heappop
         try:
-            while self._queue:
+            while True:
+                # Re-read each iteration: a callback cancelling events
+                # can trigger compaction, which replaces the list.
+                queue = self._queue
+                if not queue:
+                    break
                 if max_events is not None and processed >= max_events:
                     break
-                next_time = self.peek_time()
-                if next_time is None:
+                head = queue[0]
+                event = head[2]
+                if event.cancelled:
+                    heappop(queue)
+                    continue
+                if until_ns is not None and head[0] > until_ns:
                     break
-                if until_ns is not None and next_time > until_ns:
-                    break
-                if self.step():
-                    processed += 1
+                heappop(queue)
+                event._sim = None
+                self._live -= 1
+                self._now = head[0]
+                event.callback(*event.args)
+                self.events_processed += 1
+                processed += 1
             if until_ns is not None and self._now < until_ns:
                 self._now = until_ns
         finally:
@@ -141,8 +209,8 @@ class Simulator:
         return processed
 
     def pending_events(self) -> int:
-        """Number of not-yet-cancelled events still queued."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Number of not-yet-cancelled events still queued (O(1))."""
+        return self._live
 
 
 class Timer:

@@ -7,6 +7,15 @@ except where a test or codec needs real bytes.
 
 The MMT (multi-modal transport) header lives in :mod:`repro.core.header`;
 it subclasses :class:`Header` so it stacks like any other protocol.
+
+Performance notes (see README "Performance"): header dataclasses use
+``slots=True`` (packets allocate several headers each, millions per
+run), and :class:`Header` maintains a *size-mutation counter* ``_mut``
+that bumps only when a field named in the class's ``_SIZE_FIELDS``
+changes. :class:`~repro.netsim.packet.Packet` memoizes the sum of its
+header sizes keyed on those counters, so per-hop field rewrites that
+cannot change the wire size (MACs, TTL, seq, ...) never invalidate the
+cached packet size.
 """
 
 from __future__ import annotations
@@ -34,9 +43,45 @@ class IpProto(IntEnum):
     MMT = 254
 
 
-@dataclass
 class Header:
-    """Base class for protocol headers; subclasses define ``size_bytes``."""
+    """Base class for protocol headers; subclasses define ``size_bytes``.
+
+    Subclasses are ``@dataclass(slots=True)``. Fields listed in the
+    class attribute ``_SIZE_FIELDS`` can change the header's wire size;
+    assigning them bumps the mutation counter ``_mut`` so any memoized
+    :attr:`Packet.size_bytes <repro.netsim.packet.Packet.size_bytes>`
+    recomputes. In-place mutations that dodge ``__setattr__`` (e.g.
+    appending to a list field) must call :meth:`_touch` instead.
+    """
+
+    __slots__ = ("_mut", "_vmut")
+
+    #: Field names whose value affects ``size_bytes`` (class attribute).
+    _SIZE_FIELDS: frozenset = frozenset()
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        # Headers with a fixed wire size never need the mutation
+        # counter; give them C-speed attribute assignment (their
+        # dataclass __init__ otherwise funnels every field through the
+        # Python-level __setattr__ below).
+        if not cls._SIZE_FIELDS and "__setattr__" not in cls.__dict__:
+            cls.__setattr__ = object.__setattr__
+
+    def __setattr__(self, name: str, value) -> None:
+        object.__setattr__(self, name, value)
+        if name in self._SIZE_FIELDS:
+            try:
+                object.__setattr__(self, "_mut", self._mut + 1)
+            except AttributeError:
+                object.__setattr__(self, "_mut", 1)
+
+    def _touch(self) -> None:
+        """Record a size-affecting in-place mutation (list fields)."""
+        try:
+            object.__setattr__(self, "_mut", self._mut + 1)
+        except AttributeError:
+            object.__setattr__(self, "_mut", 1)
 
     @property
     def size_bytes(self) -> int:
@@ -51,7 +96,7 @@ class Header:
         return replace(self)
 
 
-@dataclass
+@dataclass(slots=True)
 class EthernetHeader(Header):
     """Ethernet II header (14 bytes) plus the 4-byte FCS trailer."""
 
@@ -64,10 +109,13 @@ class EthernetHeader(Header):
 
     @property
     def size_bytes(self) -> int:
-        return self.HEADER_BYTES + self.FCS_BYTES
+        return 18  # HEADER_BYTES + FCS_BYTES
+
+    def copy(self) -> "EthernetHeader":
+        return EthernetHeader(src=self.src, dst=self.dst, ethertype=self.ethertype)
 
 
-@dataclass
+@dataclass(slots=True)
 class Ipv4Header(Header):
     """IPv4 header without options (20 bytes)."""
 
@@ -83,8 +131,14 @@ class Ipv4Header(Header):
     def size_bytes(self) -> int:
         return 20
 
+    def copy(self) -> "Ipv4Header":
+        return Ipv4Header(
+            src=self.src, dst=self.dst, proto=self.proto, ttl=self.ttl,
+            dscp=self.dscp, ecn=self.ecn, identification=self.identification,
+        )
 
-@dataclass
+
+@dataclass(slots=True)
 class UdpHeader(Header):
     """UDP header (8 bytes)."""
 
@@ -95,8 +149,11 @@ class UdpHeader(Header):
     def size_bytes(self) -> int:
         return 8
 
+    def copy(self) -> "UdpHeader":
+        return UdpHeader(src_port=self.src_port, dst_port=self.dst_port)
 
-@dataclass
+
+@dataclass(slots=True)
 class TcpHeader(Header):
     """TCP header (20 bytes, no options modelled beyond SACK blocks).
 
@@ -115,6 +172,8 @@ class TcpHeader(Header):
     flag_rst: bool = False
     window: int = 65535
     sack_blocks: tuple[tuple[int, int], ...] = field(default_factory=tuple)
+
+    _SIZE_FIELDS = frozenset({"sack_blocks"})
 
     @property
     def size_bytes(self) -> int:

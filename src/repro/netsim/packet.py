@@ -7,13 +7,28 @@ bytes when a component needs them (e.g. codec tests).
 
 ``meta`` carries simulation-only bookkeeping (flow id, creation time,
 per-hop timestamps); it contributes zero bytes on the wire.
+
+Performance notes (see README "Performance"): packets are allocated and
+sized millions of times per run, so
+
+- instances use ``__slots__`` and the ``meta`` dict is allocated lazily
+  on first access (control packets often never touch it);
+- the header stack is a :class:`collections.deque` subclass so
+  :meth:`Packet.push`/:meth:`Packet.pop` (encapsulation at the
+  outermost end) are O(1) while iteration stays outermost-first and
+  in-place mutation (``packet.headers.append/remove``) keeps working;
+- :attr:`Packet.size_bytes` memoizes the header-size sum. The cache is
+  invalidated by any structural change to the stack (every mutating
+  deque method notifies the owning packet) and by size-affecting header
+  field writes (tracked via each header's ``_mut`` counter, see
+  :class:`~repro.netsim.headers.Header`).
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Iterator, TypeVar
+from collections import deque
+from typing import Any, Iterable, Iterator, TypeVar
 
 from .headers import Header
 
@@ -22,30 +37,127 @@ _packet_ids = itertools.count()
 H = TypeVar("H", bound=Header)
 
 
-@dataclass
+class _HeaderStack(deque):
+    """Outermost-first header deque that invalidates its packet's
+    memoized size on every structural mutation."""
+
+    __slots__ = ("_packet",)
+
+    def __init__(self, packet: "Packet", headers: Iterable[Header] = ()) -> None:
+        super().__init__(headers)
+        self._packet = packet
+
+    def _dirty(self) -> None:
+        self._packet._hsize = -1
+
+    def append(self, header: Header) -> None:
+        super().append(header)
+        self._packet._hsize = -1
+
+    def appendleft(self, header: Header) -> None:
+        super().appendleft(header)
+        self._packet._hsize = -1
+
+    def pop(self) -> Header:  # type: ignore[override]
+        value = super().pop()
+        self._packet._hsize = -1
+        return value
+
+    def popleft(self) -> Header:
+        value = super().popleft()
+        self._packet._hsize = -1
+        return value
+
+    def remove(self, header: Header) -> None:
+        super().remove(header)
+        self._packet._hsize = -1
+
+    def insert(self, index: int, header: Header) -> None:
+        super().insert(index, header)
+        self._packet._hsize = -1
+
+    def extend(self, headers: Iterable[Header]) -> None:
+        super().extend(headers)
+        self._packet._hsize = -1
+
+    def extendleft(self, headers: Iterable[Header]) -> None:
+        super().extendleft(headers)
+        self._packet._hsize = -1
+
+    def clear(self) -> None:
+        super().clear()
+        self._packet._hsize = -1
+
+    def __setitem__(self, index, header) -> None:
+        super().__setitem__(index, header)
+        self._packet._hsize = -1
+
+    def __delitem__(self, index) -> None:
+        super().__delitem__(index)
+        self._packet._hsize = -1
+
+    def __iadd__(self, headers):
+        result = super().__iadd__(headers)
+        self._packet._hsize = -1
+        return result
+
+
 class Packet:
     """A packet with an outermost-first header stack and a counted payload."""
 
-    headers: list[Header] = field(default_factory=list)
-    payload_size: int = 0
-    payload: bytes | None = None
-    meta: dict[str, Any] = field(default_factory=dict)
-    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    __slots__ = ("_headers", "payload_size", "payload", "_meta", "packet_id",
+                 "_hsize", "_htoken")
 
-    def __post_init__(self) -> None:
-        if self.payload is not None:
-            self.payload_size = len(self.payload)
-        if self.payload_size < 0:
-            raise ValueError(f"payload_size must be >= 0, got {self.payload_size}")
+    def __init__(
+        self,
+        headers: Iterable[Header] | None = None,
+        payload_size: int = 0,
+        payload: bytes | None = None,
+        meta: dict[str, Any] | None = None,
+        packet_id: int | None = None,
+    ) -> None:
+        self._headers = _HeaderStack(self, headers or ())
+        if payload is not None:
+            payload_size = len(payload)
+        if payload_size < 0:
+            raise ValueError(f"payload_size must be >= 0, got {payload_size}")
+        self.payload_size = payload_size
+        self.payload = payload
+        self._meta = meta
+        self.packet_id = next(_packet_ids) if packet_id is None else packet_id
+        self._hsize = -1  # memoized header-size sum; -1 = stale
+        self._htoken = -1
+
+    @property
+    def headers(self) -> _HeaderStack:
+        """The header stack, outermost-first (deque: O(1) at both ends)."""
+        return self._headers
+
+    @property
+    def meta(self) -> dict[str, Any]:
+        """Simulation-only bookkeeping, allocated on first access."""
+        meta = self._meta
+        if meta is None:
+            meta = self._meta = {}
+        return meta
 
     @property
     def size_bytes(self) -> int:
-        """Total on-wire size: all headers plus payload."""
-        return sum(h.size_bytes for h in self.headers) + self.payload_size
+        """Total on-wire size: all headers plus payload (memoized)."""
+        token = 0
+        for header in self._headers:
+            token += getattr(header, "_mut", 0)
+        if self._hsize < 0 or token != self._htoken:
+            total = 0
+            for header in self._headers:
+                total += header.size_bytes
+            self._hsize = total
+            self._htoken = token
+        return self._hsize + self.payload_size
 
     def find(self, header_type: type[H]) -> H | None:
         """Return the first (outermost) header of the given type, or None."""
-        for header in self.headers:
+        for header in self._headers:
             if isinstance(header, header_type):
                 return header
         return None
@@ -62,18 +174,18 @@ class Packet:
         return self.find(header_type) is not None
 
     def push(self, header: Header) -> None:
-        """Add ``header`` as the new outermost header (encapsulation)."""
-        self.headers.insert(0, header)
+        """Add ``header`` as the new outermost header (encapsulation, O(1))."""
+        self._headers.appendleft(header)
 
     def pop(self) -> Header:
-        """Remove and return the outermost header (decapsulation)."""
-        if not self.headers:
+        """Remove and return the outermost header (decapsulation, O(1))."""
+        if not self._headers:
             raise IndexError(f"packet {self.packet_id} has no headers to pop")
-        return self.headers.pop(0)
+        return self._headers.popleft()
 
     def outermost(self) -> Header | None:
         """The outermost header, or None for a bare payload."""
-        return self.headers[0] if self.headers else None
+        return self._headers[0] if self._headers else None
 
     def copy(self) -> "Packet":
         """Deep-enough copy for in-network duplication.
@@ -83,15 +195,15 @@ class Packet:
         bytes); ``meta`` is shallow-copied; the copy gets a fresh id.
         """
         return Packet(
-            headers=[h.copy() for h in self.headers],
+            headers=[h.copy() for h in self._headers],
             payload_size=self.payload_size,
             payload=self.payload,
-            meta=dict(self.meta),
+            meta=dict(self._meta) if self._meta is not None else None,
         )
 
     def __iter__(self) -> Iterator[Header]:
-        return iter(self.headers)
+        return iter(self._headers)
 
     def __repr__(self) -> str:
-        names = "/".join(h.name for h in self.headers) or "raw"
+        names = "/".join(h.name for h in self._headers) or "raw"
         return f"Packet#{self.packet_id}[{names} +{self.payload_size}B]"

@@ -58,9 +58,13 @@ class TraceEntry:
 def _summarize_header(header) -> dict:
     summary = {"type": type(header).__name__}
     if is_dataclass(header):
-        for name, value in vars(header).items():
+        # Field introspection, not vars(): header dataclasses use
+        # __slots__ and have no instance __dict__.
+        for field in dataclasses_fields(header):
+            name = field.name
             if name.startswith("_"):
                 continue
+            value = getattr(header, name)
             if isinstance(value, enum.Enum):
                 # Enums (incl. IntEnum/IntFlag) keep their symbolic name
                 # — note IntEnum.__str__ is the bare number on 3.11+.

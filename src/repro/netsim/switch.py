@@ -60,8 +60,15 @@ class Route:
 class RoutingTable:
     """Longest-prefix-match IPv4 routing table."""
 
+    #: Bound on the per-table lookup memo (distinct destinations seen).
+    _CACHE_MAX = 65536
+
     def __init__(self) -> None:
         self._routes: list[Route] = []
+        # dst string → winning Route (or None); routes are static while
+        # traffic flows, so per-packet ipaddress parsing is pure waste.
+        # Any table change clears the memo.
+        self._cache: dict[str, Route | None] = {}
 
     def add(self, prefix: str, port_name: str, next_hop_mac: str) -> None:
         """Install a route for ``prefix`` (e.g. ``"10.1.0.0/16"``).
@@ -74,14 +81,23 @@ class RoutingTable:
         self._routes = [r for r in self._routes if r.network != network]
         self._routes.append(Route(network, port_name, next_hop_mac))
         self._routes.sort(key=lambda r: r.network.prefixlen, reverse=True)
+        self._cache.clear()
 
     def lookup(self, dst_ip: str) -> Route | None:
         """Return the most-specific matching route, or None."""
+        try:
+            return self._cache[dst_ip]
+        except KeyError:
+            pass
         address = ipaddress.ip_address(dst_ip)
+        found = None
         for route in self._routes:
             if address in route.network:
-                return route
-        return None
+                found = route
+                break
+        if len(self._cache) < self._CACHE_MAX:
+            self._cache[dst_ip] = found
+        return found
 
     def __len__(self) -> int:
         return len(self._routes)

@@ -120,6 +120,105 @@ def test_peek_time_skips_cancelled():
     assert sim.peek_time() == 9
 
 
+def test_float_delays_round_to_integer_clock():
+    """Float delays land on the integer-ns clock via round() — pinned
+    here because schedule() fast-paths int delays past the rounding."""
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.6, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [2]
+    # Banker's rounding (Python round-half-to-even), same as before the
+    # int fast path: 2.5 → 2, 3.5 → 4.
+    sim2 = Simulator()
+    times = []
+    sim2.schedule(2.5, lambda: times.append(sim2.now))
+    sim2.schedule(3.5, lambda: times.append(sim2.now))
+    sim2.run()
+    assert times == [2, 4]
+
+
+def test_schedule_at_float_time_rounds():
+    sim = Simulator()
+    fired = []
+    sim.schedule_at(7.5, lambda: fired.append(sim.now))  # half-to-even
+    sim.run()
+    assert fired == [8]
+
+
+def test_pending_events_is_exact_under_cancellation():
+    sim = Simulator()
+    events = [sim.schedule(i + 1, lambda: None) for i in range(10)]
+    assert sim.pending_events() == 10
+    for event in events[:4]:
+        event.cancel()
+    assert sim.pending_events() == 6
+    events[0].cancel()  # double-cancel must not double-count
+    assert sim.pending_events() == 6
+    sim.run()
+    assert sim.pending_events() == 0
+    assert sim.events_processed == 6
+
+
+def test_mass_cancellation_compacts_queue():
+    """Cancelled events may linger in the heap (lazy deletion) but can
+    never come to outnumber live ones in a large queue — the mass
+    timer-restart pattern must not leak."""
+    sim = Simulator()
+    keepers = 10
+    restarts = 2000
+    for i in range(keepers):
+        sim.schedule(10_000 + i, lambda: None)
+    for i in range(restarts):
+        sim.schedule(100 + i, lambda: None).cancel()
+    assert sim.pending_events() == keepers
+    # Compaction bound: dead entries < half the queue (+ live).
+    assert len(sim._queue) <= 2 * keepers + 1
+    assert sim.run() == keepers
+
+
+def test_cancellation_during_run_is_safe():
+    """A callback cancelling en masse (triggering compaction, which
+    replaces the heap list) must not lose events scheduled after it."""
+    sim = Simulator()
+    fired = []
+    victims = [sim.schedule(500 + i, lambda: None) for i in range(200)]
+
+    def purge_and_reschedule():
+        for event in victims:
+            event.cancel()
+        sim.schedule(50, fired.append, "after-purge")
+
+    sim.schedule(10, purge_and_reschedule)
+    sim.schedule(2000, fired.append, "tail")
+    sim.run()
+    assert fired == ["after-purge", "tail"]
+    assert sim.pending_events() == 0
+
+
+def test_replay_is_deterministic():
+    """Same seed + same schedule → identical event interleaving and
+    identical RNG draws, twice over (the regression replay guard)."""
+
+    def run_once():
+        sim = Simulator(seed=31)
+        trace = []
+        rng = sim.rng("loss")
+
+        def tick(tag, count):
+            trace.append((sim.now, tag, round(rng.random(), 12)))
+            if count:
+                sim.schedule(1 + (count * 7) % 13, tick, tag, count - 1)
+
+        sim.schedule(1, tick, "a", 50)
+        sim.schedule(1, tick, "b", 50)
+        sim.schedule(3, tick, "c", 50)
+        sim.run()
+        return trace, sim.events_processed, sim.now
+
+    assert run_once() == run_once()
+
+
 class TestTimer:
     def test_fires_after_delay(self):
         sim = Simulator()

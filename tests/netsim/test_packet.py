@@ -87,3 +87,67 @@ def test_iteration_outermost_first():
 
 def test_repr_mentions_headers():
     assert "Ipv4Header" in repr(make_packet())
+
+
+# -- memoized size_bytes invalidation -----------------------------------------
+# size_bytes is cached (it is the per-hop hot path); these pin every
+# way the cache must be refreshed.
+
+
+def test_size_memo_tracks_structural_mutation():
+    p = make_packet(100)
+    assert p.size_bytes == 18 + 20 + 8 + 100
+    p.push(EthernetHeader())  # O(1) encapsulation
+    assert p.size_bytes == 18 + 18 + 20 + 8 + 100
+    p.pop()
+    assert p.size_bytes == 18 + 20 + 8 + 100
+    p.headers.remove(p.find(UdpHeader))  # in-place deque mutation
+    assert p.size_bytes == 18 + 20 + 100
+    p.headers.append(TcpHeader())
+    assert p.size_bytes == 18 + 20 + 20 + 100
+    p.headers.clear()
+    assert p.size_bytes == 100
+
+
+def test_size_memo_tracks_size_affecting_field_write():
+    p = Packet(headers=[TcpHeader()], payload_size=10)
+    assert p.size_bytes == 20 + 10
+    # sack_blocks is a _SIZE_FIELDS entry: assignment must invalidate.
+    p.find(TcpHeader).sack_blocks = ((0, 10),)
+    assert p.size_bytes == 20 + 2 + 8 + 10
+
+
+def test_size_memo_survives_value_only_rewrites():
+    """Per-hop rewrites of fixed-size fields (TTL, MACs, ports) must
+    neither change nor invalidate the cached size."""
+    p = make_packet(100)
+    before = p.size_bytes
+    ip = p.find(Ipv4Header)
+    ip.ttl -= 1
+    ip.dscp = 46
+    p.find(EthernetHeader).dst = "02:00:00:00:00:01"
+    assert p.size_bytes == before
+
+
+def test_size_memo_tracks_setitem_replacement():
+    p = make_packet(0)
+    p.headers[2] = TcpHeader()
+    assert p.size_bytes == 18 + 20 + 20
+
+
+def test_push_pop_keep_outermost_first_iteration():
+    p = Packet(headers=[UdpHeader()])
+    p.push(Ipv4Header())
+    p.push(EthernetHeader())
+    assert [h.name for h in p] == ["EthernetHeader", "Ipv4Header", "UdpHeader"]
+    assert [h.name for h in p.headers] == [h.name for h in p]
+    assert isinstance(p.pop(), EthernetHeader)
+    assert [h.name for h in p] == ["Ipv4Header", "UdpHeader"]
+
+
+def test_meta_is_lazy():
+    p = Packet()
+    assert p._meta is None  # no dict allocated until first access
+    p.meta["flow"] = 1
+    assert p._meta == {"flow": 1}
+    assert p.copy().meta == {"flow": 1}

@@ -50,6 +50,15 @@ def test_supernova_run(capsys):
     assert "today" in out and "mmt" in out
 
 
+def test_bench_reports_throughput(capsys):
+    # Tiny workloads: this checks wiring, not performance.
+    assert main(["bench", "--events", "2000", "--packets", "200"]) == 0
+    out = capsys.readouterr().out
+    assert "engine (events/s)" in out
+    assert "packet path (packets/s)" in out
+    assert "/s" in out
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["frobnicate"])
