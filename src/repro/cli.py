@@ -10,6 +10,7 @@ Installed as the ``repro`` console script::
     repro header                          # per-mode wire-format costs
     repro telemetry out.jsonl             # render a snapshot as tables
     repro bench                           # perf microbenchmarks (events/s, packets/s)
+    repro chaos --scenario link-flap      # pilot under fault injection
 
 Every subcommand prints the same tables the benchmark suite produces,
 so quick shell exploration and recorded experiments stay consistent.
@@ -271,6 +272,52 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Run the pilot under a named fault scenario (or all of them).
+
+    Emits ``BENCH_chaos.json`` — every metric is simulation-derived, so
+    the file is byte-identical across runs with the same seed. Exit
+    code 0 means every run either recovered completely or degraded
+    gracefully (recorded mode degradation, no NAK storm).
+    """
+    from .faults import ChaosConfig, run_chaos, run_scenarios, write_bench
+
+    cfg = ChaosConfig(
+        scenario=args.scenario if args.scenario != "all" else "link-flap",
+        messages=args.messages,
+        payload_size=args.size,
+        interval_ns=round(args.interval_us * 1000),
+        seed=args.seed,
+        failover=not args.no_failover,
+    )
+    runs = run_scenarios(cfg) if args.scenario == "all" else [run_chaos(cfg)]
+    table = ResultTable(
+        "Chaos scenarios (Fig. 4 pilot under fault injection)",
+        ["Scenario", "Delivered", "Unrecovered", "NAKs sent/served",
+         "Time to recover", "Degradations", "Failovers"],
+    )
+    for run in runs:
+        r = run.report
+        table.add_row(
+            run.scenario,
+            f"{r.delivered}/{r.messages_sent}",
+            r.unrecovered,
+            f"{r.naks_sent} / {r.naks_served}",
+            format_duration(r.time_to_recover_ns),
+            r.mode_degradations + r.element_degradations,
+            r.buffer_failovers,
+        )
+    table.show()
+    path = write_bench(runs, args.out_dir)
+    print(f"\nwrote {path}")
+    ok = all(
+        run.report.complete
+        or run.report.mode_degradations + run.report.element_degradations > 0
+        for run in runs
+    )
+    return 0 if ok else 1
+
+
 def _cmd_header(_args: argparse.Namespace) -> int:
     registry = extended_registry()
     table = ResultTable(
@@ -334,6 +381,26 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--packets", type=int, default=20_000,
                        help="packets for the packet-path workload")
 
+    chaos = sub.add_parser("chaos", help="run the pilot under fault injection")
+    chaos.add_argument(
+        "--scenario",
+        choices=("link-flap", "burst-loss", "element-restart", "buffer-failover", "all"),
+        default="link-flap",
+    )
+    chaos.add_argument("--messages", type=int, default=500)
+    chaos.add_argument("--size", type=int, default=8000)
+    chaos.add_argument("--interval-us", type=float, default=2.0)
+    chaos.add_argument("--seed", type=int, default=42)
+    chaos.add_argument(
+        "--no-failover",
+        action="store_true",
+        help="buffer-failover: leave no live buffer after the kill "
+        "(exercises graceful mode degradation instead of failover)",
+    )
+    chaos.add_argument(
+        "--out-dir", default=".", help="directory for BENCH_chaos.json"
+    )
+
     telemetry = sub.add_parser("telemetry", help="render a telemetry snapshot")
     telemetry.add_argument("snapshot", help="JSONL snapshot file (repro pilot --telemetry)")
     telemetry.add_argument(
@@ -350,6 +417,7 @@ _COMMANDS = {
     "header": _cmd_header,
     "telemetry": _cmd_telemetry,
     "bench": _cmd_bench,
+    "chaos": _cmd_chaos,
 }
 
 

@@ -59,7 +59,12 @@ from .modes import (
     pilot_registry,
     transition,
 )
-from .retransmit import BufferDirectory, BufferRegistration, RetransmitBuffer
+from .retransmit import (
+    BufferDirectory,
+    BufferRegistration,
+    NakForwardGuard,
+    RetransmitBuffer,
+)
 from .seqspace import SEQ_MOD, seq_lt, unwrap, wrap
 
 __all__ = [
@@ -84,6 +89,7 @@ __all__ = [
     "ModeError",
     "ModeRegistry",
     "MsgType",
+    "NakForwardGuard",
     "NakPayload",
     "ReceiverConfig",
     "ReceiverStats",

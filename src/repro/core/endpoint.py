@@ -42,7 +42,7 @@ from .control import (
 from .features import Feature, MsgType
 from .header import MmtHeader
 from .modes import Mode, ModeRegistry, pilot_registry
-from .retransmit import RetransmitBuffer
+from .retransmit import BufferDirectory, NakForwardGuard, RetransmitBuffer
 from .seqspace import unwrap, wrap
 
 
@@ -81,8 +81,7 @@ class MmtStack:
         self.int_sink = None
         #: Identical unmet-NAK forwards are capped so a mis-wired
         #: fallback cycle dies out instead of circulating forever.
-        self._nak_forward_counts: dict[tuple, int] = {}
-        self.nak_forwards_suppressed = 0
+        self._nak_forward_guard = NakForwardGuard()
         host.register_l3_protocol(IpProto.MMT, self._receive)
         host.register_l2_protocol(EtherType.MMT, self._receive)
 
@@ -107,6 +106,11 @@ class MmtStack:
         receiver = MmtReceiver(stack=self, experiment=experiment, **kwargs)
         self.receivers[experiment] = receiver
         return receiver
+
+    @property
+    def nak_forwards_suppressed(self) -> int:
+        """Unmet-NAK forwards dropped by the anti-loop guard."""
+        return self._nak_forward_guard.suppressed
 
     # -- wire I/O ---------------------------------------------------------------
 
@@ -170,13 +174,8 @@ class MmtStack:
             self._resend(cached, requester)
         if unmet and self.nak_fallback_addr:
             key = (header.experiment_id, tuple((r.start, r.end) for r in unmet))
-            count = self._nak_forward_counts.get(key, 0)
-            if count >= 3:
-                self.nak_forwards_suppressed += 1
+            if not self._nak_forward_guard.allow(key):
                 return
-            if len(self._nak_forward_counts) > 1024:
-                self._nak_forward_counts.clear()
-            self._nak_forward_counts[key] = count + 1
             fallback = NakPayload(ranges=list(unmet))
             fwd_header = MmtHeader(
                 config_id=header.config_id,
@@ -269,6 +268,16 @@ class SenderConfig:
     #: Starting credit balance for FLOW_CONTROL modes (messages the
     #: sender may emit before the first receiver grant arrives).
     initial_credits: int = 64
+    #: After a degradation, how long to wait before the first re-check
+    #: for a live buffer (doubles each failed attempt — the sender-side
+    #: retransmit-timeout analogue of the receiver's NAK backoff).
+    buffer_recheck_ns: int = 2 * MILLISECOND
+    #: Multiplier applied to the re-check interval per failed attempt.
+    buffer_recheck_backoff: float = 2.0
+    #: Bounded give-up mirroring the receiver's ``max_naks``: stop
+    #: probing for a live buffer after this many failed re-checks and
+    #: stay degraded permanently.
+    max_buffer_rechecks: int = 8
 
 
 @dataclass
@@ -282,6 +291,14 @@ class SenderStats:
     #: High-water mark of messages held back awaiting credits.
     flow_blocked: int = 0
     window_updates_received: int = 0
+    #: Mode degradations (no live buffer → identification-only) and the
+    #: recoveries back once a buffer reappeared.
+    mode_degradations: int = 0
+    mode_upgrades: int = 0
+    #: Buffer liveness re-checks that found nothing (backoff retries).
+    buffer_rechecks_failed: int = 0
+    #: 1 once the sender exhausted its re-checks and stays degraded.
+    degraded_final: int = 0
 
 
 class MmtSender:
@@ -302,6 +319,9 @@ class MmtSender:
         buffer_local: bool = False,
         config: SenderConfig | None = None,
         flow: str | None = None,
+        directory: BufferDirectory | None = None,
+        path_position: int = 0,
+        degraded_mode: Mode | str = "identify",
     ) -> None:
         self.stack = stack
         self.sim = stack.sim
@@ -324,6 +344,21 @@ class MmtSender:
         self._pending: deque[tuple[int, bytes | None, dict]] = deque()
         self._pace_timer = Timer(self.sim, self._drain_paced)
         self._heartbeat_timer = Timer(self.sim, self._heartbeat)
+        #: Buffer directory consulted before each reliable send; when no
+        #: live buffer serves the experiment the sender degrades to
+        #: ``degraded_mode`` (the paper's multi-modality used
+        #: defensively) instead of advertising a dead NAK target.
+        self.directory = directory
+        self.path_position = path_position
+        self._primary_mode = self.mode
+        self._degraded_mode = (
+            stack.registry.by_name(degraded_mode)
+            if isinstance(degraded_mode, str)
+            else degraded_mode
+        ) if directory is not None else None
+        self._degraded = False
+        self._rechecks_done = 0
+        self._recheck_timer = Timer(self.sim, self._recheck_buffer)
         self._finished = False
         self._closing_left = self.config.closing_heartbeats
         self._beats_since_send = 0
@@ -427,9 +462,14 @@ class MmtSender:
         if self.mode.has(Feature.SEQUENCED):
             header.seq = wrap(self._next_seq)  # 32-bit wire value
         if self.mode.has(Feature.RETRANSMISSION):
-            header.buffer_addr = (
-                self.stack.host.ip if self.buffer_local else "0.0.0.0"
-            )
+            addr = self.stack.host.ip if self.buffer_local else "0.0.0.0"
+            if self.directory is not None:
+                live = self.directory.failover_for(
+                    self.experiment_id, self.path_position
+                )
+                if live is not None:
+                    addr = live.address
+            header.buffer_addr = addr
         if self.mode.has(Feature.TIMELINESS):
             header.deadline_ns = self.sim.now + self.deadline_offset_ns
             header.notify_addr = self.notify_addr
@@ -446,6 +486,14 @@ class MmtSender:
         return header
 
     def _transmit(self, payload_size: int, payload: bytes | None, meta: dict) -> None:
+        if (
+            self.directory is not None
+            and not self._degraded
+            and self.mode.has(Feature.RETRANSMISSION)
+            and self.directory.failover_for(self.experiment_id, self.path_position)
+            is None
+        ):
+            self._degrade()
         header = self._build_header()
         meta = dict(meta)
         meta.setdefault("flow", self.flow)
@@ -533,6 +581,77 @@ class MmtSender:
             self.stats.heartbeats_sent += 1
         if self.config.heartbeat_interval_ns:
             self._heartbeat_timer.start(self.config.heartbeat_interval_ns)
+
+    # -- graceful mode degradation ------------------------------------------
+
+    @property
+    def degraded(self) -> bool:
+        """True while the sender runs in its degraded (fallback) mode."""
+        return self._degraded
+
+    def _degrade(self) -> None:
+        """No live buffer serves the experiment: fall back to the
+        degraded mode (identification-only by default) and announce it.
+
+        The paper's multi-modality used defensively: rather than keep
+        advertising a dead NAK target (an unbounded NAK storm at the
+        receiver), the stream sheds its reliability features until a
+        buffer comes back. Re-checks run on an exponential backoff with
+        a bounded give-up mirroring the receiver's ``max_naks``.
+        """
+        self.stats.mode_degradations += 1
+        self.mode = self._degraded_mode
+        self._degraded = True
+        self._rechecks_done = 0
+        if not self.mode.has(Feature.SEQUENCED):
+            self._heartbeat_timer.stop()
+        self._announce_mode()
+        self._recheck_timer.start(self.config.buffer_recheck_ns)
+
+    def _upgrade(self) -> None:
+        """A live buffer reappeared: restore the primary mode."""
+        self.mode = self._primary_mode
+        self._degraded = False
+        self._rechecks_done = 0
+        self.stats.mode_upgrades += 1
+        self._announce_mode()
+
+    def _recheck_buffer(self) -> None:
+        if not self._degraded or self._finished:
+            return
+        if (
+            self.directory.failover_for(self.experiment_id, self.path_position)
+            is not None
+        ):
+            self._upgrade()
+            return
+        self.stats.buffer_rechecks_failed += 1
+        self._rechecks_done += 1
+        if self._rechecks_done >= self.config.max_buffer_rechecks:
+            self.stats.degraded_final = 1
+            return  # bounded give-up: stay degraded, leak no timer
+        delay = int(
+            self.config.buffer_recheck_ns
+            * self.config.buffer_recheck_backoff ** self._rechecks_done
+        )
+        self._recheck_timer.start(max(delay, 1))
+
+    def _announce_mode(self) -> None:
+        """Tell the destination which mode the stream now runs in."""
+        if self.dst_ip is None:
+            return  # raw-L2 senders have no control channel
+        payload = ModeAnnouncePayload(
+            config_id=self.mode.config_id,
+            element=self.stack.host.ip,
+            at_ns=self.sim.now,
+        ).encode()
+        header = MmtHeader(
+            config_id=self.mode.config_id,
+            features=Feature.NONE,
+            msg_type=MsgType.MODE_ANNOUNCE,
+            experiment_id=self.experiment_id,
+        )
+        self.stack.send_control(self.dst_ip, header, payload)
 
     def recover_pace(self) -> None:
         """Gently raise the pacing rate after backpressure (AIMD-style)."""

@@ -32,6 +32,10 @@ class RetransmitStats:
     nak_requests: int = 0
     hits: int = 0
     misses: int = 0
+    #: Times the buffer failed (crash/restart wiped its contents).
+    failures: int = 0
+    #: Stores refused while the buffer was failed.
+    rejected_failed: int = 0
 
 
 class RetransmitBuffer:
@@ -48,11 +52,40 @@ class RetransmitBuffer:
         #: The IP address NAKs should be sent to for this buffer.
         self.address = address
         self.bytes_used = 0
+        #: True while the buffer is dead: contents lost, stores refused,
+        #: every fetch a miss. Set by :meth:`fail` (fault injection /
+        #: element crash), cleared by :meth:`restore`.
+        self.failed = False
         self.stats = RetransmitStats()
         self._store: OrderedDict[tuple[int, int], Packet] = OrderedDict()
 
+    def fail(self) -> None:
+        """Kill the buffer: drop all cached state and refuse new stores.
+
+        Models an FPGA buffer engine dying (EJ-FAT-style restartable
+        dataplane components lose their state); the protocol around it
+        must cope with every subsequent NAK going unmet.
+        """
+        if self.failed:
+            return
+        self.failed = True
+        self.stats.failures += 1
+        self.clear()
+
+    def restore(self) -> None:
+        """Bring a failed buffer back, empty (restarts never recover state)."""
+        self.failed = False
+
+    def clear(self) -> None:
+        """Drop all cached packets (restart wipe); counters survive."""
+        self._store.clear()
+        self.bytes_used = 0
+
     def store(self, experiment_id: int, seq: int, packet: Packet) -> None:
         """Cache a copy of ``packet``; replaces nothing on duplicate."""
+        if self.failed:
+            self.stats.rejected_failed += 1
+            return
         key = (experiment_id, seq)
         if key in self._store:
             self.stats.duplicates_ignored += 1
@@ -110,6 +143,9 @@ class BufferRegistration:
     path_position: int
     #: Which experiments this buffer caches (empty = all).
     experiments: frozenset[int] = field(default_factory=frozenset)
+    #: Liveness: dead buffers are skipped by every lookup. Toggled via
+    #: :meth:`BufferDirectory.mark_down` / :meth:`BufferDirectory.mark_up`.
+    alive: bool = True
 
     def serves(self, experiment_id: int) -> bool:
         return not self.experiments or experiment_id in self.experiments
@@ -126,6 +162,9 @@ class BufferDirectory:
 
     def __init__(self) -> None:
         self._registrations: list[BufferRegistration] = []
+        #: Liveness transitions recorded, for telemetry/operator audit.
+        self.marks_down = 0
+        self.marks_up = 0
 
     def register(
         self,
@@ -141,21 +180,118 @@ class BufferDirectory:
         self._registrations.append(registration)
         return registration
 
+    def mark_down(self, address: str) -> int:
+        """Record buffer(s) at ``address`` as dead; returns how many."""
+        marked = 0
+        for registration in self._registrations:
+            if registration.address == address and registration.alive:
+                registration.alive = False
+                marked += 1
+        self.marks_down += marked
+        return marked
+
+    def mark_up(self, address: str) -> int:
+        """Record buffer(s) at ``address`` as live again; returns how many."""
+        marked = 0
+        for registration in self._registrations:
+            if registration.address == address and not registration.alive:
+                registration.alive = True
+                marked += 1
+        self.marks_up += marked
+        return marked
+
+    def alive_count(self, experiment_id: int | None = None) -> int:
+        """Live registrations (optionally only those serving an experiment)."""
+        return sum(
+            1
+            for r in self._registrations
+            if r.alive and (experiment_id is None or r.serves(experiment_id))
+        )
+
     def nearest_upstream(
         self, experiment_id: int, position: int
     ) -> BufferRegistration | None:
-        """Closest buffer at or behind ``position`` serving the experiment."""
+        """Closest *live* buffer at or behind ``position`` serving the
+        experiment. Ties on ``path_position`` break toward the earliest
+        registration (deterministic: ``max`` keeps the first maximum).
+        """
         candidates = [
             r
             for r in self._registrations
-            if r.path_position <= position and r.serves(experiment_id)
+            if r.alive and r.path_position <= position and r.serves(experiment_id)
         ]
         if not candidates:
             return None
         return max(candidates, key=lambda r: r.path_position)
+
+    def failover_for(
+        self, experiment_id: int, position: int
+    ) -> BufferRegistration | None:
+        """Best live buffer to stamp when the nearest upstream died.
+
+        Prefers the nearest live *upstream* buffer (normal case); when
+        nothing upstream survives, falls back to the closest live buffer
+        *ahead* of ``position`` — still upstream of the receiver, so its
+        address remains a valid NAK target. ``None`` means no live
+        buffer serves the experiment at all (degrade the mode).
+        """
+        upstream = self.nearest_upstream(experiment_id, position)
+        if upstream is not None:
+            return upstream
+        ahead = [
+            r
+            for r in self._registrations
+            if r.alive and r.path_position > position and r.serves(experiment_id)
+        ]
+        if not ahead:
+            return None
+        return min(ahead, key=lambda r: r.path_position)
 
     def __len__(self) -> int:
         return len(self._registrations)
 
     def __iter__(self):
         return iter(self._registrations)
+
+
+class NakForwardGuard:
+    """Caps identical unmet-NAK forwards so fallback cycles die out.
+
+    Chained buffers forward unserved NAK ranges to a fallback address;
+    a mis-wired fallback cycle would otherwise circulate the same NAK
+    forever. Each distinct ``(experiment, ranges)`` key may be forwarded
+    ``limit`` times, then it is suppressed.
+
+    The table is a bounded LRU: when it outgrows ``capacity`` the
+    *stalest* key is evicted — and every :meth:`allow` call refreshes
+    its key, including suppressed ones, so an actively-looping NAK can
+    never be evicted by churn and restart its loop. (The previous
+    implementation wiped the whole table at the cap, which reopened
+    every suppressed loop at once.)
+    """
+
+    def __init__(self, limit: int = 3, capacity: int = 1024) -> None:
+        if limit <= 0 or capacity <= 0:
+            raise ValueError("limit and capacity must be positive")
+        self.limit = limit
+        self.capacity = capacity
+        self.suppressed = 0
+        self._counts: OrderedDict[tuple, int] = OrderedDict()
+
+    def allow(self, key: tuple) -> bool:
+        """True if this forward is under the cap; counts the attempt."""
+        count = self._counts.get(key)
+        if count is not None:
+            self._counts.move_to_end(key)
+            if count >= self.limit:
+                self.suppressed += 1
+                return False
+            self._counts[key] = count + 1
+            return True
+        self._counts[key] = 1
+        while len(self._counts) > self.capacity:
+            self._counts.popitem(last=False)
+        return True
+
+    def __len__(self) -> int:
+        return len(self._counts)

@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from ..core.control import NakPayload
 from ..core.features import MsgType
 from ..core.header import MmtHeader
-from ..core.retransmit import RetransmitBuffer
+from ..core.retransmit import NakForwardGuard, RetransmitBuffer
 from ..netsim.engine import Simulator
 from ..netsim.headers import EthernetHeader, EtherType, IpProto, Ipv4Header
 from ..netsim.link import Port
@@ -49,6 +49,12 @@ class ElementStats:
     int_packets_marked: int = 0
     int_postcards_pushed: int = 0
     int_stack_full: int = 0
+    #: Crash/restart bookkeeping (fault injection): packets that arrived
+    #: while the element was down are dropped and counted.
+    crashes: int = 0
+    restarts: int = 0
+    dropped_failed: int = 0
+    nak_forwards_suppressed: int = 0
 
 
 class ProgrammableElement(Node):
@@ -88,7 +94,10 @@ class ProgrammableElement(Node):
         self._mac_table: dict[str, Port] = {}
         #: Identical unmet-NAK forwards are capped (anti-loop guard,
         #: mirroring MmtStack's behaviour).
-        self._nak_forward_counts: dict[tuple, int] = {}
+        self._nak_forward_guard = NakForwardGuard()
+        #: True while crashed: every arriving packet is dropped (and
+        #: counted) until :meth:`restart` brings the element back.
+        self.failed = False
 
     # -- configuration --------------------------------------------------------
 
@@ -106,9 +115,46 @@ class ProgrammableElement(Node):
         self.buffer = RetransmitBuffer(capacity_bytes, address=self.ip)
         return self.buffer
 
+    # -- failure model --------------------------------------------------------
+
+    def crash(self) -> None:
+        """Take the element down: all arriving traffic is dropped.
+
+        Models the dataplane component dying (power, firmware, bitstream
+        reload). Queued egress frames already serializing still drain —
+        only *processing* stops, like a wedged pipeline.
+        """
+        if self.failed:
+            return
+        self.failed = True
+        self.stats.crashes += 1
+
+    def restart(self) -> None:
+        """Bring a crashed element back with cold state.
+
+        Restarts clear everything stateful, as a reloaded FPGA/ASIC
+        image would: pipeline registers (sequence counters, rate-limit
+        timestamps), the learned MAC table, the NAK anti-loop guard, and
+        the hosted retransmission buffer's *contents* (the buffer comes
+        back alive but empty — restarts never recover cached packets).
+        """
+        if not self.failed:
+            return
+        self.failed = False
+        self.stats.restarts += 1
+        self.pipeline.reset_registers()
+        self._mac_table.clear()
+        self._nak_forward_guard = NakForwardGuard()
+        if self.buffer is not None:
+            self.buffer.clear()
+            self.buffer.restore()
+
     # -- ingress ------------------------------------------------------------------
 
     def receive(self, packet: Packet, port: Port) -> None:
+        if self.failed:
+            self.stats.dropped_failed += 1
+            return
         eth = packet.find(EthernetHeader)
         if eth is not None:
             self._mac_table.setdefault(eth.src, port)
@@ -216,12 +262,9 @@ class ProgrammableElement(Node):
             self._resend(cached, requester=ip.src)
         if unmet and self.nak_fallback_addr:
             key = (mmt.experiment_id, tuple((r.start, r.end) for r in unmet))
-            count = self._nak_forward_counts.get(key, 0)
-            if count >= 3:
+            if not self._nak_forward_guard.allow(key):
+                self.stats.nak_forwards_suppressed += 1
                 return
-            if len(self._nak_forward_counts) > 1024:
-                self._nak_forward_counts.clear()
-            self._nak_forward_counts[key] = count + 1
             forward = NakPayload(ranges=list(unmet))
             header = MmtHeader(
                 config_id=mmt.config_id,

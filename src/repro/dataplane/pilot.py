@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from ..core.endpoint import MmtReceiver, MmtSender, MmtStack, ReceiverConfig
 from ..core.header import make_experiment_id
 from ..core.modes import ModeRegistry, pilot_registry
+from ..core.retransmit import BufferDirectory, RetransmitBuffer
 from ..netsim.engine import Simulator
 from ..netsim.packet import Packet
 from ..netsim.topology import Topology
@@ -54,6 +55,15 @@ from .tofino import TofinoSwitch
 
 #: Experiment number used by the pilot streams (arbitrary but fixed).
 PILOT_EXPERIMENT = 42
+
+#: Path positions along the Fig. 4 pilot, sensor → DTN 2.
+SENSOR_POSITION = 0
+DAQ_SWITCH_POSITION = 1
+DTN1_POSITION = 2
+U280_POSITION = 3
+TOFINO_POSITION = 4
+U55C_POSITION = 5
+DTN2_POSITION = 6
 
 
 @dataclass
@@ -83,6 +93,23 @@ class PilotConfig:
     telemetry: bool = False
     #: Mark every Nth data packet at the INT source (1 = all).
     int_sample_every: int = 1
+    #: Replace the pre-supposed static buffer wiring with a live
+    #: :class:`~repro.core.retransmit.BufferDirectory`: elements stamp
+    #: the nearest *live* buffer per packet, so marking a buffer down
+    #: re-stamps flows to the next-nearest live one (failover), and a
+    #: reliable sender with no live buffer degrades its mode. Chaos
+    #: scenarios build the pilot this way.
+    use_directory: bool = False
+    #: Start the DTN 1 → DTN 2 leg in age-recover *at DTN 1* (sequence
+    #: numbers assigned by the host stack) instead of upgrading at the
+    #: U280. Required for buffer failover: it gives the stream a second
+    #: recovery point upstream of the U280.
+    reliable_from_dtn1: bool = False
+    #: With ``reliable_from_dtn1``: also cache at DTN 1's host buffer
+    #: and register it in the directory as the failover buffer.
+    failover_buffer: bool = False
+    #: Capacity of DTN 1's host-side failover buffer.
+    dtn1_buffer_bytes: int = 256 * 1024 * 1024
 
 
 @dataclass
@@ -166,6 +193,12 @@ class PilotTestbed:
 
         # --- programmable elements -----------------------------------------
         self.buffer = self.u280.attach_buffer(cfg.buffer_bytes)
+        self.directory: BufferDirectory | None = None
+        if cfg.use_directory:
+            self.directory = BufferDirectory()
+            self.directory.register(
+                self.u280.ip, U280_POSITION, experiments={self.experiment_id}
+            )
         self.u280_transition = ModeTransitionProgram(
             self.registry,
             [
@@ -176,6 +209,8 @@ class PilotTestbed:
                     age_budget_ns=cfg.age_budget_ns,
                 )
             ],
+            directory=self.directory,
+            path_position=U280_POSITION,
         )
         self.u280_transition.install(self.u280)
         BufferTapProgram(buffer_addr=self.u280.ip).install(self.u280)
@@ -184,7 +219,14 @@ class PilotTestbed:
 
         self.tofino_age = AgeUpdateProgram()
         self.tofino_age.install(self.tofino)
-        self.tofino_nearest = NearestBufferProgram(buffer_addr=self.u280.ip)
+        if self.directory is not None:
+            # No static fallback: a dead directory answer must NOT be
+            # papered over by re-stamping the (possibly dead) U280.
+            self.tofino_nearest = NearestBufferProgram(
+                directory=self.directory, path_position=TOFINO_POSITION
+            )
+        else:
+            self.tofino_nearest = NearestBufferProgram(buffer_addr=self.u280.ip)
         self.tofino_nearest.install(self.tofino)
 
         self.u55c_transition = ModeTransitionProgram(
@@ -218,12 +260,32 @@ class PilotTestbed:
             l2_port=next(iter(self.sensor.ports)),
             flow="pilot",
         )
-        self.dtn1_sender: MmtSender = self.dtn1_stack.create_sender(
-            experiment_id=self.experiment_id,
-            mode="identify",
-            dst_ip=self.dtn2.ip,
-            flow="pilot",
-        )
+        self.dtn1_buffer: RetransmitBuffer | None = None
+        if cfg.reliable_from_dtn1 and cfg.failover_buffer:
+            self.dtn1_buffer = self.dtn1_stack.attach_buffer(cfg.dtn1_buffer_bytes)
+            if self.directory is not None:
+                self.directory.register(
+                    self.dtn1.ip, DTN1_POSITION, experiments={self.experiment_id}
+                )
+        if cfg.reliable_from_dtn1:
+            self.dtn1_sender: MmtSender = self.dtn1_stack.create_sender(
+                experiment_id=self.experiment_id,
+                mode="age-recover",
+                dst_ip=self.dtn2.ip,
+                flow="pilot",
+                age_budget_ns=cfg.age_budget_ns,
+                buffer_local=self.dtn1_buffer is not None,
+                directory=self.directory,
+                path_position=DTN1_POSITION,
+                degraded_mode="identify",
+            )
+        else:
+            self.dtn1_sender = self.dtn1_stack.create_sender(
+                experiment_id=self.experiment_id,
+                mode="identify",
+                dst_ip=self.dtn2.ip,
+                flow="pilot",
+            )
         self.dtn1_receiver: MmtReceiver = self.dtn1_stack.bind_receiver(
             PILOT_EXPERIMENT, on_message=self._relay_at_dtn1
         )

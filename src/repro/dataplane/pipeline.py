@@ -113,6 +113,10 @@ class RegisterArray:
             raise PipelineError(f"register {self.name!r}: value must be int")
         self._cells[self._check(index)] = value & self._mask
 
+    def reset(self) -> None:
+        """Zero every cell — what an element restart does to its state."""
+        self._cells = [0] * self.size
+
     def read_add(self, index: int, delta: int = 1) -> int:
         """Atomically return the current value then add ``delta`` (the
         read-modify-write P4 registers support)."""
@@ -425,6 +429,12 @@ class Pipeline:
         if register is None:
             raise PipelineError(f"no register named {name!r}")
         return register
+
+    def reset_registers(self) -> None:
+        """Zero all register arrays (element restart: stateful memory
+        does not survive a bitstream/image reload)."""
+        for register in self.registers.values():
+            register.reset()
 
     def process(self, packet: Packet, meta: Metadata) -> Metadata:
         """Run the packet through every table in order."""

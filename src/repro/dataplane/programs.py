@@ -36,6 +36,7 @@ from ..core.control import BackpressurePayload, DeadlineMissPayload, ModeAnnounc
 from ..core.features import Feature, MsgType
 from ..core.header import MmtHeader
 from ..core.modes import Mode, ModeRegistry, TransitionContext, transition
+from ..core.retransmit import BufferDirectory
 from .element import ProgrammableElement
 from .pipeline import Action, Metadata, MatchKind, PacketView, Table
 
@@ -94,12 +95,27 @@ class ModeTransitionProgram(Program):
         registry: ModeRegistry,
         rules: list[TransitionRule],
         announce_to_source: bool = False,
+        directory: BufferDirectory | None = None,
+        path_position: int = 0,
     ) -> None:
         self.registry = registry
         self.rules = rules
         self.announce_to_source = announce_to_source
+        #: Optional live buffer map: when set, transitions into
+        #: RETRANSMISSION modes resolve ``buffer_addr`` through the
+        #: directory; with no live buffer the transition is *skipped* —
+        #: the packet continues in its current (lesser) mode rather
+        #: than advertising a dead NAK target (graceful degradation).
+        self.directory = directory
+        self.path_position = path_position
         self.transitions_applied = 0
         self.announcements_sent = 0
+        #: Packets that stayed un-upgraded because no live buffer served
+        #: their experiment, and the per-experiment degradation episodes.
+        self.degraded_packets = 0
+        self.degradations = 0
+        self.degradation_recoveries = 0
+        self._degraded_experiments: set[int] = set()
         self._announced: set[int] = set()
         self._element_ip = "0.0.0.0"
 
@@ -136,10 +152,29 @@ class ModeTransitionProgram(Program):
             # Plain-int bit mask: IntFlag &/~ would re-wrap every result
             # through the enum machinery on this per-packet path.
             activating = int(target.features) & ~int(header.features)
+            if self.directory is not None and int(target.features) & int(
+                Feature.RETRANSMISSION
+            ):
+                live = self.directory.failover_for(
+                    header.experiment_id, self.path_position
+                )
+                if live is None:
+                    # No live buffer anywhere: leave the packet in its
+                    # current mode instead of upgrading it into a
+                    # reliability mode whose NAKs can never be served.
+                    self.degraded_packets += 1
+                    if header.experiment_id not in self._degraded_experiments:
+                        self._degraded_experiments.add(header.experiment_id)
+                        self.degradations += 1
+                    return
+                if header.experiment_id in self._degraded_experiments:
+                    self._degraded_experiments.discard(header.experiment_id)
+                    self.degradation_recoveries += 1
+                ctx.buffer_addr = live.address
             if activating & int(Feature.SEQUENCED):
                 index = header.experiment_id % seq_register.size
                 ctx.seq = seq_register.read_add(index, 1)
-            if rule.buffer_addr is not None:
+            if rule.buffer_addr is not None and ctx.buffer_addr is None:
                 ctx.buffer_addr = rule.buffer_addr
             if activating & int(Feature.TIMELINESS):
                 ctx.deadline_ns = meta.now_ns + (rule.deadline_offset_ns or 0)
@@ -233,10 +268,16 @@ class BufferTapProgram(Program):
     this element — it is now the nearest recovery point (§5.3).
     """
 
-    def __init__(self, buffer_addr: str) -> None:
+    def __init__(self, buffer_addr: str, advertise: bool = True) -> None:
         self.buffer_addr = buffer_addr
+        #: ``False`` makes this a silent tap: packets are mirrored into
+        #: the buffer but ``buffer_addr`` is left alone — how a failover
+        #: buffer shadows a stream without hijacking its NAK target.
+        self.advertise = advertise
+        self._element: ProgrammableElement | None = None
 
     def install(self, element: ProgrammableElement) -> None:
+        self._element = element
         table = Table("buffer_tap", keys=[], default_action=Action("buffer_tap", self._action))
         element.pipeline.add_table(table)
 
@@ -246,8 +287,11 @@ class BufferTapProgram(Program):
             return
         if header.msg_type != MsgType.DATA:
             return
+        buffer = self._element.buffer if self._element is not None else None
+        if buffer is not None and buffer.failed:
+            return  # dead buffers neither cache nor advertise
         meta.mirror_to_buffer = True
-        if header.has(Feature.RETRANSMISSION):
+        if self.advertise and header.has(Feature.RETRANSMISSION):
             header.buffer_addr = self.buffer_addr
 
 
@@ -258,11 +302,34 @@ class NearestBufferProgram(Program):
     the resource map — of a buffer closer to the receiver than whatever
     the header currently names ("identify DTN 1 as the nearest buffer",
     §5.4).
+
+    Two control planes are supported. A static ``buffer_addr`` is the
+    original pre-supposed wiring. Passing a :class:`BufferDirectory`
+    plus this element's ``path_position`` makes the stamp *live*: each
+    packet gets the nearest live buffer, so when a buffer dies mid-flow
+    the directory's ``mark_down`` makes this element re-stamp flows to
+    the next-nearest live one (buffer failover). With neither a live
+    candidate nor a static fallback the header is left untouched.
     """
 
-    def __init__(self, buffer_addr: str) -> None:
+    def __init__(
+        self,
+        buffer_addr: str | None = None,
+        directory: BufferDirectory | None = None,
+        path_position: int = 0,
+    ) -> None:
+        if buffer_addr is None and directory is None:
+            raise ValueError("need a static buffer_addr or a directory")
         self.buffer_addr = buffer_addr
+        self.directory = directory
+        self.path_position = path_position
         self.rewrites = 0
+        #: Directory answers that *changed* mid-run (observable failover).
+        self.failovers = 0
+        #: Packets left pointing at their (possibly dead) old buffer
+        #: because no live candidate existed.
+        self.stale_stamps = 0
+        self._last_addr: str | None = None
 
     def install(self, element: ProgrammableElement) -> None:
         table = Table(
@@ -270,14 +337,29 @@ class NearestBufferProgram(Program):
         )
         element.pipeline.add_table(table)
 
+    def _resolve(self, experiment_id: int) -> str | None:
+        if self.directory is None:
+            return self.buffer_addr
+        live = self.directory.failover_for(experiment_id, self.path_position)
+        if live is None:
+            return self.buffer_addr if self.buffer_addr is not None else None
+        return live.address
+
     def _action(self, view: PacketView, _meta: Metadata, _params: dict) -> None:
         header = view.mmt()
         if not header.has(Feature.RETRANSMISSION):
             return
         if header.msg_type not in (MsgType.DATA, MsgType.HEARTBEAT):
             return
-        if header.buffer_addr != self.buffer_addr:
-            header.buffer_addr = self.buffer_addr
+        addr = self._resolve(header.experiment_id)
+        if addr is None:
+            self.stale_stamps += 1
+            return
+        if self._last_addr is not None and addr != self._last_addr:
+            self.failovers += 1
+        self._last_addr = addr
+        if header.buffer_addr != addr:
+            header.buffer_addr = addr
             self.rewrites += 1
 
 

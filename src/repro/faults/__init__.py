@@ -1,0 +1,55 @@
+"""Deterministic fault injection and resilience (the chaos layer).
+
+Three pieces, stacked:
+
+- :mod:`repro.faults.plan` — :class:`FaultPlan`/:class:`FaultInjector`:
+  scripted, seeded, replayable faults on any topology;
+- :mod:`repro.faults.lossmodels` — protocol-aware loss models
+  (:class:`ControlPacketLoss`) plus re-exports of the generic netsim
+  ones (:class:`GilbertElliottLoss`, :class:`UniformLoss`);
+- :mod:`repro.faults.chaos` — named scenarios over the Fig. 4 pilot
+  with recovery metrics, written to ``BENCH_chaos.json``.
+
+The *mechanisms* these exercise (buffer liveness and failover in
+:class:`~repro.core.retransmit.BufferDirectory`, sender mode
+degradation, element crash/restart) live with the components they
+protect; this package only injects the failures and measures the
+response.
+"""
+
+from .chaos import (
+    SCENARIOS,
+    ChaosConfig,
+    ChaosReport,
+    ChaosRun,
+    run_chaos,
+    run_scenarios,
+    write_bench,
+)
+from .lossmodels import (
+    CONTROL_MSG_TYPES,
+    ControlPacketLoss,
+    GilbertElliottLoss,
+    LossModel,
+    UniformLoss,
+)
+from .plan import FaultAction, FaultInjector, FaultPlan, FaultRecord
+
+__all__ = [
+    "CONTROL_MSG_TYPES",
+    "ChaosConfig",
+    "ChaosReport",
+    "ChaosRun",
+    "ControlPacketLoss",
+    "FaultAction",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRecord",
+    "GilbertElliottLoss",
+    "LossModel",
+    "SCENARIOS",
+    "UniformLoss",
+    "run_chaos",
+    "run_scenarios",
+    "write_bench",
+]

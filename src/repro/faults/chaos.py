@@ -1,0 +1,321 @@
+"""Chaos harness: the Fig. 4 pilot under named fault scenarios.
+
+Each scenario builds the pilot testbed, arms a :class:`FaultPlan`
+against it, runs a message stream through the fault window, and
+distils recovery metrics: time-to-recover, deliveries before/during/
+after the window, unrecovered losses, degradations, failovers. All
+randomness comes from the simulator seed, so the same seed reproduces
+byte-identical metrics — chaos runs are regression tests, not dice.
+
+Scenarios
+---------
+
+``link-flap``
+    The WAN link goes down/up twice mid-stream. Packets (and NAKs) in
+    flight during an outage are dropped at the link; recovery rides the
+    normal NAK path once the link returns.
+``burst-loss``
+    A Gilbert–Elliott burst-loss model is installed on the WAN link for
+    the middle of the stream, then removed — correlated loss bursts
+    instead of independent drops.
+``element-restart``
+    The Tofino2 crashes mid-stream and restarts a little later with all
+    stateful registers wiped; traffic arriving meanwhile is dropped.
+``buffer-failover``
+    The directory-wired pilot (``use_directory``): the U280's HBM
+    buffer is killed mid-stream and marked down in the directory. With
+    the DTN 1 failover buffer registered (``failover=True``) the Tofino
+    re-stamps flows to it and recovery completes with zero unrecovered;
+    without it the DTN 1 sender degrades to identification-only
+    (announced, bounded NAKs, no storm).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields as dataclass_fields
+from pathlib import Path
+
+from ..core.features import MsgType
+from ..dataplane.pilot import PilotConfig, PilotTestbed
+from ..netsim.engine import Simulator
+from ..netsim.units import MICROSECOND, MILLISECOND
+from ..telemetry.benchfmt import BenchResult
+from ..telemetry.registry import MetricsRegistry
+from .lossmodels import GilbertElliottLoss
+from .plan import FaultInjector, FaultPlan
+
+#: The named scenarios, in the order ``--scenario all`` runs them.
+SCENARIOS = ("link-flap", "burst-loss", "element-restart", "buffer-failover")
+
+
+@dataclass
+class ChaosConfig:
+    """Parameters for one chaos run."""
+
+    scenario: str = "link-flap"
+    messages: int = 500
+    payload_size: int = 8000
+    interval_ns: int = 2 * MICROSECOND
+    seed: int = 42
+    #: ``buffer-failover`` only: register the DTN 1 failover buffer.
+    #: ``False`` is the degradation variant — no live buffer remains
+    #: after the kill, so the sender must degrade gracefully.
+    failover: bool = True
+    wan_delay_ns: int = 1 * MILLISECOND
+    #: Background WAN corruption loss for ``buffer-failover`` (without
+    #: some loss there is nothing for a retransmission buffer to do).
+    wan_loss_rate: float = 0.02
+
+    @property
+    def stream_ns(self) -> int:
+        """Duration of the send stream (fault times scale with this)."""
+        return self.messages * self.interval_ns
+
+
+@dataclass
+class ChaosReport:
+    """Recovery metrics for one scenario run (all plain ints: these are
+    the values committed to ``BENCH_chaos.json`` and diffed across
+    commits, so nothing wall-clock-dependent belongs here)."""
+
+    messages_sent: int
+    delivered: int
+    delivered_before: int
+    delivered_during: int
+    delivered_after: int
+    duplicates: int
+    unrecovered: int
+    naks_sent: int
+    naks_served: int
+    failover_served: int
+    retransmissions: int
+    faults_injected: int
+    faults_fired: int
+    fault_start_ns: int
+    fault_end_ns: int
+    time_to_recover_ns: int
+    lost_down: int
+    lost_model: int
+    mode_degradations: int
+    mode_upgrades: int
+    degraded_final: int
+    element_degradations: int
+    buffer_failovers: int
+    directory_marks_down: int
+
+    @property
+    def complete(self) -> bool:
+        return self.delivered >= self.messages_sent and self.unrecovered == 0
+
+    def metrics(self) -> dict[str, int]:
+        """Flat metric dict, ready for :meth:`BenchResult.record`."""
+        return {f.name: getattr(self, f.name) for f in dataclass_fields(self)}
+
+
+@dataclass
+class ChaosRun:
+    """A finished chaos run: the metrics plus the live objects behind
+    them, for tests and telemetry export."""
+
+    scenario: str
+    config: ChaosConfig
+    report: ChaosReport
+    pilot: PilotTestbed
+    injector: FaultInjector
+    metrics: MetricsRegistry
+
+
+def _pilot_config(cfg: ChaosConfig) -> PilotConfig:
+    if cfg.scenario == "buffer-failover":
+        return PilotConfig(
+            wan_delay_ns=cfg.wan_delay_ns,
+            wan_loss_rate=cfg.wan_loss_rate,
+            telemetry=True,
+            use_directory=True,
+            reliable_from_dtn1=True,
+            failover_buffer=cfg.failover,
+        )
+    return PilotConfig(wan_delay_ns=cfg.wan_delay_ns, telemetry=True)
+
+
+def _build_plan(cfg: ChaosConfig, pilot: PilotTestbed) -> FaultPlan:
+    stream = cfg.stream_ns
+    plan = FaultPlan()
+    if cfg.scenario == "link-flap":
+        plan.link_flap(
+            pilot.wan_link,
+            first_down_ns=stream // 4,
+            down_ns=stream // 5,
+            period_ns=stream // 2,
+            count=2,
+        )
+    elif cfg.scenario == "burst-loss":
+        # Hot enough that bursts reliably hit the window even for short
+        # CI streams (~75 packets): E[bursts] = packets * p_g2b.
+        model = GilbertElliottLoss(
+            p_good_to_bad=0.05, p_bad_to_good=0.2, loss_good=0.0, loss_bad=0.7
+        )
+        plan.set_loss_model(pilot.wan_link, model, at_ns=stream // 4)
+        plan.clear_loss_model(pilot.wan_link, at_ns=3 * stream // 4)
+    elif cfg.scenario == "element-restart":
+        plan.element_crash(pilot.tofino, at_ns=stream // 3)
+        plan.element_restart(pilot.tofino, at_ns=2 * stream // 3)
+    elif cfg.scenario == "buffer-failover":
+        plan.buffer_fail(pilot.buffer, at_ns=stream // 2, directory=pilot.directory)
+    else:
+        raise ValueError(f"unknown scenario {cfg.scenario!r} (one of {SCENARIOS})")
+    return plan
+
+
+def run_chaos(cfg: ChaosConfig) -> ChaosRun:
+    """Build, fault, run, and measure one scenario."""
+    pilot = PilotTestbed(sim=Simulator(seed=cfg.seed), config=_pilot_config(cfg))
+    plan = _build_plan(cfg, pilot)
+    injector = FaultInjector(pilot.sim, plan)
+
+    # Observe every delivery at DTN 2 with its time and message type,
+    # without disturbing the pilot's own callback.
+    deliveries: list[tuple[int, MsgType]] = []
+    inner = pilot.dtn2_receiver.on_message
+
+    def observe(packet, header) -> None:
+        deliveries.append((pilot.sim.now, header.msg_type))
+        if inner is not None:
+            inner(packet, header)
+
+    pilot.dtn2_receiver.on_message = observe
+
+    pilot.send_stream(
+        cfg.messages, payload_size=cfg.payload_size, interval_ns=cfg.interval_ns
+    )
+    injector.arm()
+    base = pilot.run()
+
+    fault_start, fault_end = plan.start_ns, plan.end_ns
+    before = sum(1 for t, _m in deliveries if t < fault_start)
+    during = sum(1 for t, _m in deliveries if fault_start <= t <= fault_end)
+    after = sum(1 for t, _m in deliveries if t > fault_end)
+    # Time to recover: how long past the end of the fault window the
+    # last repair (retransmitted delivery) arrived. 0 = no repairs
+    # needed after the window, i.e. instant recovery.
+    retx_times = [t for t, m in deliveries if m == MsgType.RETX_DATA]
+    recovered_at = max(retx_times, default=fault_end)
+    sender = pilot.dtn1_sender
+
+    report = ChaosReport(
+        messages_sent=base.messages_sent,
+        delivered=base.delivered,
+        delivered_before=before,
+        delivered_during=during,
+        delivered_after=after,
+        duplicates=base.duplicates,
+        unrecovered=base.unrecovered,
+        naks_sent=base.naks_sent,
+        naks_served=base.naks_served,
+        failover_served=(
+            pilot.dtn1_buffer.stats.hits if pilot.dtn1_buffer is not None else 0
+        ),
+        retransmissions=base.retransmissions,
+        faults_injected=len(plan),
+        faults_fired=len(injector.fired),
+        fault_start_ns=fault_start,
+        fault_end_ns=fault_end,
+        time_to_recover_ns=max(0, recovered_at - fault_end),
+        lost_down=pilot.wan_link.stats.lost_down,
+        lost_model=pilot.wan_link.stats.lost_model,
+        mode_degradations=sender.stats.mode_degradations,
+        mode_upgrades=sender.stats.mode_upgrades,
+        degraded_final=sender.stats.degraded_final,
+        element_degradations=pilot.u280_transition.degradations,
+        buffer_failovers=pilot.tofino_nearest.failovers,
+        directory_marks_down=(
+            pilot.directory.marks_down if pilot.directory is not None else 0
+        ),
+    )
+    metrics = _collect_metrics(pilot)
+    return ChaosRun(
+        scenario=cfg.scenario,
+        config=cfg,
+        report=report,
+        pilot=pilot,
+        injector=injector,
+        metrics=metrics,
+    )
+
+
+def _collect_metrics(pilot: PilotTestbed) -> MetricsRegistry:
+    """The pilot's full telemetry scrape plus the fault-path counters
+    (directory liveness, per-element re-stamping) — this is where a
+    buffer failover is *observable* after the fact."""
+    registry = pilot.collect_telemetry()
+    registry.counter(
+        "nearest_buffer_failovers", element=pilot.tofino.name
+    ).set_total(pilot.tofino_nearest.failovers)
+    registry.counter(
+        "nearest_buffer_stale_stamps", element=pilot.tofino.name
+    ).set_total(pilot.tofino_nearest.stale_stamps)
+    if pilot.directory is not None:
+        registry.counter("buffer_directory_marks_down").set_total(
+            pilot.directory.marks_down
+        )
+        registry.counter("buffer_directory_marks_up").set_total(
+            pilot.directory.marks_up
+        )
+        registry.gauge("buffer_directory_alive").set(pilot.directory.alive_count())
+    return registry
+
+
+def run_scenarios(cfg: ChaosConfig) -> list[ChaosRun]:
+    """Run every named scenario (plus the no-failover degradation
+    variant of ``buffer-failover``) with the same traffic parameters."""
+    runs: list[ChaosRun] = []
+    for scenario in SCENARIOS:
+        base = ChaosConfig(
+            scenario=scenario,
+            messages=cfg.messages,
+            payload_size=cfg.payload_size,
+            interval_ns=cfg.interval_ns,
+            seed=cfg.seed,
+            wan_delay_ns=cfg.wan_delay_ns,
+            wan_loss_rate=cfg.wan_loss_rate,
+        )
+        runs.append(run_chaos(base))
+    degraded = ChaosConfig(
+        scenario="buffer-failover",
+        messages=cfg.messages,
+        payload_size=cfg.payload_size,
+        interval_ns=cfg.interval_ns,
+        seed=cfg.seed,
+        failover=False,
+        wan_delay_ns=cfg.wan_delay_ns,
+        wan_loss_rate=cfg.wan_loss_rate,
+    )
+    run = run_chaos(degraded)
+    run.scenario = "buffer-failover-degraded"
+    runs.append(run)
+    return runs
+
+
+def write_bench(runs: list[ChaosRun], directory: str | Path = ".") -> Path:
+    """Write ``BENCH_chaos.json`` from finished runs.
+
+    Deliberately *no* wall-time: every value is simulation-derived, so
+    the file is byte-identical for identical seeds — the determinism
+    contract chaos runs are held to.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    cfg = runs[0].config
+    bench = BenchResult(
+        name="chaos",
+        params={
+            "messages": cfg.messages,
+            "payload_size": cfg.payload_size,
+            "interval_ns": cfg.interval_ns,
+            "wan_delay_ns": cfg.wan_delay_ns,
+        },
+        seed=cfg.seed,
+    )
+    for run in runs:
+        bench.record(run.scenario, **run.report.metrics())
+    return bench.write(directory)

@@ -1,0 +1,68 @@
+"""Fault-oriented loss models, including protocol-aware ones.
+
+The generic models (:class:`UniformLoss`, :class:`GilbertElliottLoss`)
+live in :mod:`repro.netsim.loss` so the netsim layer stays free of any
+protocol knowledge. This module re-exports them and adds models that
+*do* look inside packets — e.g. dropping only MMT control traffic —
+which is why they live up here in the faults layer.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..core.features import MsgType
+from ..core.header import MmtHeader
+from ..netsim.loss import GilbertElliottLoss, LossModel, UniformLoss
+from ..netsim.packet import Packet
+
+__all__ = [
+    "CONTROL_MSG_TYPES",
+    "ControlPacketLoss",
+    "GilbertElliottLoss",
+    "LossModel",
+    "UniformLoss",
+]
+
+#: MMT message types that carry recovery/flow control rather than data.
+CONTROL_MSG_TYPES = frozenset(
+    {
+        MsgType.NAK,
+        MsgType.WINDOW,
+        MsgType.BACKPRESSURE,
+        MsgType.MODE_ANNOUNCE,
+    }
+)
+
+
+class ControlPacketLoss(LossModel):
+    """Drop only MMT control packets (NAKs, grants, announcements).
+
+    Data sails through untouched; each matching control packet is lost
+    with probability ``rate``. This stresses exactly the paths a
+    recovery protocol tends to assume are reliable: NAK retry backoff,
+    window-grant starvation, announcement loss.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        msg_types: frozenset[MsgType] | set[MsgType] = CONTROL_MSG_TYPES,
+    ) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {rate}")
+        self.rate = rate
+        self.msg_types = frozenset(msg_types)
+        #: Matching control packets dropped / seen.
+        self.dropped = 0
+        self.seen = 0
+
+    def should_drop(self, packet: Packet, rng: random.Random) -> bool:
+        mmt = packet.find(MmtHeader)
+        if mmt is None or mmt.msg_type not in self.msg_types:
+            return False
+        self.seen += 1
+        if rng.random() < self.rate:
+            self.dropped += 1
+            return True
+        return False

@@ -19,6 +19,7 @@ from .headers import (
 )
 from .host import Host
 from .link import Link, Port
+from .loss import GilbertElliottLoss, LossModel, UniformLoss
 from .node import Node, SinkNode
 from .packet import Packet
 from .recorder import TraceEntry, TraceRecorder
@@ -47,7 +48,10 @@ __all__ = [
     "IpProto",
     "IpRouter",
     "Ipv4Header",
+    "GilbertElliottLoss",
     "Link",
+    "LossModel",
+    "UniformLoss",
     "Node",
     "Packet",
     "Port",

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
 from .engine import Simulator
+from .loss import LossModel
 from .packet import Packet
 from .queues import DropTailQueue, QueueDiscipline
 from .units import transmission_time_ns
@@ -137,6 +138,13 @@ class LinkStats:
     delivered: int = 0
     lost_random: int = 0
     lost_corruption: int = 0
+    #: Packets that arrived while the link was administratively/physically
+    #: down — an outage eats them silently on the wire, but the operator
+    #: must be able to see how much was lost to the outage.
+    lost_down: int = 0
+    #: Packets eaten by the attached :class:`~repro.netsim.loss.LossModel`
+    #: (burst loss, targeted control-packet loss, ...).
+    lost_model: int = 0
 
 
 class Link:
@@ -159,6 +167,7 @@ class Link:
         loss_rate: float = 0.0,
         bit_error_rate: float = 0.0,
         name: str = "",
+        loss_model: LossModel | None = None,
     ) -> None:
         if rate_bps <= 0:
             raise ValueError(f"rate must be positive, got {rate_bps}")
@@ -175,6 +184,11 @@ class Link:
         self.mtu_bytes = mtu_bytes
         self.loss_rate = loss_rate
         self.bit_error_rate = bit_error_rate
+        #: Pluggable loss model consulted before the uniform/BER draws;
+        #: swappable at runtime (fault injection installs burst models
+        #: mid-run). ``None`` keeps the draw sequence of plain links
+        #: untouched, so existing seeded runs replay identically.
+        self.loss_model = loss_model
         self.name = name or f"{a.node.name}<->{b.node.name}"
         self.up = True
         self.stats = LinkStats()
@@ -197,6 +211,12 @@ class Link:
     def propagate(self, packet: Packet, from_port: Port) -> None:
         """Carry a fully-serialized packet to the far end (with loss)."""
         if not self.up:
+            self.stats.lost_down += 1
+            return
+        if self.loss_model is not None and self.loss_model.should_drop(
+            packet, self._rng
+        ):
+            self.stats.lost_model += 1
             return
         if self.loss_rate > 0 and self._rng.random() < self.loss_rate:
             self.stats.lost_random += 1

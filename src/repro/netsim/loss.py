@@ -1,0 +1,96 @@
+"""Pluggable link loss models.
+
+The base :class:`Link` loss knobs (uniform ``loss_rate``, bit-error
+corruption) model memoryless noise. Real WAN paths fail in *bursts* —
+optical glitches, microwave fades, congested middleboxes — which is why
+chaos engineering distinguishes burst regimes from uniform noise. A
+:class:`LossModel` attached to a link decides per packet whether the
+channel eats it, *before* the uniform/bit-error draws, using the link's
+own seeded RNG stream so every run stays replayable.
+
+:class:`GilbertElliottLoss` is the classic two-state burst model: a
+Markov chain alternates between a GOOD regime (low loss) and a BAD
+regime (high loss); transition probabilities are evaluated per packet.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .packet import Packet
+
+
+class LossModel:
+    """Decides, per packet, whether the channel drops it.
+
+    Stateful models keep their regime on the instance; randomness must
+    come from the ``rng`` argument (the owning link's seeded stream) so
+    runs are deterministic and replayable.
+    """
+
+    def should_drop(self, packet: Packet, rng: random.Random) -> bool:
+        raise NotImplementedError
+
+
+class UniformLoss(LossModel):
+    """Memoryless loss — the pluggable twin of ``Link.loss_rate``."""
+
+    def __init__(self, rate: float) -> None:
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self.dropped = 0
+
+    def should_drop(self, packet: Packet, rng: random.Random) -> bool:
+        if self.rate > 0 and rng.random() < self.rate:
+            self.dropped += 1
+            return True
+        return False
+
+
+class GilbertElliottLoss(LossModel):
+    """Two-state Markov burst loss (Gilbert–Elliott).
+
+    ``p_good_to_bad`` / ``p_bad_to_good`` are the per-packet regime
+    transition probabilities; ``loss_good`` / ``loss_bad`` the loss
+    probability inside each regime. The expected burst length is
+    ``1 / p_bad_to_good`` packets.
+    """
+
+    def __init__(
+        self,
+        p_good_to_bad: float = 0.01,
+        p_bad_to_good: float = 0.25,
+        loss_good: float = 0.0,
+        loss_bad: float = 0.5,
+    ) -> None:
+        for name, value in (
+            ("p_good_to_bad", p_good_to_bad),
+            ("p_bad_to_good", p_bad_to_good),
+            ("loss_good", loss_good),
+            ("loss_bad", loss_bad),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        self.p_good_to_bad = p_good_to_bad
+        self.p_bad_to_good = p_bad_to_good
+        self.loss_good = loss_good
+        self.loss_bad = loss_bad
+        self.in_bad = False
+        self.bursts = 0
+        self.dropped = 0
+
+    def should_drop(self, packet: Packet, rng: random.Random) -> bool:
+        # Regime transition first, then the loss draw for the regime the
+        # packet actually experiences.
+        if self.in_bad:
+            if rng.random() < self.p_bad_to_good:
+                self.in_bad = False
+        elif rng.random() < self.p_good_to_bad:
+            self.in_bad = True
+            self.bursts += 1
+        loss = self.loss_bad if self.in_bad else self.loss_good
+        if loss > 0 and rng.random() < loss:
+            self.dropped += 1
+            return True
+        return False

@@ -20,6 +20,7 @@ import networkx as nx
 from .engine import Simulator
 from .host import Host
 from .link import HOST_QUEUE_BYTES, Link
+from .loss import LossModel
 from .node import Node
 from .queues import QueueDiscipline
 from .switch import EthernetSwitch, IpRouter
@@ -92,6 +93,7 @@ class Topology:
         loss_rate: float = 0.0,
         bit_error_rate: float = 0.0,
         queue_factory: Callable[[], QueueDiscipline] | None = None,
+        loss_model: "LossModel | None" = None,
     ) -> Link:
         """Create a full-duplex link between two registered nodes."""
         node_a = self._resolve(a)
@@ -118,6 +120,7 @@ class Topology:
             mtu_bytes=mtu_bytes,
             loss_rate=loss_rate,
             bit_error_rate=bit_error_rate,
+            loss_model=loss_model,
         )
         self.links.append(link)
         self.graph.add_edge(

@@ -60,6 +60,8 @@ def scrape_link(link, registry: MetricsRegistry, now_ns: int | None = None) -> N
     registry.counter("link_lost_corruption_total", **labels).set_total(
         link.stats.lost_corruption
     )
+    registry.counter("link_lost_down_total", **labels).set_total(link.stats.lost_down)
+    registry.counter("link_lost_model_total", **labels).set_total(link.stats.lost_model)
     if now_ns:
         for port in link.ends:
             # utilization% = bits sent / (rate × elapsed), integer math.

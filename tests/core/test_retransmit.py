@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.core import BufferDirectory, NakPayload, RetransmitBuffer, SeqRange
+from repro.core import (
+    BufferDirectory,
+    NakForwardGuard,
+    NakPayload,
+    RetransmitBuffer,
+    SeqRange,
+)
 from repro.netsim import Packet
 
 
@@ -93,3 +99,129 @@ class TestDirectory:
         registration = directory.register("10.0.0.1", path_position=0)
         assert registration.serves(123)
         assert len(directory) == 1
+
+    def test_tie_break_is_registration_order(self):
+        """Two buffers at the same path position: the earliest
+        registration wins, deterministically."""
+        directory = BufferDirectory()
+        directory.register("10.0.0.1", path_position=3)
+        directory.register("10.0.0.2", path_position=3)
+        assert directory.nearest_upstream(1, position=5).address == "10.0.0.1"
+
+    def test_dead_buffers_skipped(self):
+        directory = BufferDirectory()
+        directory.register("10.0.0.1", path_position=1)
+        directory.register("10.0.0.2", path_position=3)
+        assert directory.mark_down("10.0.0.2") == 1
+        assert directory.nearest_upstream(1, position=5).address == "10.0.0.1"
+        assert directory.alive_count() == 1
+        assert directory.mark_up("10.0.0.2") == 1
+        assert directory.nearest_upstream(1, position=5).address == "10.0.0.2"
+        assert (directory.marks_down, directory.marks_up) == (1, 1)
+
+    def test_mark_down_unknown_address_is_noop(self):
+        directory = BufferDirectory()
+        directory.register("10.0.0.1", path_position=1)
+        assert directory.mark_down("10.9.9.9") == 0
+        assert directory.alive_count() == 1
+
+    def test_failover_prefers_upstream_then_ahead(self):
+        directory = BufferDirectory()
+        directory.register("10.0.0.1", path_position=2)
+        directory.register("10.0.0.2", path_position=3)
+        # Normal case: nearest live upstream.
+        assert directory.failover_for(1, position=4).address == "10.0.0.2"
+        directory.mark_down("10.0.0.2")
+        assert directory.failover_for(1, position=4).address == "10.0.0.1"
+        # Nothing upstream survives: closest live buffer ahead still
+        # works as a NAK target for the receiver.
+        assert directory.failover_for(1, position=1).address == "10.0.0.1"
+        directory.mark_down("10.0.0.1")
+        assert directory.failover_for(1, position=4) is None
+
+    def test_failover_respects_experiment_scoping(self):
+        directory = BufferDirectory()
+        directory.register("10.0.0.1", path_position=2, experiments={42})
+        assert directory.failover_for(42, position=4) is not None
+        assert directory.failover_for(7, position=4) is None
+
+
+class TestFailedBuffer:
+    def test_fail_wipes_and_refuses_stores(self):
+        buf = RetransmitBuffer(100_000, address="10.0.0.1")
+        buf.store(1, 0, pkt())
+        buf.fail()
+        assert len(buf) == 0 and buf.bytes_used == 0
+        buf.store(1, 1, pkt())
+        assert len(buf) == 0
+        assert buf.stats.rejected_failed == 1
+        assert buf.stats.failures == 1
+        # Double-fail is idempotent.
+        buf.fail()
+        assert buf.stats.failures == 1
+
+    def test_restore_comes_back_empty_but_working(self):
+        buf = RetransmitBuffer(100_000, address="10.0.0.1")
+        buf.store(1, 0, pkt())
+        buf.fail()
+        buf.restore()
+        assert buf.fetch(1, 0) is None  # contents did not survive
+        buf.store(1, 1, pkt())
+        assert buf.fetch(1, 1) is not None
+
+    def test_nak_racing_eviction_is_unmet_not_crash(self):
+        """A NAK arriving for sequences the buffer already evicted must
+        resolve to unmet ranges, never an exception."""
+        buf = RetransmitBuffer(2_500, address="10.0.0.1")
+        for seq in range(4):
+            buf.store(1, seq, pkt(1000))  # seqs 0-1 evicted
+        recovered, unmet = buf.serve_nak(1, NakPayload(ranges=[SeqRange(0, 1)]))
+        assert recovered == []
+        assert unmet == [SeqRange(0, 1)]
+        assert buf.stats.misses == 2
+
+
+class TestNakForwardGuard:
+    def test_allows_limit_then_suppresses(self):
+        guard = NakForwardGuard(limit=3)
+        key = (1, ((5, 9),))
+        assert [guard.allow(key) for _ in range(5)] == [True, True, True, False, False]
+        assert guard.suppressed == 2
+
+    def test_distinct_keys_independent(self):
+        guard = NakForwardGuard(limit=1)
+        assert guard.allow((1, ((0, 0),)))
+        assert guard.allow((2, ((0, 0),)))
+        assert not guard.allow((1, ((0, 0),)))
+
+    def test_churn_does_not_reopen_suppressed_keys(self):
+        """Regression: the old implementation cleared the whole table at
+        1024 entries, which reset every suppressed NAK loop at once.
+        The bounded-LRU guard must keep an actively-looping key
+        suppressed through arbitrarily many fresh keys."""
+        guard = NakForwardGuard(limit=3, capacity=1024)
+        loop_key = (99, ((0, 7),))
+        for _ in range(3):
+            assert guard.allow(loop_key)
+        assert not guard.allow(loop_key)
+        for i in range(1100):  # would have wiped the old dict twice over
+            guard.allow((i, ((i, i),)))
+            if i % 100 == 0:
+                assert not guard.allow(loop_key)  # the loop is still live
+        assert not guard.allow(loop_key)
+        assert len(guard) <= 1024
+
+    def test_idle_keys_evicted_at_capacity(self):
+        guard = NakForwardGuard(limit=1, capacity=4)
+        guard.allow(("idle", 0))
+        for i in range(4):
+            guard.allow(("fresh", i))
+        assert len(guard) == 4
+        # The stale key fell out: it gets a fresh allowance.
+        assert guard.allow(("idle", 0))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            NakForwardGuard(limit=0)
+        with pytest.raises(ValueError):
+            NakForwardGuard(capacity=0)

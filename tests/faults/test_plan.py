@@ -1,0 +1,118 @@
+"""FaultPlan / FaultInjector: scripted, replayable fault scheduling."""
+
+import pytest
+
+from repro.faults import FaultInjector, FaultPlan, UniformLoss
+from repro.netsim import Simulator, units
+from tests.conftest import TwoHostRig
+
+
+class TestPlanBuilding:
+    def test_builders_chain_and_accumulate(self, sim):
+        rig = TwoHostRig(sim)
+        plan = (
+            FaultPlan()
+            .link_down(rig.link_b, at_ns=100)
+            .link_up(rig.link_b, at_ns=200)
+            .set_loss_model(rig.link_b, UniformLoss(0.5), at_ns=300)
+            .clear_loss_model(rig.link_b, at_ns=400)
+        )
+        assert len(plan) == 4
+        assert plan.start_ns == 100
+        assert plan.end_ns == 400
+
+    def test_flap_expands_to_down_up_pairs(self, sim):
+        rig = TwoHostRig(sim)
+        plan = FaultPlan().link_flap(
+            rig.link_b, first_down_ns=1000, down_ns=200, period_ns=500, count=3
+        )
+        kinds = [(a.kind, a.at_ns) for a in plan.actions]
+        assert kinds == [
+            ("link_down", 1000), ("link_up", 1200),
+            ("link_down", 1500), ("link_up", 1700),
+            ("link_down", 2000), ("link_up", 2200),
+        ]
+
+    def test_flap_validation(self, sim):
+        rig = TwoHostRig(sim)
+        with pytest.raises(ValueError):
+            FaultPlan().link_flap(rig.link_b, 0, down_ns=500, period_ns=500, count=1)
+        with pytest.raises(ValueError):
+            FaultPlan().link_flap(rig.link_b, 0, down_ns=100, period_ns=500, count=0)
+
+    def test_negative_time_rejected(self, sim):
+        rig = TwoHostRig(sim)
+        with pytest.raises(ValueError):
+            FaultPlan().link_down(rig.link_b, at_ns=-1)
+
+
+class TestInjector:
+    def test_actions_fire_at_their_times(self, sim):
+        rig = TwoHostRig(sim)
+        plan = (
+            FaultPlan()
+            .link_down(rig.link_b, at_ns=units.microseconds(10))
+            .link_up(rig.link_b, at_ns=units.microseconds(30))
+        )
+        injector = FaultInjector(sim, plan)
+        assert injector.arm() == 2
+        assert rig.link_b.up
+        sim.run(until_ns=units.microseconds(20))
+        assert not rig.link_b.up
+        sim.run()
+        assert rig.link_b.up
+        assert [(r.kind, r.at_ns) for r in injector.fired] == [
+            ("link_down", units.microseconds(10)),
+            ("link_up", units.microseconds(30)),
+        ]
+
+    def test_double_arm_rejected(self, sim):
+        rig = TwoHostRig(sim)
+        injector = FaultInjector(sim, FaultPlan().link_down(rig.link_b, at_ns=10))
+        injector.arm()
+        with pytest.raises(RuntimeError):
+            injector.arm()
+
+    def test_past_action_rejected_atomically(self, sim):
+        rig = TwoHostRig(sim)
+        sim.schedule(100, lambda: None)
+        sim.run()
+        plan = (
+            FaultPlan()
+            .link_down(rig.link_b, at_ns=500)
+            .link_up(rig.link_b, at_ns=50)  # already in the past
+        )
+        injector = FaultInjector(sim, plan)
+        with pytest.raises(ValueError):
+            injector.arm()
+        assert sim.pending_events() == 0  # nothing half-scheduled
+
+    def test_custom_action(self, sim):
+        hits = []
+        FaultInjector(
+            sim, FaultPlan().at(1000, lambda: hits.append(sim.now), kind="probe")
+        ).arm()
+        sim.run()
+        assert hits == [1000]
+        assert FaultPlan().start_ns == 0  # empty plan is well-defined
+
+
+class TestBufferAndElementActions:
+    def test_buffer_fail_marks_directory_down(self, sim):
+        from repro.core import BufferDirectory, RetransmitBuffer
+
+        directory = BufferDirectory()
+        directory.register("10.0.0.9", path_position=3)
+        buf = RetransmitBuffer(10_000, address="10.0.0.9")
+        plan = (
+            FaultPlan()
+            .buffer_fail(buf, at_ns=100, directory=directory)
+            .buffer_restore(buf, at_ns=200, directory=directory)
+        )
+        FaultInjector(sim, plan).arm()
+        sim.run(until_ns=150)
+        assert buf.failed
+        assert directory.alive_count() == 0
+        sim.run()
+        assert not buf.failed
+        assert directory.alive_count() == 1

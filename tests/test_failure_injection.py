@@ -3,12 +3,15 @@
 These tests intentionally break things mid-run and check the system
 degrades the way the design says it should — recovery after healing,
 bounded give-up when recovery is impossible, counters that tell the
-operator what happened.
+operator what happened. Faults are driven through
+:class:`repro.faults.FaultPlan`, the same scripted injection the chaos
+harness uses, so the tests double as coverage for the injector.
 """
 
 
 from repro.core import MmtStack, ReceiverConfig, make_experiment_id
 from repro.dataplane import PilotConfig, PilotTestbed
+from repro.faults import FaultInjector, FaultPlan
 from repro.netsim import Simulator, units
 from tests.conftest import TwoHostRig
 
@@ -38,8 +41,13 @@ class TestLinkOutage:
         for i in range(600):
             sim.schedule(i * 50_000, sender.send, 2000)  # 30 ms stream
         # A hard 8 ms outage in the middle of the stream.
-        sim.schedule(units.milliseconds(10), lambda: setattr(rig.link_b, "up", False))
-        sim.schedule(units.milliseconds(18), lambda: setattr(rig.link_b, "up", True))
+        plan = (
+            FaultPlan()
+            .link_down(rig.link_b, at_ns=units.milliseconds(10))
+            .link_up(rig.link_b, at_ns=units.milliseconds(18))
+        )
+        injector = FaultInjector(sim, plan)
+        injector.arm()
         sim.schedule(units.milliseconds(31), sender.finish)
         sim.run()
         receiver.request_missing(EXP_ID, 600)
@@ -47,12 +55,17 @@ class TestLinkOutage:
         assert got == set(range(600))
         assert receiver.stats.retransmissions_received > 50  # the outage window
         assert receiver.stats.unrecovered == 0
+        assert len(injector.fired) == 2
+        # Every frame the dead link swallowed is accounted for.
+        assert rig.link_b.stats.lost_down > 50
 
     def test_permanent_partition_gives_up_boundedly(self, sim):
         rig, sender, receiver, got = self.build(sim)
         for i in range(50):
             sender.send(1000)
-        sim.schedule(units.microseconds(10), lambda: setattr(rig.link_b, "up", False))
+        FaultInjector(
+            sim, FaultPlan().link_down(rig.link_b, at_ns=units.microseconds(10))
+        ).arm()
         sender.finish()
         sim.run(until_ns=units.seconds(600))
         # Whatever was in flight before the cut arrived; the rest was
@@ -92,9 +105,12 @@ class TestPilotUnderStress:
         config = PilotConfig(wan_delay_ns=2 * units.MILLISECOND)
         pilot = PilotTestbed(sim=Simulator(seed=77), config=config)
         pilot.send_stream(800, payload_size=4000, interval_ns=20_000)  # 16 ms stream
-        sim = pilot.sim
-        sim.schedule(units.milliseconds(5), lambda: setattr(pilot.wan_link, "up", False))
-        sim.schedule(units.milliseconds(9), lambda: setattr(pilot.wan_link, "up", True))
+        plan = (
+            FaultPlan()
+            .link_down(pilot.wan_link, at_ns=units.milliseconds(5))
+            .link_up(pilot.wan_link, at_ns=units.milliseconds(9))
+        )
+        FaultInjector(pilot.sim, plan).arm()
         report = pilot.run()
         assert report.complete
         assert report.retransmissions > 100
