@@ -25,7 +25,7 @@ from .analysis import ResultTable, format_duration, format_rate, percentile
 from .core import MmtHeader, TransitionContext, extended_registry, transition
 from .daq import catalog
 from .dataplane import PilotConfig, PilotTestbed
-from .integration import SupernovaConfig, compare as supernova_compare
+from .integration import SupernovaConfig, compare as supernova_compare, jain_fairness
 from .netsim import Simulator
 from .netsim.units import MILLISECOND
 from .telemetry import (
@@ -57,9 +57,21 @@ def _cmd_pilot(args: argparse.Namespace) -> int:
         age_budget_ns=round(args.age_budget_ms * MILLISECOND),
         deadline_offset_ns=round(args.deadline_ms * MILLISECOND),
         telemetry=args.telemetry is not None,
+        flows=args.flows,
     )
     pilot = PilotTestbed(sim=Simulator(seed=args.seed), config=config)
-    pilot.send_stream(args.messages, payload_size=args.size, interval_ns=round(args.interval_us * 1000))
+    interval_ns = round(args.interval_us * 1000)
+    if args.flows > 1:
+        # Split the message budget across the concurrent flows so total
+        # offered load matches the single-flow invocation.
+        base, extra = divmod(args.messages, args.flows)
+        for fid in range(args.flows):
+            count = base + (1 if fid < extra else 0)
+            pilot.send_stream(
+                count, payload_size=args.size, interval_ns=interval_ns, flow=fid
+            )
+    else:
+        pilot.send_stream(args.messages, payload_size=args.size, interval_ns=interval_ns)
     report = pilot.run()
     table = ResultTable(
         "Pilot study (Fig. 4)",
@@ -81,6 +93,27 @@ def _cmd_pilot(args: argparse.Namespace) -> int:
     for name, value in rows:
         table.add_row(name, value)
     table.show()
+    if args.flows > 1:
+        flow_table = ResultTable(
+            f"Per-flow breakdown ({args.flows} concurrent flows)",
+            ["Flow", "Sent", "Delivered", "NAKs", "Retx", "Unrecovered", "Last delivery"],
+        )
+        for fid, row in sorted(report.per_flow.items()):
+            flow_table.add_row(
+                fid,
+                row["sent"],
+                row["delivered"],
+                row["naks_sent"],
+                row["retransmissions"],
+                row["unrecovered"],
+                format_duration(row["last_delivery_ns"]),
+            )
+        flow_table.show()
+        normalized = [
+            row["delivered"] / row["sent"] if row["sent"] else 0.0
+            for row in report.per_flow.values()
+        ]
+        print(f"\nJain fairness index: {jain_fairness(normalized):.4f}")
     if args.telemetry is not None:
         registry = pilot.collect_telemetry()
         try:
@@ -357,6 +390,13 @@ def build_parser() -> argparse.ArgumentParser:
     pilot.add_argument("--age-budget-ms", type=float, default=50.0)
     pilot.add_argument("--deadline-ms", type=float, default=5.0)
     pilot.add_argument("--seed", type=int, default=42)
+    pilot.add_argument(
+        "--flows",
+        type=int,
+        default=1,
+        help="concurrent flows sharing the pilot path (default 1; "
+        "the message budget is split across them)",
+    )
     pilot.add_argument(
         "--telemetry",
         metavar="FILE",

@@ -169,19 +169,25 @@ class MmtStack:
         if requester is None:
             return
         nak = NakPayload.decode(packet.payload)
-        recovered, unmet = self.buffer.serve_nak(header.experiment_id, nak)
+        flow_id = header.flow_id or 0
+        recovered, unmet = self.buffer.serve_nak(header.experiment_id, nak, flow_id)
         for cached in recovered:
             self._resend(cached, requester)
         if unmet and self.nak_fallback_addr:
-            key = (header.experiment_id, tuple((r.start, r.end) for r in unmet))
+            key = (
+                header.experiment_id,
+                flow_id,
+                tuple((r.start, r.end) for r in unmet),
+            )
             if not self._nak_forward_guard.allow(key):
                 return
             fallback = NakPayload(ranges=list(unmet))
             fwd_header = MmtHeader(
                 config_id=header.config_id,
-                features=Feature.NONE,
+                features=Feature.FLOW_ID if flow_id else Feature.NONE,
                 msg_type=MsgType.NAK,
                 experiment_id=header.experiment_id,
+                flow_id=flow_id if flow_id else None,
             )
             self.send_control(
                 self.nak_fallback_addr, fwd_header, fallback.encode(),
@@ -322,6 +328,7 @@ class MmtSender:
         directory: BufferDirectory | None = None,
         path_position: int = 0,
         degraded_mode: Mode | str = "identify",
+        flow_id: int | None = None,
     ) -> None:
         self.stack = stack
         self.sim = stack.sim
@@ -338,7 +345,16 @@ class MmtSender:
         self.age_budget_ns = age_budget_ns
         self.buffer_local = buffer_local
         self.config = config or SenderConfig()
-        self.flow = flow or f"mmt-{experiment_id}"
+        #: Wire flow identifier (FLOW_ID extension); None = legacy
+        #: single-flow traffic whose headers stay byte-identical.
+        self.flow_id = flow_id
+        if flow is None:
+            flow = (
+                f"mmt-{experiment_id}-f{flow_id}"
+                if flow_id is not None
+                else f"mmt-{experiment_id}"
+            )
+        self.flow = flow
         self.stats = SenderStats()
         self._next_seq = 0
         self._pending: deque[tuple[int, bytes | None, dict]] = deque()
@@ -452,12 +468,16 @@ class MmtSender:
     # -- internals -------------------------------------------------------------------
 
     def _build_header(self, msg_type: MsgType = MsgType.DATA) -> MmtHeader:
+        features = self.mode.features
+        if self.flow_id is not None:
+            features |= Feature.FLOW_ID
         header = MmtHeader(
             config_id=self.mode.config_id,
-            features=self.mode.features,
+            features=features,
             msg_type=msg_type,
             ack_scheme=self.mode.ack_scheme,
             experiment_id=self.experiment_id,
+            flow_id=self.flow_id,
         )
         if self.mode.has(Feature.SEQUENCED):
             header.seq = wrap(self._next_seq)  # 32-bit wire value
@@ -514,7 +534,9 @@ class MmtSender:
                     payload=payload,
                     meta=dict(meta),
                 )
-                self.stack.buffer.store(self.experiment_id, header.seq, cached)
+                self.stack.buffer.store(
+                    self.experiment_id, header.seq, cached, self.flow_id or 0
+                )
             self._next_seq += 1
         self.stats.messages_sent += 1
         self.stats.bytes_sent += payload_size
@@ -715,7 +737,14 @@ class ReceiverStats:
 
 @dataclass
 class _FlowState:
-    """Per-(experiment_id) sequence tracking."""
+    """Per-``(experiment_id, flow_id)`` sequence tracking.
+
+    Legacy traffic without the FLOW_ID extension lands on flow 0, so a
+    single-flow receiver sees exactly one state per experiment as
+    before. Per-flow delivery/NAK counters live here (not only in the
+    aggregate :class:`ReceiverStats`) so fairness and fault-isolation
+    checks can see each flow separately.
+    """
 
     base: int = 0
     received: set[int] = field(default_factory=set)
@@ -729,6 +758,12 @@ class _FlowState:
     last_nak_at: dict[int, int] = field(default_factory=dict)
     #: EWMA of the NAK→retransmission round trip to the buffer.
     rtt_est_ns: int | None = None
+    #: Per-flow delivery / recovery counters.
+    delivered: int = 0
+    bytes_delivered: int = 0
+    naks_sent: int = 0
+    unrecovered: int = 0
+    retransmissions: int = 0
 
 
 class MmtReceiver:
@@ -747,8 +782,9 @@ class MmtReceiver:
         self.on_message = on_message
         self.config = config or ReceiverConfig()
         self.stats = ReceiverStats()
-        self._flows: dict[int, _FlowState] = {}
-        self._nak_timers: dict[int, Timer] = {}
+        #: (experiment_id, flow_id) → per-flow tracking state.
+        self._flows: dict[tuple[int, int], _FlowState] = {}
+        self._nak_timers: dict[tuple[int, int], Timer] = {}
         self._since_grant = 0
         #: (sim time, latency) samples for every delivered message.
         self.delivery_log: list[tuple[int, int]] = []
@@ -761,6 +797,7 @@ class MmtReceiver:
             return
         if header.msg_type == MsgType.RETX_DATA:
             self.stats.retransmissions_received += 1
+            self._flow(*header.flow_key).retransmissions += 1
             if header.has(Feature.SEQUENCED):
                 self._sample_rtt(header)
         if header.has(Feature.SEQUENCED):
@@ -771,6 +808,9 @@ class MmtReceiver:
     def _deliver(self, packet: Packet, header: MmtHeader) -> None:
         self.stats.messages_delivered += 1
         self.stats.bytes_delivered += packet.payload_size
+        state = self._flow(*header.flow_key)
+        state.delivered += 1
+        state.bytes_delivered += packet.payload_size
         sent_at = packet.meta.get("sent_at")
         latency = self.sim.now - sent_at if sent_at is not None else 0
         self.delivery_log.append((self.sim.now, latency))
@@ -832,7 +872,7 @@ class MmtReceiver:
 
     def _sample_rtt(self, header: MmtHeader) -> None:
         """EWMA the NAK→retransmission round trip to the serving buffer."""
-        state = self._flow(header.experiment_id)
+        state = self._flow(*header.flow_key)
         seq = unwrap(header.seq, max(state.highest_seen, state.base, 0))
         sent_at = state.nak_sent_at.pop(seq, None)
         if sent_at is None:
@@ -847,11 +887,12 @@ class MmtReceiver:
         rtt = state.rtt_est_ns if state.rtt_est_ns is not None else self.config.initial_rtt_ns
         return max(self.config.reorder_wait_ns, int(rtt * self.config.rtt_safety))
 
-    def _flow(self, experiment_id: int) -> _FlowState:
-        state = self._flows.get(experiment_id)
+    def _flow(self, experiment_id: int, flow_id: int = 0) -> _FlowState:
+        key = (experiment_id, flow_id)
+        state = self._flows.get(key)
         if state is None:
             state = _FlowState()
-            self._flows[experiment_id] = state
+            self._flows[key] = state
         return state
 
     def _track_sequenced(self, header: MmtHeader) -> bool:
@@ -861,7 +902,7 @@ class MmtReceiver:
         tracking happens in the unbounded virtual space (serial-number
         arithmetic relative to the highest position seen).
         """
-        state = self._flow(header.experiment_id)
+        state = self._flow(*header.flow_key)
         if header.has(Feature.RETRANSMISSION):
             state.buffer_addr = header.buffer_addr
         seq = unwrap(header.seq, max(state.highest_seen, state.base, 0))
@@ -885,14 +926,14 @@ class MmtReceiver:
                     self.stats.gaps_detected += 1
                     for missing_seq in newly_missing:
                         state.missing.setdefault(missing_seq, 0)
-                    self._arm_nak_timer(header.experiment_id)
+                    self._arm_nak_timer(header.flow_key)
             elif seq > state.base and state.highest_seen < 0:
                 if seq - state.base <= self.config.max_leading_gap:
                     # First packet arrived with seq > 0: leading gap.
                     self.stats.gaps_detected += 1
                     for missing_seq in range(state.base, seq):
                         state.missing.setdefault(missing_seq, 0)
-                    self._arm_nak_timer(header.experiment_id)
+                    self._arm_nak_timer(header.flow_key)
                 else:
                     # Joined mid-stream: start tracking here.
                     state.base = seq
@@ -907,7 +948,7 @@ class MmtReceiver:
         if packet.payload is None or not self.config.detect_gaps:
             return
         heartbeat = HeartbeatPayload.decode(packet.payload)
-        state = self._flow(header.experiment_id)
+        state = self._flow(*header.flow_key)
         if header.has(Feature.RETRANSMISSION) and header.buffer_addr != "0.0.0.0":
             state.buffer_addr = state.buffer_addr or header.buffer_addr
         highest = unwrap(
@@ -920,30 +961,33 @@ class MmtReceiver:
             state.highest_seen = highest
             if state.missing:
                 self.stats.gaps_detected += 1
-                self._arm_nak_timer(header.experiment_id)
+                self._arm_nak_timer(header.flow_key)
 
-    def _arm_nak_timer(self, experiment_id: int) -> None:
+    def _arm_nak_timer(self, flow_key: tuple[int, int]) -> None:
         """Make sure a NAK fires within ``reorder_wait`` of now.
 
         The timer may already be armed far in the future (retry backoff
         for seqs NAK-ed earlier); a *freshly detected* gap must not wait
-        behind it, so the timer is pulled in when needed.
+        behind it, so the timer is pulled in when needed. One timer per
+        ``(experiment, flow)`` so flows back off independently.
         """
-        timer = self._nak_timers.get(experiment_id)
+        timer = self._nak_timers.get(flow_key)
         if timer is None:
-            timer = Timer(self.sim, lambda: self._fire_nak(experiment_id))
-            self._nak_timers[experiment_id] = timer
+            timer = Timer(self.sim, lambda: self._fire_nak(flow_key))
+            self._nak_timers[flow_key] = timer
         deadline = self.sim.now + self.config.reorder_wait_ns
         if not timer.running or (timer.expires_at or 0) > deadline:
             timer.start(self.config.reorder_wait_ns)
 
-    def _fire_nak(self, experiment_id: int) -> None:
-        state = self._flow(experiment_id)
+    def _fire_nak(self, flow_key: tuple[int, int]) -> None:
+        experiment_id, flow_id = flow_key
+        state = self._flow(experiment_id, flow_id)
         if not state.missing:
             return
         if state.buffer_addr is None or state.buffer_addr == "0.0.0.0":
             # Nowhere to NAK: count the loss as unrecoverable.
             self.stats.unrecovered += len(state.missing)
+            state.unrecovered += len(state.missing)
             state.given_up.update(state.missing)
             state.missing.clear()
             return
@@ -956,6 +1000,7 @@ class MmtReceiver:
             if count >= self.config.max_naks:
                 state.given_up.add(seq)
                 self.stats.unrecovered += 1
+                state.unrecovered += 1
                 del state.missing[seq]
                 state.last_nak_at.pop(seq, None)
                 continue
@@ -978,25 +1023,29 @@ class MmtReceiver:
             nak = NakPayload.from_sequence_numbers([wrap(s) for s in ripe])
             header = MmtHeader(
                 config_id=0,
-                features=Feature.NONE,
+                features=Feature.FLOW_ID if flow_id else Feature.NONE,
                 msg_type=MsgType.NAK,
                 experiment_id=experiment_id,
+                flow_id=flow_id if flow_id else None,
             )
             self.stack.send_control(state.buffer_addr, header, nak.encode())
             self.stats.naks_sent += 1
+            state.naks_sent += 1
         if state.missing and next_due is not None:
-            self._nak_timers[experiment_id].start(max(next_due - now, 1))
+            self._nak_timers[flow_key].start(max(next_due - now, 1))
 
     # -- end-of-run reconciliation ---------------------------------------------
 
-    def request_missing(self, experiment_id: int, expected: int) -> int:
+    def request_missing(
+        self, experiment_id: int, expected: int, flow_id: int = 0
+    ) -> int:
         """Reconcile against an expected message count (end-of-run check).
 
         DAQ runs know how many messages a run produced; this marks every
         sequence number in ``[0, expected)`` not yet delivered as missing
         and fires a NAK immediately. Returns how many were outstanding.
         """
-        state = self._flow(experiment_id)
+        state = self._flow(experiment_id, flow_id)
         newly = 0
         for seq in range(state.base, expected):
             if seq in state.received or seq in state.given_up:
@@ -1006,18 +1055,47 @@ class MmtReceiver:
                 newly += 1
         state.highest_seen = max(state.highest_seen, expected - 1)
         if state.missing:
-            self._fire_nak(experiment_id)
+            self._fire_nak((experiment_id, flow_id))
         return newly
 
     # -- inspection ---------------------------------------------------------------
 
-    def outstanding(self, experiment_id: int | None = None) -> int:
-        """Sequence numbers currently known-missing (awaiting recovery)."""
+    def outstanding(
+        self, experiment_id: int | None = None, flow_id: int | None = None
+    ) -> int:
+        """Sequence numbers currently known-missing (awaiting recovery).
+
+        With only ``experiment_id``, sums over that experiment's flows;
+        with both, counts a single flow."""
+        if experiment_id is not None and flow_id is not None:
+            return len(self._flow(experiment_id, flow_id).missing)
         if experiment_id is not None:
-            return len(self._flow(experiment_id).missing)
+            return sum(
+                len(s.missing)
+                for (exp, _fid), s in self._flows.items()
+                if exp == experiment_id
+            )
         return sum(len(s.missing) for s in self._flows.values())
 
-    def complete(self, experiment_id: int, expected: int) -> bool:
+    def complete(self, experiment_id: int, expected: int, flow_id: int = 0) -> bool:
         """True when seqs [0, expected) have all been delivered."""
-        state = self._flow(experiment_id)
+        state = self._flow(experiment_id, flow_id)
         return state.base >= expected and not state.missing
+
+    def unrecovered_for(self, experiment_id: int, flow_id: int = 0) -> int:
+        """Sequence numbers one flow permanently gave up on."""
+        return self._flow(experiment_id, flow_id).unrecovered
+
+    def flow_summary(self) -> dict[tuple[int, int], dict[str, int]]:
+        """Per-flow counters for telemetry / fairness accounting."""
+        return {
+            key: {
+                "delivered": state.delivered,
+                "bytes_delivered": state.bytes_delivered,
+                "naks_sent": state.naks_sent,
+                "unrecovered": state.unrecovered,
+                "retransmissions": state.retransmissions,
+                "outstanding": len(state.missing),
+            }
+            for key, state in sorted(self._flows.items())
+        }

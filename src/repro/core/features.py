@@ -59,6 +59,10 @@ class Feature(IntFlag):
     DUPLICATION = 1 << 8
     #: Payload is encrypted by third-party software/hardware (Req 5).
     ENCRYPTED = 1 << 9
+    #: Packets carry a 16-bit flow identifier so many concurrent science
+    #: streams (DUNE, Rubin, CMS, ...) can share one programmable segment
+    #: with isolated per-flow dataplane state.
+    FLOW_ID = 1 << 10
 
     @classmethod
     def all_defined(cls) -> "Feature":

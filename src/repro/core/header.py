@@ -22,7 +22,13 @@ feature               bytes   fields
 ``PACING``            4       ``pace_rate_mbps`` (u32)
 ``BACKPRESSURE``      4       ``source_addr`` (IPv4)
 ``DUPLICATION``       3       ``dup_group`` (u16), ``dup_copies`` (u8)
+``FLOW_ID``           2       ``flow_id`` (u16)
 ====================  ======  =======================================
+
+``FLOW_ID`` is appended *after* every pre-existing extension so that
+all headers without the bit keep their exact historical wire layout —
+single-flow traffic stays byte-identical with or without this codec
+revision.
 
 The codec is byte-exact (big-endian network order) so that the paper's
 "conservative, header-based processing" claim is testable: everything
@@ -139,6 +145,7 @@ _EXT_SEGMENTS: tuple[tuple[int, str, int], ...] = (
     (int(Feature.PACING), "I", 4),
     (int(Feature.BACKPRESSURE), "I", 4),
     (int(Feature.DUPLICATION), "HB", 3),
+    (int(Feature.FLOW_ID), "H", 2),
 )
 
 #: Bitmask of every feature that contributes extension bytes.
@@ -167,8 +174,8 @@ class _Codec:
         assert self.struct.size == size
 
 
-#: ext-bits → codec, filled eagerly for all 128 extension combinations
-#: (7 size-bearing features), so lookups never miss.
+#: ext-bits → codec, filled eagerly for all 256 extension combinations
+#: (8 size-bearing features), so lookups never miss.
 _CODECS: dict[int, _Codec] = {}
 for _combo in range(1 << len(_EXT_SEGMENTS)):
     _bits = 0
@@ -218,6 +225,8 @@ class MmtHeader(Header):
     # DUPLICATION
     dup_group: int | None = None
     dup_copies: int | None = None
+    # FLOW_ID
+    flow_id: int | None = None
 
     #: Only a ``features`` rewrite can change the wire size (and the
     #: validation verdict's shape); see :class:`Header`.
@@ -231,6 +240,7 @@ class MmtHeader(Header):
         (Feature.PACING, 4),
         (Feature.BACKPRESSURE, 4),
         (Feature.DUPLICATION, 3),
+        (Feature.FLOW_ID, 2),
     )
 
     # -- Header interface ---------------------------------------------------
@@ -268,6 +278,7 @@ class MmtHeader(Header):
             source_addr=self.source_addr,
             dup_group=self.dup_group,
             dup_copies=self.dup_copies,
+            flow_id=self.flow_id,
         )
 
     # -- convenience --------------------------------------------------------
@@ -279,6 +290,13 @@ class MmtHeader(Header):
     @property
     def slice_id(self) -> int:
         return self.experiment_id & SLICE_MASK
+
+    @property
+    def flow_key(self) -> tuple[int, int]:
+        """``(experiment_id, flow_id)`` with headers lacking the
+        FLOW_ID extension mapped to flow 0 — the canonical key for all
+        per-flow dataplane and endpoint state."""
+        return (self.experiment_id, self.flow_id or 0)
 
     def has(self, feature: Feature) -> bool:
         # Both operands must be plain ints: with an IntFlag on either
@@ -311,6 +329,9 @@ class MmtHeader(Header):
         self._check(
             Feature.DUPLICATION, dup_group=self.dup_group, dup_copies=self.dup_copies
         )
+        self._check(Feature.FLOW_ID, flow_id=self.flow_id)
+        if self.flow_id is not None and not 0 <= self.flow_id <= 0xFFFF:
+            raise HeaderError(f"flow_id out of range: {self.flow_id}")
         if self.aged and not self.has(Feature.AGE_TRACKING):
             raise HeaderError("aged flag set without AGE_TRACKING")
         # Validate-once: remember which configuration this verdict is
@@ -375,6 +396,8 @@ class MmtHeader(Header):
         if bits & 0x100:  # DUPLICATION
             append(self.dup_group)
             append(self.dup_copies)
+        if bits & 0x400:  # FLOW_ID
+            append(self.flow_id)
         try:
             return codec.struct.pack(*args)
         except Exception as exc:  # field out of struct range
@@ -445,5 +468,8 @@ class MmtHeader(Header):
         if bits & 0x100:  # DUPLICATION
             header.dup_group = values[index]
             header.dup_copies = values[index + 1]
+            index += 2
+        if bits & 0x400:  # FLOW_ID
+            header.flow_id = values[index]
         header.validate()
         return header, codec.size

@@ -248,6 +248,7 @@ _AGE_TRACKING = int(Feature.AGE_TRACKING)
 _PACING = int(Feature.PACING)
 _BACKPRESSURE = int(Feature.BACKPRESSURE)
 _DUPLICATION = int(Feature.DUPLICATION)
+_FLOW_ID = int(Feature.FLOW_ID)
 
 
 def transition(header: MmtHeader, target: Mode, ctx: TransitionContext) -> MmtHeader:
@@ -259,9 +260,16 @@ def transition(header: MmtHeader, target: Mode, ctx: TransitionContext) -> MmtHe
     address, which is always refreshed when ``ctx.buffer_addr`` is set,
     implementing the "more recent (lower RTT) retransmission buffer"
     behaviour of §1/§5. Deactivated features get their fields cleared.
+
+    ``FLOW_ID`` is flow *identity*, not a per-segment feature: like
+    ``experiment_id`` it survives every mode rewrite, so a header that
+    arrives with a flow id keeps both the bit and the value regardless
+    of the target mode's feature word.
     """
     old_features = header.features
     new_features = target.features
+    if int(old_features) & _FLOW_ID:
+        new_features |= Feature.FLOW_ID
 
     # Plain ints: the bit tests below then run at C speed instead of
     # round-tripping through IntFlag.__and__ on every transition.

@@ -39,10 +39,17 @@ class RetransmitStats:
 
 
 class RetransmitBuffer:
-    """Byte-bounded store of sequenced packets, keyed by (experiment, seq).
+    """Byte-bounded store of sequenced packets, keyed by
+    ``(experiment, flow, seq)``.
 
     Stored entries are *copies* of the in-flight packet so later in-path
     header rewrites never mutate the cached bytes. Eviction is FIFO.
+
+    Concurrent flows sharing one experiment (and thus one buffer) are
+    isolated by the ``flow_id`` component of the key: two flows using
+    the same sequence numbers can never serve each other's bytes.
+    Single-flow callers omit ``flow_id`` and land on flow 0, matching
+    headers without the FLOW_ID extension.
     """
 
     def __init__(self, capacity_bytes: int, address: str) -> None:
@@ -81,12 +88,14 @@ class RetransmitBuffer:
         self._store.clear()
         self.bytes_used = 0
 
-    def store(self, experiment_id: int, seq: int, packet: Packet) -> None:
+    def store(
+        self, experiment_id: int, seq: int, packet: Packet, flow_id: int = 0
+    ) -> None:
         """Cache a copy of ``packet``; replaces nothing on duplicate."""
         if self.failed:
             self.stats.rejected_failed += 1
             return
-        key = (experiment_id, seq)
+        key = (experiment_id, flow_id, seq)
         if key in self._store:
             self.stats.duplicates_ignored += 1
             return
@@ -99,31 +108,35 @@ class RetransmitBuffer:
             self.bytes_used -= evicted.size_bytes
             self.stats.evicted += 1
 
-    def fetch(self, experiment_id: int, seq: int) -> Packet | None:
+    def fetch(
+        self, experiment_id: int, seq: int, flow_id: int = 0
+    ) -> Packet | None:
         """Retrieve a cached packet copy, or None when not held."""
-        packet = self._store.get((experiment_id, seq))
+        packet = self._store.get((experiment_id, flow_id, seq))
         if packet is None:
             self.stats.misses += 1
             return None
         self.stats.hits += 1
         return packet.copy()
 
-    def serve_nak(self, experiment_id: int, nak: NakPayload) -> tuple[list[Packet], list[SeqRange]]:
+    def serve_nak(
+        self, experiment_id: int, nak: NakPayload, flow_id: int = 0
+    ) -> tuple[list[Packet], list[SeqRange]]:
         """Resolve a NAK: (recovered packet copies, still-missing ranges)."""
         self.stats.nak_requests += 1
         recovered: list[Packet] = []
         unmet: list[int] = []
         for item in nak.ranges:
             for seq in item:
-                packet = self.fetch(experiment_id, seq)
+                packet = self.fetch(experiment_id, seq, flow_id)
                 if packet is None:
                     unmet.append(seq)
                 else:
                     recovered.append(packet)
         return recovered, NakPayload.from_sequence_numbers(unmet).ranges
 
-    def holds(self, experiment_id: int, seq: int) -> bool:
-        return (experiment_id, seq) in self._store
+    def holds(self, experiment_id: int, seq: int, flow_id: int = 0) -> bool:
+        return (experiment_id, flow_id, seq) in self._store
 
     def __len__(self) -> int:
         return len(self._store)
@@ -131,6 +144,17 @@ class RetransmitBuffer:
     @property
     def occupancy(self) -> float:
         return self.bytes_used / self.capacity_bytes
+
+    def bytes_by_flow(self) -> dict[tuple[int, int], int]:
+        """Current residency per ``(experiment, flow)``.
+
+        Computed on demand (telemetry scrape cadence), so the per-packet
+        store/evict path stays counter-free."""
+        residency: dict[tuple[int, int], int] = {}
+        for (experiment_id, flow_id, _seq), packet in self._store.items():
+            key = (experiment_id, flow_id)
+            residency[key] = residency.get(key, 0) + packet.size_bytes
+        return residency
 
 
 @dataclass
@@ -158,6 +182,12 @@ class BufferDirectory:
     start" (§5.3); this directory is that pre-supposed knowledge:
     elements query :meth:`nearest_upstream` to refresh a header's
     ``buffer_addr`` with the closest buffer behind them.
+
+    Registrations are deliberately *experiment*-scoped, not flow-scoped:
+    concurrent flows of one experiment share the same physical buffers
+    (the shared DTN of the pilot), and isolation between them lives in
+    the buffer's ``(experiment, flow, seq)`` store keys — never in
+    which buffer a flow is pointed at.
     """
 
     def __init__(self) -> None:
@@ -259,8 +289,11 @@ class NakForwardGuard:
 
     Chained buffers forward unserved NAK ranges to a fallback address;
     a mis-wired fallback cycle would otherwise circulate the same NAK
-    forever. Each distinct ``(experiment, ranges)`` key may be forwarded
-    ``limit`` times, then it is suppressed.
+    forever. Each distinct ``(experiment, flow, ranges)`` key may be
+    forwarded ``limit`` times, then it is suppressed. The flow id is
+    part of the key so one flow's suppressed NAK loop never mutes an
+    identical seq-range NAK from a different flow (and vice versa: a
+    noisy flow cannot spend another flow's forward budget).
 
     The table is a bounded LRU: when it outgrows ``capacity`` the
     *stalest* key is evicted — and every :meth:`allow` call refreshes

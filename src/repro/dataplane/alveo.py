@@ -85,3 +85,14 @@ class AlveoNic(ProgrammableElement):
             super().receive(packet, port)
             return
         self.sim.schedule(self.datapath_latency_ns, super().receive, packet, port)
+
+    def hbm_flow_occupancy(self) -> dict[tuple[int, int], int]:
+        """Bytes of HBM each ``(experiment, flow)`` currently occupies.
+
+        The shared on-card buffer is the contended resource when many
+        concurrent flows ride one card; this is the per-flow residency
+        view a fairness scrape needs (empty when no buffer is hosted).
+        """
+        if self.buffer is None:
+            return {}
+        return self.buffer.bytes_by_flow()

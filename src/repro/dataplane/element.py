@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..core.control import NakPayload
-from ..core.features import MsgType
+from ..core.features import Feature, MsgType
 from ..core.header import MmtHeader
 from ..core.retransmit import NakForwardGuard, RetransmitBuffer
 from ..netsim.engine import Simulator
@@ -188,7 +188,7 @@ class ProgrammableElement(Node):
             self.stats.pipeline_drops += 1
             return
         if meta.mirror_to_buffer and self.buffer is not None and mmt.seq is not None:
-            self.buffer.store(mmt.experiment_id, mmt.seq, packet)
+            self.buffer.store(mmt.experiment_id, mmt.seq, packet, mmt.flow_id or 0)
             self.stats.mirrored_to_buffer += 1
         if self.int_hop_id is not None:
             self._int_push(packet, mmt)
@@ -226,6 +226,7 @@ class ProgrammableElement(Node):
             queue_depth_pct=self._max_queue_occupancy_pct(),
             config_id=mmt.config_id,
             seq=mmt.seq or 0,
+            flow_id=mmt.flow_id or 0,
         )
         if header.push(postcard):
             self.stats.int_postcards_pushed += 1
@@ -256,20 +257,27 @@ class ProgrammableElement(Node):
         if ip is None or packet.payload is None:
             return
         nak = NakPayload.decode(packet.payload)
-        recovered, unmet = self.buffer.serve_nak(mmt.experiment_id, nak)
+        flow_id = mmt.flow_id or 0
+        recovered, unmet = self.buffer.serve_nak(mmt.experiment_id, nak, flow_id)
         self.stats.naks_served += 1
         for cached in recovered:
             self._resend(cached, requester=ip.src)
         if unmet and self.nak_fallback_addr:
-            key = (mmt.experiment_id, tuple((r.start, r.end) for r in unmet))
+            key = (
+                mmt.experiment_id,
+                flow_id,
+                tuple((r.start, r.end) for r in unmet),
+            )
             if not self._nak_forward_guard.allow(key):
                 self.stats.nak_forwards_suppressed += 1
                 return
             forward = NakPayload(ranges=list(unmet))
             header = MmtHeader(
                 config_id=mmt.config_id,
+                features=Feature.FLOW_ID if flow_id else Feature.NONE,
                 msg_type=MsgType.NAK,
                 experiment_id=mmt.experiment_id,
+                flow_id=flow_id if flow_id else None,
             )
             self._send_mmt(
                 self.nak_fallback_addr,

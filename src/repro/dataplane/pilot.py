@@ -33,12 +33,16 @@ from ..core.modes import ModeRegistry, pilot_registry
 from ..core.retransmit import BufferDirectory, RetransmitBuffer
 from ..netsim.engine import Simulator
 from ..netsim.packet import Packet
+from ..netsim.queues import DrrScheduler
 from ..netsim.topology import Topology
 from ..netsim.units import MICROSECOND, MILLISECOND, gbps
 from ..telemetry import (
     IntDomain,
     MetricsRegistry,
     scrape_element,
+    scrape_flow_counters,
+    scrape_flow_residency,
+    scrape_receiver_flows,
     scrape_simulator,
     scrape_stack,
     scrape_topology,
@@ -110,6 +114,14 @@ class PilotConfig:
     failover_buffer: bool = False
     #: Capacity of DTN 1's host-side failover buffer.
     dtn1_buffer_bytes: int = 256 * 1024 * 1024
+    #: Number of concurrent flows sharing the pilot path. With 1 (the
+    #: default) the build is exactly the historical single-flow pilot:
+    #: no FLOW_ID extension on the wire, one sender per hop, FIFO relay
+    #: at DTN 1. With N > 1, every flow gets its own tagged sender pair
+    #: (sensor and DTN 1), per-flow receiver state isolates recovery,
+    #: and DTN 1's relay serves its shared uplink with deficit round
+    #: robin so no elephant starves the others.
+    flows: int = 1
 
 
 @dataclass
@@ -132,6 +144,11 @@ class PilotReport:
     age_updates_tofino: int
     buffer_occupancy: float
     delivery_latencies_ns: list[int]
+    #: Per-flow breakdown (multi-flow builds only; empty for flows=1):
+    #: ``flow_id → {sent, relayed, delivered, bytes_delivered,
+    #: naks_sent, unrecovered, retransmissions, first_delivery_ns,
+    #: last_delivery_ns}``.
+    per_flow: dict[int, dict[str, int]] = field(default_factory=dict)
 
     @property
     def complete(self) -> bool:
@@ -249,17 +266,40 @@ class PilotTestbed:
         self.dtn1_stack = MmtStack(self.dtn1, self.registry)
         self.dtn2_stack = MmtStack(self.dtn2, self.registry)
 
+        if cfg.flows < 1:
+            raise ValueError(f"flows must be >= 1, got {cfg.flows}")
         self.messages_sent = 0
         self.dtn1_relayed = 0
         self.delivered_messages: list[tuple[int, int]] = []  # (time, payload size)
+        self.messages_sent_by_flow: dict[int, int] = {f: 0 for f in range(cfg.flows)}
+        self.dtn1_relayed_by_flow: dict[int, int] = {f: 0 for f in range(cfg.flows)}
+        #: flow_id → [(delivery time, payload size)] at DTN 2.
+        self.delivered_by_flow: dict[int, list[tuple[int, int]]] = {
+            f: [] for f in range(cfg.flows)
+        }
 
-        self.sensor_sender: MmtSender = self.sensor_stack.create_sender(
-            experiment_id=self.experiment_id,
-            mode="identify",
-            dst_mac=self.dtn1.mac,
-            l2_port=next(iter(self.sensor.ports)),
-            flow="pilot",
-        )
+        # Single-flow builds stay untagged (no FLOW_ID extension, wire
+        # bytes identical to every earlier pilot); multi-flow builds tag
+        # every sender, flow 0 included, so in-path flow counters and
+        # per-flow recovery state see all of them.
+        tagged = cfg.flows > 1
+
+        def flow_kwargs(fid: int) -> dict:
+            if not tagged:
+                return {"flow": "pilot"}
+            return {"flow": f"pilot-f{fid}", "flow_id": fid}
+
+        self.sensor_senders: list[MmtSender] = [
+            self.sensor_stack.create_sender(
+                experiment_id=self.experiment_id,
+                mode="identify",
+                dst_mac=self.dtn1.mac,
+                l2_port=next(iter(self.sensor.ports)),
+                **flow_kwargs(fid),
+            )
+            for fid in range(cfg.flows)
+        ]
+        self.sensor_sender: MmtSender = self.sensor_senders[0]
         self.dtn1_buffer: RetransmitBuffer | None = None
         if cfg.reliable_from_dtn1 and cfg.failover_buffer:
             self.dtn1_buffer = self.dtn1_stack.attach_buffer(cfg.dtn1_buffer_bytes)
@@ -268,24 +308,39 @@ class PilotTestbed:
                     self.dtn1.ip, DTN1_POSITION, experiments={self.experiment_id}
                 )
         if cfg.reliable_from_dtn1:
-            self.dtn1_sender: MmtSender = self.dtn1_stack.create_sender(
-                experiment_id=self.experiment_id,
-                mode="age-recover",
-                dst_ip=self.dtn2.ip,
-                flow="pilot",
-                age_budget_ns=cfg.age_budget_ns,
-                buffer_local=self.dtn1_buffer is not None,
-                directory=self.directory,
-                path_position=DTN1_POSITION,
-                degraded_mode="identify",
-            )
+            self.dtn1_senders: list[MmtSender] = [
+                self.dtn1_stack.create_sender(
+                    experiment_id=self.experiment_id,
+                    mode="age-recover",
+                    dst_ip=self.dtn2.ip,
+                    age_budget_ns=cfg.age_budget_ns,
+                    buffer_local=self.dtn1_buffer is not None,
+                    directory=self.directory,
+                    path_position=DTN1_POSITION,
+                    degraded_mode="identify",
+                    **flow_kwargs(fid),
+                )
+                for fid in range(cfg.flows)
+            ]
         else:
-            self.dtn1_sender = self.dtn1_stack.create_sender(
-                experiment_id=self.experiment_id,
-                mode="identify",
-                dst_ip=self.dtn2.ip,
-                flow="pilot",
-            )
+            self.dtn1_senders = [
+                self.dtn1_stack.create_sender(
+                    experiment_id=self.experiment_id,
+                    mode="identify",
+                    dst_ip=self.dtn2.ip,
+                    **flow_kwargs(fid),
+                )
+                for fid in range(cfg.flows)
+            ]
+        self.dtn1_sender: MmtSender = self.dtn1_senders[0]
+
+        # Multi-flow relay fairness: DTN 1's uplink (and the U280 buffer
+        # behind it) is the shared resource; a DRR scheduler decides the
+        # re-origination order so one hot flow cannot monopolize it.
+        self.relay_drr: DrrScheduler | None = (
+            DrrScheduler(quantum_bytes=cfg.mtu_bytes) if tagged else None
+        )
+        self._relay_drain_pending = False
         self.dtn1_receiver: MmtReceiver = self.dtn1_stack.bind_receiver(
             PILOT_EXPERIMENT, on_message=self._relay_at_dtn1
         )
@@ -312,28 +367,63 @@ class PilotTestbed:
         """DTN 1's store-and-forward: re-originate toward DTN 2.
 
         The original send timestamp rides along so delivery latency is
-        measured sensor → DTN 2 end-to-end.
+        measured sensor → DTN 2 end-to-end. Multi-flow builds queue the
+        relay through a DRR scheduler instead of forwarding inline, so
+        bursts arriving back-to-back from one flow cannot starve the
+        shared uplink.
         """
         self.dtn1_relayed += 1
+        fid = header.flow_id or 0
+        self.dtn1_relayed_by_flow[fid] = self.dtn1_relayed_by_flow.get(fid, 0) + 1
         meta = {"sent_at": packet.meta.get("sent_at", self.sim.now)}
-        self.dtn1_sender.send(packet.payload_size, payload=packet.payload, meta=meta)
+        if self.relay_drr is None:
+            self.dtn1_sender.send(packet.payload_size, payload=packet.payload, meta=meta)
+            return
+        self.relay_drr.enqueue(
+            fid, (packet.payload_size, packet.payload, meta), packet.size_bytes
+        )
+        if not self._relay_drain_pending:
+            self._relay_drain_pending = True
+            self.sim.schedule(0, self._drain_relay)
+
+    def _drain_relay(self) -> None:
+        """Serve everything queued at DTN 1 in deficit-round-robin order."""
+        assert self.relay_drr is not None
+        self._relay_drain_pending = False
+        while True:
+            served = self.relay_drr.dequeue()
+            if served is None:
+                return
+            fid, (payload_size, payload, meta) = served
+            self.dtn1_senders[fid].send(payload_size, payload=payload, meta=meta)
 
     def _deliver_at_dtn2(self, packet: Packet, header) -> None:
         self.delivered_messages.append((self.sim.now, packet.payload_size))
+        fid = header.flow_id or 0
+        self.delivered_by_flow.setdefault(fid, []).append(
+            (self.sim.now, packet.payload_size)
+        )
 
     # -- driving ---------------------------------------------------------------------
 
-    def send_message(self, payload_size: int = 8000) -> None:
+    def send_message(
+        self, payload_size: int = 8000, flow: int = 0, payload: bytes | None = None
+    ) -> None:
         """Emit one DAQ message from the sensor right now."""
-        self.sensor_sender.send(payload_size)
+        self.sensor_senders[flow].send(payload_size, payload=payload)
         self.messages_sent += 1
+        self.messages_sent_by_flow[flow] = self.messages_sent_by_flow.get(flow, 0) + 1
 
     def send_stream(
-        self, count: int, payload_size: int = 8000, interval_ns: int = 1_000
+        self,
+        count: int,
+        payload_size: int = 8000,
+        interval_ns: int = 1_000,
+        flow: int = 0,
     ) -> None:
         """Schedule a steady stream of ``count`` messages from the sensor."""
         for i in range(count):
-            self.sim.schedule(i * interval_ns, self.send_message, payload_size)
+            self.sim.schedule(i * interval_ns, self.send_message, payload_size, flow)
 
     def run(self, extra_ns: int = 0, reconcile: bool = True) -> PilotReport:
         """Run to quiescence (plus ``extra_ns``), reconcile, and report."""
@@ -342,7 +432,17 @@ class PilotTestbed:
         if reconcile:
             # End-of-run bookkeeping: DTN 2 knows how many messages DTN 1
             # forwarded (run metadata) and NAKs anything still missing.
-            self.dtn2_receiver.request_missing(self.experiment_id, self.dtn1_relayed)
+            # Multi-flow runs reconcile per flow: each flow numbers its
+            # own sequence space, so "expected" is per-flow relay counts.
+            if self.config.flows > 1:
+                for fid in range(self.config.flows):
+                    self.dtn2_receiver.request_missing(
+                        self.experiment_id,
+                        self.dtn1_relayed_by_flow.get(fid, 0),
+                        flow_id=fid,
+                    )
+            else:
+                self.dtn2_receiver.request_missing(self.experiment_id, self.dtn1_relayed)
             self.sim.run()
         return self.report()
 
@@ -361,7 +461,37 @@ class PilotTestbed:
             scrape_element(element, self.metrics)
         for stack in (self.sensor_stack, self.dtn1_stack, self.dtn2_stack):
             scrape_stack(stack, self.metrics)
+        if self.config.flows > 1:
+            scrape_receiver_flows(self.dtn2_receiver, self.metrics, host=self.dtn2.name)
+            scrape_flow_counters(
+                self.tofino.flow_counters(), self.metrics, element=self.tofino.name
+            )
+            scrape_flow_residency(
+                self.u280.hbm_flow_occupancy(), self.metrics, host=self.u280.name
+            )
         return self.metrics
+
+    def flow_report(self) -> dict[int, dict[str, int]]:
+        """Per-flow accounting: sent/relayed/delivered plus recovery
+        counters from DTN 2's per-flow state and the completion window
+        (first/last delivery times) fairness analysis needs."""
+        summary = self.dtn2_receiver.flow_summary()
+        report: dict[int, dict[str, int]] = {}
+        for fid in range(self.config.flows):
+            rx = summary.get((self.experiment_id, fid), {})
+            deliveries = self.delivered_by_flow.get(fid, [])
+            report[fid] = {
+                "sent": self.messages_sent_by_flow.get(fid, 0),
+                "relayed": self.dtn1_relayed_by_flow.get(fid, 0),
+                "delivered": rx.get("delivered", 0),
+                "bytes_delivered": rx.get("bytes_delivered", 0),
+                "naks_sent": rx.get("naks_sent", 0),
+                "unrecovered": rx.get("unrecovered", 0),
+                "retransmissions": rx.get("retransmissions", 0),
+                "first_delivery_ns": deliveries[0][0] if deliveries else 0,
+                "last_delivery_ns": deliveries[-1][0] if deliveries else 0,
+            }
+        return report
 
     def report(self) -> PilotReport:
         rx = self.dtn2_receiver.stats
@@ -382,4 +512,5 @@ class PilotTestbed:
             age_updates_tofino=self.tofino_age.updates,
             buffer_occupancy=self.buffer.occupancy,
             delivery_latencies_ns=[lat for _t, lat in self.dtn2_receiver.delivery_log],
+            per_flow=self.flow_report() if self.config.flows > 1 else {},
         )

@@ -135,6 +135,25 @@ class RegisterArray:
         return index
 
 
+#: Knuth multiplicative-hash constant (odd, near 2^16/phi) used to
+#: spread flow ids across register indexes.
+_FLOW_HASH_MULT = 40503
+
+
+def flow_register_index(experiment_id: int, flow_id: int, size: int) -> int:
+    """Register index for per-``(experiment, flow)`` dataplane state.
+
+    The index a program uses to key register cells when several
+    concurrent flows of one experiment cross the same element: the flow
+    id is spread by a multiplicative hash so adjacent flow ids do not
+    collide modulo small register sizes. Flow 0 (headers without the
+    FLOW_ID extension) reduces to the historical per-experiment index,
+    keeping single-flow register layouts — and thus replay traces —
+    unchanged.
+    """
+    return (experiment_id + flow_id * _FLOW_HASH_MULT) % size
+
+
 class PacketView:
     """Guarded access to a packet's *headers only*.
 

@@ -38,7 +38,7 @@ from ..core.header import MmtHeader
 from ..core.modes import Mode, ModeRegistry, TransitionContext, transition
 from ..core.retransmit import BufferDirectory
 from .element import ProgrammableElement
-from .pipeline import Action, Metadata, MatchKind, PacketView, Table
+from .pipeline import Action, Metadata, MatchKind, PacketView, Table, flow_register_index
 
 
 class Program:
@@ -79,8 +79,10 @@ class ModeTransitionProgram(Program):
     """Header rewriting between modes at segment boundaries.
 
     Sequence numbers for newly-SEQUENCED flows come from a per-flow
-    register indexed by a hash of the experiment id — exactly the
-    stateful primitive Tofino provides.
+    register indexed by a hash of ``(experiment id, flow id)`` — exactly
+    the stateful primitive Tofino provides. Concurrent flows of one
+    experiment therefore draw from independent sequence counters and
+    degrade/recover independently.
 
     With ``announce_to_source=True`` the element tells the stream's
     source about each flow's first transition (one MODE_ANNOUNCE per
@@ -111,12 +113,12 @@ class ModeTransitionProgram(Program):
         self.transitions_applied = 0
         self.announcements_sent = 0
         #: Packets that stayed un-upgraded because no live buffer served
-        #: their experiment, and the per-experiment degradation episodes.
+        #: their experiment, and the per-flow degradation episodes.
         self.degraded_packets = 0
         self.degradations = 0
         self.degradation_recoveries = 0
-        self._degraded_experiments: set[int] = set()
-        self._announced: set[int] = set()
+        self._degraded_flows: set[tuple[int, int]] = set()
+        self._announced: set[tuple[int, int]] = set()
         self._element_ip = "0.0.0.0"
 
     def install(self, element: ProgrammableElement) -> None:
@@ -163,16 +165,18 @@ class ModeTransitionProgram(Program):
                     # current mode instead of upgrading it into a
                     # reliability mode whose NAKs can never be served.
                     self.degraded_packets += 1
-                    if header.experiment_id not in self._degraded_experiments:
-                        self._degraded_experiments.add(header.experiment_id)
+                    if header.flow_key not in self._degraded_flows:
+                        self._degraded_flows.add(header.flow_key)
                         self.degradations += 1
                     return
-                if header.experiment_id in self._degraded_experiments:
-                    self._degraded_experiments.discard(header.experiment_id)
+                if header.flow_key in self._degraded_flows:
+                    self._degraded_flows.discard(header.flow_key)
                     self.degradation_recoveries += 1
                 ctx.buffer_addr = live.address
             if activating & int(Feature.SEQUENCED):
-                index = header.experiment_id % seq_register.size
+                index = flow_register_index(
+                    header.experiment_id, header.flow_id or 0, seq_register.size
+                )
                 ctx.seq = seq_register.read_add(index, 1)
             if rule.buffer_addr is not None and ctx.buffer_addr is None:
                 ctx.buffer_addr = rule.buffer_addr
@@ -191,10 +195,10 @@ class ModeTransitionProgram(Program):
             self.transitions_applied += 1
             if (
                 self.announce_to_source
-                and header.experiment_id not in self._announced
+                and header.flow_key not in self._announced
                 and view.has_header("ip")
             ):
-                self._announced.add(header.experiment_id)
+                self._announced.add(header.flow_key)
                 payload = ModeAnnouncePayload(
                     config_id=target.config_id,
                     element=self._element_ip,
@@ -329,7 +333,11 @@ class NearestBufferProgram(Program):
         #: Packets left pointing at their (possibly dead) old buffer
         #: because no live candidate existed.
         self.stale_stamps = 0
-        self._last_addr: str | None = None
+        #: Last stamped address per (experiment, flow): with a single
+        #: shared cell, interleaved flows whose answers legitimately
+        #: differ would each read the *other* flow's last stamp and
+        #: count a phantom failover per packet.
+        self._last_addr: dict[tuple[int, int], str] = {}
 
     def install(self, element: ProgrammableElement) -> None:
         table = Table(
@@ -355,9 +363,11 @@ class NearestBufferProgram(Program):
         if addr is None:
             self.stale_stamps += 1
             return
-        if self._last_addr is not None and addr != self._last_addr:
+        flow_key = header.flow_key
+        last = self._last_addr.get(flow_key)
+        if last is not None and addr != last:
             self.failovers += 1
-        self._last_addr = addr
+        self._last_addr[flow_key] = addr
         if header.buffer_addr != addr:
             header.buffer_addr = addr
             self.rewrites += 1

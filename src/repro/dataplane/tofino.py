@@ -15,6 +15,7 @@ scheduling pipeline execution ``pipeline_latency_ns`` after arrival.
 
 from __future__ import annotations
 
+from ..core.header import MmtHeader
 from ..netsim.engine import Simulator
 from ..netsim.link import Port
 from ..netsim.packet import Packet
@@ -42,9 +43,27 @@ class TofinoSwitch(ProgrammableElement):
         if pipeline_latency_ns < 0:
             raise ValueError("pipeline latency must be >= 0")
         self.pipeline_latency_ns = pipeline_latency_ns
+        #: Per-flow ingress counters, modelling Tofino's direct match
+        #: counters keyed on the FLOW_ID extension: ``(experiment,
+        #: flow) → [packets, bytes]``. Only flow-tagged traffic is
+        #: counted, so legacy single-flow pipelines pay one attribute
+        #: test per packet and nothing else.
+        self._flow_counters: dict[tuple[int, int], list[int]] = {}
 
     def receive(self, packet: Packet, port: Port) -> None:
+        mmt = packet.find(MmtHeader)
+        if mmt is not None and mmt.flow_id is not None:
+            counter = self._flow_counters.get(mmt.flow_key)
+            if counter is None:
+                counter = [0, 0]
+                self._flow_counters[mmt.flow_key] = counter
+            counter[0] += 1
+            counter[1] += packet.size_bytes
         if self.pipeline_latency_ns == 0:
             super().receive(packet, port)
             return
         self.sim.schedule(self.pipeline_latency_ns, super().receive, packet, port)
+
+    def flow_counters(self) -> dict[tuple[int, int], tuple[int, int]]:
+        """``(experiment, flow) → (packets, bytes)`` seen at ingress."""
+        return {key: (c[0], c[1]) for key, c in self._flow_counters.items()}

@@ -5,8 +5,9 @@ Three pieces, stacked:
 - :mod:`repro.faults.plan` — :class:`FaultPlan`/:class:`FaultInjector`:
   scripted, seeded, replayable faults on any topology;
 - :mod:`repro.faults.lossmodels` — protocol-aware loss models
-  (:class:`ControlPacketLoss`) plus re-exports of the generic netsim
-  ones (:class:`GilbertElliottLoss`, :class:`UniformLoss`);
+  (:class:`ControlPacketLoss`, :class:`FlowFilteredLoss`) plus
+  re-exports of the generic netsim ones
+  (:class:`GilbertElliottLoss`, :class:`UniformLoss`);
 - :mod:`repro.faults.chaos` — named scenarios over the Fig. 4 pilot
   with recovery metrics, written to ``BENCH_chaos.json``.
 
@@ -29,6 +30,7 @@ from .chaos import (
 from .lossmodels import (
     CONTROL_MSG_TYPES,
     ControlPacketLoss,
+    FlowFilteredLoss,
     GilbertElliottLoss,
     LossModel,
     UniformLoss,
@@ -45,6 +47,7 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "FaultRecord",
+    "FlowFilteredLoss",
     "GilbertElliottLoss",
     "LossModel",
     "SCENARIOS",

@@ -19,6 +19,7 @@ from ..netsim.packet import Packet
 __all__ = [
     "CONTROL_MSG_TYPES",
     "ControlPacketLoss",
+    "FlowFilteredLoss",
     "GilbertElliottLoss",
     "LossModel",
     "UniformLoss",
@@ -60,6 +61,52 @@ class ControlPacketLoss(LossModel):
     def should_drop(self, packet: Packet, rng: random.Random) -> bool:
         mmt = packet.find(MmtHeader)
         if mmt is None or mmt.msg_type not in self.msg_types:
+            return False
+        self.seen += 1
+        if rng.random() < self.rate:
+            self.dropped += 1
+            return True
+        return False
+
+
+class FlowFilteredLoss(LossModel):
+    """Drop one flow's data packets; everything else sails through.
+
+    Matches MMT packets whose flow id (untagged → flow 0) equals
+    ``flow_id`` and whose message type is DATA or RETX_DATA; each match
+    is lost with probability ``rate``. Non-matching packets — other
+    flows, control traffic, non-MMT — return False *without consuming a
+    random draw*, so attaching this model leaves every co-resident
+    flow's packet fate bit-identical to an undisturbed run. That
+    non-perturbation is exactly what the cross-flow isolation tests
+    pin down.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        flow_id: int,
+        experiment_id: int | None = None,
+    ) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {rate}")
+        self.rate = rate
+        self.flow_id = flow_id
+        self.experiment_id = experiment_id
+        #: Matching data packets dropped / seen.
+        self.dropped = 0
+        self.seen = 0
+
+    def should_drop(self, packet: Packet, rng: random.Random) -> bool:
+        mmt = packet.find(MmtHeader)
+        if mmt is None or mmt.msg_type not in (MsgType.DATA, MsgType.RETX_DATA):
+            return False
+        if (mmt.flow_id or 0) != self.flow_id:
+            return False
+        if (
+            self.experiment_id is not None
+            and mmt.experiment_id != self.experiment_id
+        ):
             return False
         self.seen += 1
         if rng.random() < self.rate:

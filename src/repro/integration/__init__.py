@@ -1,5 +1,11 @@
 """Integrated-research-infrastructure scenarios (Req 10)."""
 
+from .multiflow import (
+    MultiFlowConfig,
+    MultiFlowOrchestrator,
+    MultiFlowReport,
+    jain_fairness,
+)
 from .orchestrator import InstrumentRegistration, Orchestrator, TriggerRecord
 from .transport import MmtTriggerTransport, TRIGGER_EXPERIMENT, decode_trigger, encode_trigger
 from .supernova import (
@@ -16,6 +22,9 @@ __all__ = [
     "CANDIDATE_BYTES",
     "InstrumentRegistration",
     "MmtTriggerTransport",
+    "MultiFlowConfig",
+    "MultiFlowOrchestrator",
+    "MultiFlowReport",
     "TRIGGER_EXPERIMENT",
     "Orchestrator",
     "SupernovaConfig",
@@ -25,4 +34,5 @@ __all__ = [
     "compare",
     "decode_trigger",
     "encode_trigger",
+    "jain_fairness",
 ]

@@ -26,6 +26,7 @@ from .recorder import TraceEntry, TraceRecorder
 from .queues import (
     DeadlineAwareQueue,
     DropTailQueue,
+    DrrScheduler,
     PriorityQueue,
     QueueDiscipline,
     RedQueue,
@@ -38,6 +39,7 @@ from . import units
 __all__ = [
     "DeadlineAwareQueue",
     "DropTailQueue",
+    "DrrScheduler",
     "EthernetHeader",
     "EtherType",
     "Event",

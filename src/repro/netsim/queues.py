@@ -269,6 +269,80 @@ class DeadlineAwareQueue(QueueDiscipline):
         return len(self._heap) + len(self._best_effort)
 
 
+class DrrScheduler:
+    """Deficit round robin over per-flow FIFOs (Shreedhar–Varghese).
+
+    Unlike the :class:`QueueDiscipline` family this is a *scheduler*:
+    it holds arbitrary work items keyed by a hashable flow id and
+    answers "whose turn is it" in byte-fair order. Each flow earns
+    ``quantum_bytes`` of service credit when its turn starts and spends
+    it as items are dequeued; unspent credit carries to its next turn,
+    so flows with large items are not starved and flows with small
+    items cannot hog the rotation. A flow that drains loses its saved
+    credit (standard DRR — idle flows must not bank service).
+
+    Deterministic: rotation order is arrival order of flow activation,
+    no randomness anywhere.
+    """
+
+    def __init__(self, quantum_bytes: int) -> None:
+        if quantum_bytes <= 0:
+            raise ValueError(f"quantum must be positive, got {quantum_bytes}")
+        self.quantum_bytes = quantum_bytes
+        self._queues: dict[object, deque[tuple[object, int]]] = {}
+        self._deficit: dict[object, int] = {}
+        self._active: deque[object] = deque()
+        #: True while the front flow's current turn has been credited.
+        self._turn_open = False
+        self._pending = 0
+        #: Items served per flow (fairness telemetry).
+        self.services: dict[object, int] = {}
+        #: Bytes served per flow.
+        self.bytes_served: dict[object, int] = {}
+
+    def enqueue(self, flow: object, item: object, size_bytes: int) -> None:
+        if size_bytes <= 0:
+            raise ValueError(f"item size must be positive, got {size_bytes}")
+        queue = self._queues.get(flow)
+        if queue is None:
+            queue = self._queues[flow] = deque()
+            self._deficit[flow] = 0
+        if not queue:
+            self._active.append(flow)
+        queue.append((item, size_bytes))
+        self._pending += 1
+
+    def dequeue(self) -> tuple[object, object] | None:
+        """Next ``(flow, item)`` in DRR order, or None when empty."""
+        while self._active:
+            flow = self._active[0]
+            queue = self._queues[flow]
+            if not self._turn_open:
+                self._deficit[flow] += self.quantum_bytes
+                self._turn_open = True
+            item, size = queue[0]
+            if size <= self._deficit[flow]:
+                queue.popleft()
+                self._deficit[flow] -= size
+                self._pending -= 1
+                self.services[flow] = self.services.get(flow, 0) + 1
+                self.bytes_served[flow] = self.bytes_served.get(flow, 0) + size
+                if not queue:
+                    self._active.popleft()
+                    self._deficit[flow] = 0
+                    self._turn_open = False
+                return flow, item
+            # Credit exhausted for this turn: rotate to the next flow.
+            # (On a single active flow this re-credits the same flow, so
+            # any item is eventually served regardless of quantum.)
+            self._active.rotate(-1)
+            self._turn_open = False
+        return None
+
+    def __len__(self) -> int:
+        return self._pending
+
+
 def drain(queue: QueueDiscipline) -> Iterable[Packet]:
     """Yield every packet left in ``queue`` (test/inspection helper)."""
     while True:

@@ -21,9 +21,12 @@ from .benchfmt import BenchResult, load_bench_result
 from .collect import (
     scrape_buffer,
     scrape_element,
+    scrape_flow_counters,
+    scrape_flow_residency,
     scrape_link,
     scrape_port,
     scrape_receiver,
+    scrape_receiver_flows,
     scrape_sender,
     scrape_simulator,
     scrape_stack,
@@ -84,9 +87,12 @@ __all__ = [
     "read_snapshots",
     "scrape_buffer",
     "scrape_element",
+    "scrape_flow_counters",
+    "scrape_flow_residency",
     "scrape_link",
     "scrape_port",
     "scrape_receiver",
+    "scrape_receiver_flows",
     "scrape_sender",
     "scrape_simulator",
     "scrape_stack",

@@ -122,6 +122,45 @@ def scrape_buffer(buffer, registry: MetricsRegistry, host: str | None = None) ->
     registry.gauge("retx_buffer_bytes", **labels).set(buffer.bytes_used)
 
 
+def scrape_receiver_flows(receiver, registry: MetricsRegistry, host: str | None = None) -> None:
+    """Per-flow receiver counters (multi-flow runs).
+
+    One labelled series per ``(experiment, flow)`` the receiver has
+    state for; single-flow receivers expose only the aggregate series
+    from :func:`scrape_receiver`, so legacy dashboards are unchanged.
+    """
+    for (experiment_id, flow_id), counters in receiver.flow_summary().items():
+        labels = {"experiment": str(experiment_id), "flow": str(flow_id)}
+        if host:
+            labels["host"] = host
+        for name, value in counters.items():
+            if name == "outstanding":
+                registry.gauge("mmt_rx_flow_outstanding", **labels).set(value)
+            else:
+                registry.counter(f"mmt_rx_flow_{name}", **labels).set_total(value)
+
+
+def scrape_flow_counters(counters, registry: MetricsRegistry, element: str | None = None) -> None:
+    """In-path per-flow ingress counters (``(exp, flow) → (pkts, bytes)``),
+    e.g. :meth:`~repro.dataplane.tofino.TofinoSwitch.flow_counters`."""
+    for (experiment_id, flow_id), (packets, nbytes) in counters.items():
+        labels = {"experiment": str(experiment_id), "flow": str(flow_id)}
+        if element:
+            labels["element"] = element
+        registry.counter("element_flow_packets_total", **labels).set_total(packets)
+        registry.counter("element_flow_bytes_total", **labels).set_total(nbytes)
+
+
+def scrape_flow_residency(residency, registry: MetricsRegistry, host: str | None = None) -> None:
+    """Retransmission-buffer bytes held per ``(experiment, flow)``,
+    e.g. :meth:`~repro.dataplane.alveo.AlveoNic.hbm_flow_occupancy`."""
+    for (experiment_id, flow_id), nbytes in residency.items():
+        labels = {"experiment": str(experiment_id), "flow": str(flow_id)}
+        if host:
+            labels["host"] = host
+        registry.gauge("retx_buffer_flow_bytes", **labels).set(nbytes)
+
+
 def scrape_element(element, registry: MetricsRegistry) -> None:
     """A programmable element: stats, per-table hit counts, its buffer."""
     name = element.name

@@ -48,7 +48,9 @@ class IntPostcard:
     ``timestamp_ns`` is a 48-bit wire field (enough for ~78 hours of
     nanoseconds — INT timestamps are deltas between nearby hops, so
     wrap is harmless); ``queue_depth_pct`` is the worst egress queue
-    occupancy of the element, 0..100.
+    occupancy of the element, 0..100. ``flow_id`` occupies the trailing
+    u16 (formerly reserved flags), so multi-flow postcards cost no
+    extra wire bytes and flow 0 is bit-identical to the old encoding.
     """
 
     hop_id: int
@@ -56,7 +58,7 @@ class IntPostcard:
     queue_depth_pct: int = 0
     config_id: int = 0
     seq: int = 0
-    flags: int = 0
+    flow_id: int = 0
 
     def encode(self) -> bytes:
         ts = self.timestamp_ns & _TS_MASK
@@ -68,14 +70,14 @@ class IntPostcard:
             self.seq & 0xFFFFFFFF,
             self.queue_depth_pct & 0xFF,
             self.config_id & 0xFF,
-            self.flags & 0xFFFF,
+            self.flow_id & 0xFFFF,
         )
 
     @classmethod
     def decode(cls, data: bytes) -> "IntPostcard":
         if len(data) != POSTCARD_BYTES:
             raise TelemetryError(f"postcard must be {POSTCARD_BYTES} bytes, got {len(data)}")
-        hop_id, ts_hi, ts_lo, seq, queue, config_id, flags = struct.unpack(
+        hop_id, ts_hi, ts_lo, seq, queue, config_id, flow_id = struct.unpack(
             ">HHIIBBH", data
         )
         return cls(
@@ -84,7 +86,7 @@ class IntPostcard:
             queue_depth_pct=queue,
             config_id=config_id,
             seq=seq,
-            flags=flags,
+            flow_id=flow_id,
         )
 
 
@@ -213,6 +215,7 @@ class IntSink:
         )
         self.postcards_total = registry.counter("int_postcards_total")
         self._hop_counters: dict[int, object] = {}
+        self._flow_counters: dict[int, object] = {}
         self._hop_queue_hists: dict[int, object] = {}
         self._segment_hists: dict[tuple[int, int], object] = {}
         self._path_hist = registry.histogram(
@@ -237,6 +240,8 @@ class IntSink:
         for postcard in header.hops:
             self.postcards_total.inc()
             self._hop_counter(postcard.hop_id).inc()
+            if postcard.flow_id:
+                self._flow_counter(postcard.flow_id).inc()
             self._hop_queue_hist(postcard.hop_id).observe(postcard.queue_depth_pct)
             if previous is not None:
                 delta = postcard.timestamp_ns - previous.timestamp_ns
@@ -260,6 +265,15 @@ class IntSink:
                 "int_hop_postcards_total", hop=self.hop_name(hop_id)
             )
             self._hop_counters[hop_id] = counter
+        return counter
+
+    def _flow_counter(self, flow_id: int):
+        counter = self._flow_counters.get(flow_id)
+        if counter is None:
+            counter = self.registry.counter(
+                "int_flow_postcards_total", flow=str(flow_id)
+            )
+            self._flow_counters[flow_id] = counter
         return counter
 
     def _hop_queue_hist(self, hop_id: int):

@@ -53,6 +53,38 @@ def test_extension_order_and_sizes():
     assert len(header.encode()) == 56
 
 
+def test_flow_id_appended_after_all_other_extensions():
+    base = MmtHeader(features=Feature.SEQUENCED, seq=7, experiment_id=42)
+    flowed = MmtHeader(
+        features=Feature.SEQUENCED | Feature.FLOW_ID,
+        seq=7,
+        experiment_id=42,
+        flow_id=0x0102,
+    )
+    base_wire = base.encode()
+    flow_wire = flowed.encode()
+    # The flow id is the trailing 2 bytes; everything before it differs
+    # from the flow-less wire only in the feature word (byte 2).
+    assert len(flow_wire) == len(base_wire) + 2
+    assert flow_wire[-2:] == b"\x01\x02"
+    assert flow_wire[4:-2] == base_wire[4:]
+    assert MmtHeader.decode(flow_wire).flow_id == 0x0102
+    assert MmtHeader.decode(flow_wire).flow_key == (42, 0x0102)
+    assert base.flow_key == (42, 0)
+
+
+def test_flow_id_out_of_range_rejected():
+    header = MmtHeader(features=Feature.FLOW_ID, flow_id=1 << 16)
+    with pytest.raises(HeaderError):
+        header.validate()
+
+
+def test_flow_id_without_feature_rejected():
+    header = MmtHeader(flow_id=3)
+    with pytest.raises(HeaderError):
+        header.validate()
+
+
 def test_decode_rejects_trailing_bytes():
     data = MmtHeader().encode() + b"\x00"
     with pytest.raises(HeaderError):
@@ -172,6 +204,8 @@ def headers(draw):
     if features & Feature.DUPLICATION:
         header.dup_group = draw(st.integers(0, 2**16 - 1))
         header.dup_copies = draw(st.integers(0, 255))
+    if features & Feature.FLOW_ID:
+        header.flow_id = draw(st.integers(0, 2**16 - 1))
     return header
 
 

@@ -4,7 +4,7 @@ The codec in :mod:`repro.core.header` was rewritten from a
 loop-and-pack implementation to a table of precompiled
 :class:`struct.Struct` objects (one per extension-feature combination).
 This module retains the original loop-based encoder/decoder verbatim as
-the *reference implementation* and sweeps every one of the 128
+the *reference implementation* and sweeps every one of the 256
 extension-feature combinations (and non-size-bearing bits on top)
 through both, so any divergence in layout, sizing, or field order fails
 here before it can corrupt a wire trace.
@@ -61,6 +61,8 @@ def reference_encode(header: MmtHeader) -> bytes:
         out += struct.pack(">I", pack_ipv4(header.source_addr))
     if header.has(Feature.DUPLICATION):
         out += struct.pack(">HB", header.dup_group, header.dup_copies)
+    if header.has(Feature.FLOW_ID):
+        out += struct.pack(">H", header.flow_id)
     return bytes(out)
 
 
@@ -109,6 +111,8 @@ def reference_decode(data: bytes) -> tuple[MmtHeader, int]:
         header.source_addr = unpack_ipv4(struct.unpack(">I", take(4))[0])
     if header.has(Feature.DUPLICATION):
         header.dup_group, header.dup_copies = struct.unpack(">HB", take(3))
+    if header.has(Feature.FLOW_ID):
+        (header.flow_id,) = struct.unpack(">H", take(2))
     header.validate()
     return header, offset
 
@@ -123,6 +127,7 @@ EXT_FEATURES = (
     Feature.PACING,
     Feature.BACKPRESSURE,
     Feature.DUPLICATION,
+    Feature.FLOW_ID,
 )
 
 #: Bits that carry no extension bytes; mixed in to check sizing ignores them.
@@ -154,6 +159,8 @@ def make_header(features: Feature, salt: int = 0) -> MmtHeader:
     if features & Feature.DUPLICATION:
         header.dup_group = 0x0A0B
         header.dup_copies = 3
+    if features & Feature.FLOW_ID:
+        header.flow_id = 0x0C0D ^ (salt & 0xFF)
     return header
 
 
@@ -166,7 +173,7 @@ def all_combinations():
         yield features
 
 
-def test_sweep_all_128_combinations_match_reference():
+def test_sweep_all_256_combinations_match_reference():
     seen = 0
     for features in all_combinations():
         for extra_bits in SIZELESS_BITS:
@@ -181,7 +188,7 @@ def test_sweep_all_128_combinations_match_reference():
             assert decoded == ref_decoded
             assert decoded == header
         seen += 1
-    assert seen == 128
+    assert seen == 256
 
 
 def test_decode_prefix_consumed_matches_reference_for_all_combinations():
@@ -196,9 +203,9 @@ def test_decode_prefix_consumed_matches_reference_for_all_combinations():
 
 
 def test_codec_table_covers_every_extension_combination():
-    assert len(_CODECS) == 128
-    # SEQ(1)|RETX(2)|TIME(4)|AGE(8)|PACE(16)|BP(128)|DUP(256)
-    assert _EXT_MASK == 0x19F
+    assert len(_CODECS) == 256
+    # SEQ(1)|RETX(2)|TIME(4)|AGE(8)|PACE(16)|BP(128)|DUP(256)|FLOW(1024)
+    assert _EXT_MASK == 0x59F
     # The raw segment table must mirror the Feature enum and the
     # documented extension layout, in order.
     layout = MmtHeader._EXTENSION_LAYOUT

@@ -134,6 +134,21 @@ class TestTransition:
         assert not header.aged
         header.validate()
 
+    def test_flow_id_survives_every_transition(self):
+        header = self.mode0_header()
+        header.features |= Feature.FLOW_ID
+        header.flow_id = 9
+        ctx = TransitionContext(seq=1, buffer_addr="10.0.0.5", age_budget_ns=9)
+        transition(header, self.registry.by_name("age-recover"), ctx)
+        assert header.flow_id == 9
+        assert header.has(Feature.FLOW_ID)
+        # Downgrading to a mode with no features keeps flow identity too.
+        transition(header, self.registry.by_name("identify"), TransitionContext())
+        assert header.flow_id == 9
+        assert header.has(Feature.FLOW_ID)
+        assert header.seq is None
+        header.validate()
+
     def test_transition_result_always_valid(self):
         registry = extended_registry()
         header = self.mode0_header()

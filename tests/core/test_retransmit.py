@@ -194,6 +194,21 @@ class TestNakForwardGuard:
         assert guard.allow((2, ((0, 0),)))
         assert not guard.allow((1, ((0, 0),)))
 
+    def test_flow_scoped_keys_do_not_cross_suppress(self):
+        """Regression: forward keys are ``(experiment, flow, ranges)``.
+
+        Before the flow id entered the key, two flows of one experiment
+        NAKing the same seq ranges shared a single budget: one flow's
+        suppressed fallback loop muted the other's legitimate forward,
+        and a noisy flow could spend a quiet flow's entire allowance."""
+        guard = NakForwardGuard(limit=2)
+        ranges = ((10, 20),)
+        flow_a, flow_b = (7, 0, ranges), (7, 1, ranges)
+        assert [guard.allow(flow_a) for _ in range(3)] == [True, True, False]
+        # Flow B's identical seq ranges still get the full budget.
+        assert [guard.allow(flow_b) for _ in range(3)] == [True, True, False]
+        assert guard.suppressed == 2
+
     def test_churn_does_not_reopen_suppressed_keys(self):
         """Regression: the old implementation cleared the whole table at
         1024 entries, which reset every suppressed NAK loop at once.

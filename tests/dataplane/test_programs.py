@@ -4,10 +4,10 @@ import pytest
 
 from repro.core import (
     AGE_EPOCH_META,
+    BufferDirectory,
     Feature,
     MmtHeader,
     MsgType,
-    extended_registry,
     pilot_registry,
 )
 from repro.dataplane import (
@@ -208,6 +208,65 @@ class TestBufferPrograms:
         plain = mmt_packet()
         run_pipeline(element, plain)
         assert program.rewrites == 1
+
+    def reliable_header(self, experiment_id, flow_id=None):
+        header = MmtHeader(
+            features=Feature.SEQUENCED | Feature.RETRANSMISSION,
+            seq=0,
+            buffer_addr="10.0.0.1",
+            experiment_id=experiment_id,
+        )
+        if flow_id is not None:
+            header.features |= Feature.FLOW_ID
+            header.flow_id = flow_id
+        return header
+
+    def test_nearest_buffer_no_phantom_failovers_across_flows(self, element):
+        """Regression: the last-stamp cell is per ``(experiment, flow)``.
+
+        With a single shared cell, interleaving two experiments whose
+        directory answers legitimately differ made every packet read the
+        *other* experiment's last stamp and count a phantom failover."""
+        exp_a, exp_b = 42 << 8, 43 << 8
+        directory = BufferDirectory()
+        directory.register("10.0.1.1", path_position=1, experiments={exp_a})
+        directory.register("10.0.2.2", path_position=1, experiments={exp_b})
+        program = NearestBufferProgram(directory=directory, path_position=2)
+        program.install(element)
+        for _round in range(4):
+            for exp in (exp_a, exp_b):
+                run_pipeline(element, mmt_packet(header=self.reliable_header(exp)))
+        assert program.failovers == 0
+        assert program.rewrites > 0
+
+    def test_nearest_buffer_counts_one_failover_per_flow(self, element):
+        """When a buffer really dies, each flow stamped onto the
+        replacement counts exactly one observable failover — not one per
+        packet, and never for flows whose buffer stayed alive."""
+        exp_a, exp_b = 42 << 8, 43 << 8
+        directory = BufferDirectory()
+        directory.register("10.0.1.1", path_position=1, experiments={exp_a})
+        directory.register("10.0.2.2", path_position=1, experiments={exp_b})
+        directory.register("10.0.0.9", path_position=0)  # shared fallback
+        program = NearestBufferProgram(directory=directory, path_position=2)
+        program.install(element)
+
+        def send(exp, flow_id=None):
+            run_pipeline(
+                element, mmt_packet(header=self.reliable_header(exp, flow_id))
+            )
+
+        for flow_id in (0, 1):
+            send(exp_a, flow_id)
+            send(exp_b)
+        directory.mark_down("10.0.1.1")
+        for _round in range(3):
+            for flow_id in (0, 1):
+                send(exp_a, flow_id)
+                send(exp_b)
+        # Both of experiment A's flows failed over exactly once each;
+        # experiment B never did.
+        assert program.failovers == 2
 
 
 class TestDeadlineEnforce:

@@ -1,0 +1,1 @@
+"""Seeded-random property-based conformance suite (no external deps)."""

@@ -21,7 +21,7 @@ from repro.telemetry import (
 def test_postcard_codec_round_trip():
     postcard = IntPostcard(
         hop_id=7, timestamp_ns=123_456_789_012, queue_depth_pct=42,
-        config_id=3, seq=99, flags=0x0102,
+        config_id=3, seq=99, flow_id=0x0102,
     )
     wire = postcard.encode()
     assert len(wire) == POSTCARD_BYTES

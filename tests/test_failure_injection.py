@@ -11,7 +11,7 @@ harness uses, so the tests double as coverage for the injector.
 
 from repro.core import MmtStack, ReceiverConfig, make_experiment_id
 from repro.dataplane import PilotConfig, PilotTestbed
-from repro.faults import FaultInjector, FaultPlan
+from repro.faults import FaultInjector, FaultPlan, FlowFilteredLoss
 from repro.netsim import Simulator, units
 from tests.conftest import TwoHostRig
 
@@ -125,3 +125,122 @@ class TestPilotUnderStress:
         report = pilot.run()
         assert report.complete
         assert report.naks_sent > 0
+
+
+class TestCrossFlowIsolation:
+    """Faults aimed at one flow of a concurrent mix stay contained.
+
+    Three flows share the pilot path; a fault that targets (or merely
+    coincides with) flow 1 must never change what the bystander flows
+    *deliver* — same message counts, same bytes, same NAK/retransmission
+    counters as an undisturbed run. Timing may shift (recovery traffic
+    shares the links); content may not.
+    """
+
+    FLOWS = 3
+    PER_FLOW = 200
+    PAYLOAD = 4000
+    INTERVAL_NS = 60_000  # per-flow send period; ~12 ms stream
+
+    #: per_flow report keys that describe *content*, not timing.
+    CONTENT_KEYS = (
+        "sent",
+        "relayed",
+        "delivered",
+        "bytes_delivered",
+        "naks_sent",
+        "retransmissions",
+        "unrecovered",
+    )
+
+    def build(self, seed, **config_kwargs):
+        config = PilotConfig(
+            flows=self.FLOWS,
+            wan_delay_ns=2 * units.MILLISECOND,
+            **config_kwargs,
+        )
+        pilot = PilotTestbed(sim=Simulator(seed=seed), config=config)
+        for fid in range(self.FLOWS):
+            pilot.send_stream(
+                self.PER_FLOW,
+                payload_size=self.PAYLOAD,
+                interval_ns=self.INTERVAL_NS,
+                flow=fid,
+            )
+        return pilot
+
+    def test_flow_targeted_loss_never_perturbs_bystanders(self):
+        """Heavy loss filtered to flow 1's data: flow 1 recovers through
+        NAKs, flows 0 and 2 deliver content-identically to a clean run
+        — and never even engage their recovery machinery."""
+        clean = self.build(seed=91).run()
+
+        pilot = self.build(seed=91)
+        model = FlowFilteredLoss(rate=0.25, flow_id=1)
+        plan = (
+            FaultPlan()
+            .set_loss_model(pilot.wan_link, model, at_ns=units.milliseconds(2))
+            .clear_loss_model(pilot.wan_link, at_ns=units.milliseconds(8))
+        )
+        FaultInjector(pilot.sim, plan).arm()
+        report = pilot.run()
+
+        assert report.complete
+        assert model.dropped > 0
+        hit = report.per_flow[1]
+        assert hit["naks_sent"] > 0
+        assert hit["retransmissions"] > 0
+        assert hit["unrecovered"] == 0
+        assert hit["delivered"] == self.PER_FLOW
+        for bystander in (0, 2):
+            faulted_row = report.per_flow[bystander]
+            clean_row = clean.per_flow[bystander]
+            for key in self.CONTENT_KEYS:
+                assert faulted_row[key] == clean_row[key], (bystander, key)
+            # Not merely unchanged: the bystanders saw no loss at all.
+            assert faulted_row["naks_sent"] == 0
+            assert faulted_row["retransmissions"] == 0
+
+    def test_link_flap_under_three_flows_all_recover(self):
+        """A hard WAN outage hits every concurrent flow; each one
+        recovers its own stream completely and independently."""
+        pilot = self.build(seed=92)
+        plan = (
+            FaultPlan()
+            .link_down(pilot.wan_link, at_ns=units.milliseconds(5))
+            .link_up(pilot.wan_link, at_ns=units.milliseconds(9))
+        )
+        injector = FaultInjector(pilot.sim, plan)
+        injector.arm()
+        report = pilot.run()
+        assert report.complete
+        assert len(injector.fired) == 2
+        for fid in range(self.FLOWS):
+            row = report.per_flow[fid]
+            assert row["delivered"] == self.PER_FLOW, fid
+            assert row["unrecovered"] == 0, fid
+            # The outage window straddles all three flows' streams.
+            assert row["retransmissions"] > 0, fid
+
+    def test_buffer_failover_under_three_flows(self):
+        """The shared U280 buffer dies mid-run with three flows' worth
+        of retransmit state in it; directory failover re-stamps all
+        flows to the DTN 1 buffer and every flow still completes."""
+        pilot = self.build(
+            seed=93,
+            wan_loss_rate=0.02,
+            use_directory=True,
+            reliable_from_dtn1=True,
+            failover_buffer=True,
+        )
+        plan = FaultPlan().buffer_fail(
+            pilot.buffer, at_ns=units.milliseconds(6), directory=pilot.directory
+        )
+        FaultInjector(pilot.sim, plan).arm()
+        report = pilot.run()
+        assert report.complete
+        assert pilot.tofino_nearest.failovers > 0
+        for fid in range(self.FLOWS):
+            row = report.per_flow[fid]
+            assert row["delivered"] == self.PER_FLOW, fid
+            assert row["unrecovered"] == 0, fid
