@@ -34,6 +34,10 @@ def test_packet_path_throughput(once, bench_result):
     assert counts["size_bytes_total"] == 2 * HOPS * PACKETS * PACKET_BYTES
     assert counts["encoded_bytes"] == 33 * PACKETS
     assert counts["decodes"] == PACKETS
+    # Tracing-disabled guard: the default run *is* the product path with
+    # the tracer hooks compiled in but off — it must emit nothing and
+    # keep the exact pre-tracing budget above.
+    assert counts["trace_emits"] == 0
 
     wall = bench_result.metrics["test_packet_path_throughput"]["wall_time_s"]
     bench_result.params = {"packets": PACKETS, "hops": HOPS}
@@ -41,4 +45,35 @@ def test_packet_path_throughput(once, bench_result):
         "test_packet_path_throughput",
         packets_per_second=round(counts["packets"] / wall),
         **counts,
+    )
+
+
+def test_packet_path_tracing_enabled(once, bench_result):
+    """Tracing-enabled twin: same workload with a live flight recorder.
+
+    The non-trace operation budget must not move by a single operation
+    (tracing observes, never steers), and the emit count is exact:
+    one per hop per packet. The bounded ring keeps memory flat."""
+    from repro.netsim.engine import Simulator
+    from repro.trace import Tracer
+
+    tracer = Tracer(Simulator(seed=7), capacity=1024)
+    counts = once(packet_path_churn, packets=PACKETS, hops=HOPS, tracer=tracer)
+
+    assert counts["packets"] == PACKETS
+    assert counts["pushes"] == counts["pops"] == 3 * PACKETS
+    assert counts["size_checks"] == 2 * HOPS * PACKETS
+    assert counts["size_bytes_total"] == 2 * HOPS * PACKETS * PACKET_BYTES
+    assert counts["encoded_bytes"] == 33 * PACKETS
+    assert counts["decodes"] == PACKETS
+    assert counts["trace_emits"] == HOPS * PACKETS
+    assert tracer.events_emitted == HOPS * PACKETS
+    assert tracer.events_retained <= 1024
+
+    wall = bench_result.metrics["test_packet_path_tracing_enabled"]["wall_time_s"]
+    bench_result.record(
+        "test_packet_path_tracing_enabled",
+        packets_per_second=round(counts["packets"] / wall),
+        trace_emits=counts["trace_emits"],
+        events_retained=tracer.events_retained,
     )

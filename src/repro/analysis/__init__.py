@@ -9,6 +9,7 @@ from .metrics import (
     percentile,
 )
 from .tables import ResultTable, format_duration, format_rate
+from .tracestats import trace_metrics
 
 __all__ = [
     "AgeOfInformation",
@@ -20,4 +21,5 @@ __all__ = [
     "goodput_bps",
     "jains_fairness",
     "percentile",
+    "trace_metrics",
 ]

@@ -97,7 +97,9 @@ def engine_event_churn(
     }
 
 
-def packet_path_churn(packets: int = 20_000, hops: int = 4) -> dict[str, int]:
+def packet_path_churn(
+    packets: int = 20_000, hops: int = 4, tracer=None
+) -> dict[str, int]:
     """Drive the packet path with a pilot-shaped per-packet lifecycle.
 
     Each iteration builds a mode-1-style MMT packet, encapsulates it in
@@ -105,6 +107,12 @@ def packet_path_churn(packets: int = 20_000, hops: int = 4) -> dict[str, int]:
     fields (seq/age — value rewrites that must *not* invalidate the
     memoized size), re-reads ``size_bytes``, and finally encodes the
     MMT header (validate-once path), decodes it back, and decapsulates.
+
+    ``tracer`` exercises the causal-tracing hook pattern on the hot
+    path: the per-hop hook is the exact ``is not None`` guard every
+    instrumented component uses, so the default ``tracer=None`` run *is*
+    the tracing-disabled product path — its operation budget must stay
+    identical to the pre-tracing baseline (``trace_emits == 0``).
 
     Returns exact operation counts (a pure function of the arguments).
     """
@@ -116,6 +124,7 @@ def packet_path_churn(packets: int = 20_000, hops: int = 4) -> dict[str, int]:
     size_bytes_total = 0
     encoded_bytes = 0
     decodes = 0
+    trace_emits = 0
     for i in range(packets):
         mmt = MmtHeader(
             config_id=1,
@@ -137,6 +146,12 @@ def packet_path_churn(packets: int = 20_000, hops: int = 4) -> dict[str, int]:
             mmt.age_ns = hop * 1000  # value rewrite: size memo must hold
             size_bytes_total += packet.size_bytes
             size_checks += 2
+            if tracer is not None:
+                tracer.emit(
+                    "element.egress", f"hop{hop}",
+                    mmt.experiment_id, 0, mmt.seq, config=mmt.config_id,
+                )
+                trace_emits += 1
         wire = mmt.encode()  # validates once, then packs in one call
         encoded_bytes += len(wire)
         decoded = MmtHeader.decode(wire)
@@ -155,4 +170,5 @@ def packet_path_churn(packets: int = 20_000, hops: int = 4) -> dict[str, int]:
         "size_bytes_total": size_bytes_total,
         "encoded_bytes": encoded_bytes,
         "decodes": decodes,
+        "trace_emits": trace_emits,
     }

@@ -1,0 +1,85 @@
+"""Deriving aggregate metrics from causal trace spans.
+
+A trace is the disaggregated form of the telemetry the INT postcards
+carry: every ``element.egress`` span stamps the same clock a postcard
+would, so per-hop latency and queue-depth histograms rebuilt from spans
+must agree with the INT-derived ones — a property the test suite pins
+(two independent observers, one truth; see ``repro.trace.verify`` for
+the per-packet form of the same check).
+
+:func:`trace_metrics` folds a span list into a
+:class:`~repro.telemetry.registry.MetricsRegistry`:
+
+- ``trace_segment_latency_ns{segment="a->b"}`` — time between
+  consecutive hops of each packet's path (``packet.send`` →
+  ``element.egress``... → ``packet.deliver``), the trace twin of
+  ``int_segment_latency_ns``;
+- ``trace_queue_depth_pct{hop}`` — egress-time queue occupancy per
+  element, the trace twin of ``int_queue_depth_pct``;
+- ``trace_events_total{kind}`` — span population by kind.
+"""
+
+from __future__ import annotations
+
+from ..telemetry.registry import (
+    DEFAULT_LATENCY_BUCKETS_NS,
+    DEFAULT_PCT_BUCKETS,
+    MetricsRegistry,
+)
+
+__all__ = ["trace_metrics"]
+
+#: Span kinds that form a packet's hop chain, in causal order.
+_CHAIN_KINDS = frozenset({"packet.send", "element.egress", "packet.deliver"})
+
+#: Message types whose egress spans carry comparable queue telemetry
+#: (mirrors which packets the INT source marks).
+_DATA_MSGS = frozenset({"DATA", "RETX_DATA"})
+
+
+def trace_metrics(events, registry: MetricsRegistry | None = None) -> MetricsRegistry:
+    """Fold trace spans into per-hop latency/queue histograms.
+
+    ``events`` is any iterable of :class:`~repro.trace.TraceEvent`
+    (live tracer output or a loaded trace file). Returns the registry
+    (a fresh one unless given).
+    """
+    registry = registry if registry is not None else MetricsRegistry()
+
+    kind_counters: dict[str, object] = {}
+    chains: dict[tuple[int, int, int], list] = {}
+    for event in events:
+        counter = kind_counters.get(event.kind)
+        if counter is None:
+            counter = registry.counter("trace_events_total", kind=event.kind)
+            kind_counters[event.kind] = counter
+        counter.inc()
+        if event.kind not in _CHAIN_KINDS:
+            continue
+        identity = event.identity
+        if identity is None:
+            continue
+        chains.setdefault(identity, []).append(event)
+        if event.kind == "element.egress" and (event.attrs or {}).get("msg") in _DATA_MSGS:
+            registry.histogram(
+                "trace_queue_depth_pct",
+                buckets=DEFAULT_PCT_BUCKETS,
+                hop=event.element,
+            ).observe(event.attrs["queue_pct"])
+
+    segment_hists: dict[str, object] = {}
+    for identity in sorted(chains):
+        chain = sorted(chains[identity], key=lambda e: (e.ts_ns, e.id))
+        for previous, current in zip(chain, chain[1:]):
+            delta = current.ts_ns - previous.ts_ns
+            segment = f"{previous.element}->{current.element}"
+            hist = segment_hists.get(segment)
+            if hist is None:
+                hist = registry.histogram(
+                    "trace_segment_latency_ns",
+                    buckets=DEFAULT_LATENCY_BUCKETS_NS,
+                    segment=segment,
+                )
+                segment_hists[segment] = hist
+            hist.observe(delta)
+    return registry

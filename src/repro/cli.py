@@ -11,6 +11,9 @@ Installed as the ``repro`` console script::
     repro telemetry out.jsonl             # render a snapshot as tables
     repro bench                           # perf microbenchmarks (events/s, packets/s)
     repro chaos --scenario link-flap      # pilot under fault injection
+    repro pilot --trace trace.jsonl       # ... with the causal flight recorder on
+    repro trace --timeline 10752:0:7      # one packet's root-cause timeline
+    repro trace --chrome trace.json       # Perfetto-loadable export
 
 Every subcommand prints the same tables the benchmark suite produces,
 so quick shell exploration and recorded experiments stay consistent.
@@ -58,6 +61,7 @@ def _cmd_pilot(args: argparse.Namespace) -> int:
         deadline_offset_ns=round(args.deadline_ms * MILLISECOND),
         telemetry=args.telemetry is not None,
         flows=args.flows,
+        trace=args.trace is not None,
     )
     pilot = PilotTestbed(sim=Simulator(seed=args.seed), config=config)
     interval_ns = round(args.interval_us * 1000)
@@ -133,6 +137,19 @@ def _cmd_pilot(args: argparse.Namespace) -> int:
             print(f"error: cannot write snapshot: {exc}", file=sys.stderr)
             return 1
         print(f"\ntelemetry: {written - 1} metrics -> {args.telemetry}")
+    if args.trace is not None:
+        from .trace import write_trace
+
+        try:
+            records = write_trace(
+                pilot.tracer,
+                args.trace,
+                meta={"scenario": "pilot", "seed": args.seed, "flows": args.flows},
+            )
+        except OSError as exc:
+            print(f"error: cannot write trace: {exc}", file=sys.stderr)
+            return 1
+        print(f"trace: {records - 1} events -> {args.trace}")
     return 0 if report.complete else 1
 
 
@@ -351,6 +368,147 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Causal tracing: run a traced pilot (or load a trace file) and
+    dump, filter, export, or root-cause it.
+
+    With ``--input`` the events come from a previously written trace
+    file; otherwise an embedded pilot run produces them (and
+    ``--verify-int`` can cross-check them against INT postcards, which
+    needs the live run). Exit code 1 when ``--verify-int`` finds any
+    divergence.
+    """
+    from .trace import (
+        TraceError,
+        attach_recording_sink,
+        format_timeline,
+        load_trace,
+        select_timeline,
+        summarize_anomalies,
+        trace_digest,
+        verify_int_consistency,
+        write_chrome_trace,
+        write_trace,
+    )
+
+    sink = None
+    if args.input is not None:
+        if args.verify_int:
+            print(
+                "error: --verify-int needs a live run (INT postcards are not"
+                " in the trace file); drop --input",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            meta, events = load_trace(args.input)
+        except (OSError, TraceError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        origin = args.input
+    else:
+        config = PilotConfig(
+            wan_delay_ns=round(args.wan_ms * MILLISECOND),
+            wan_loss_rate=args.loss,
+            telemetry=args.verify_int,
+            flows=args.flows,
+            trace=True,
+            trace_capacity=args.capacity,
+        )
+        pilot = PilotTestbed(sim=Simulator(seed=args.seed), config=config)
+        if args.verify_int:
+            sink = attach_recording_sink(pilot)
+        interval_ns = round(args.interval_us * 1000)
+        base, extra = divmod(args.messages, args.flows)
+        for fid in range(args.flows):
+            count = base + (1 if fid < extra else 0)
+            pilot.send_stream(count, payload_size=args.size,
+                              interval_ns=interval_ns, flow=fid)
+        report = pilot.run()
+        tracer = pilot.tracer
+        events = tracer.events()
+        print(
+            f"pilot: {report.delivered}/{report.messages_sent} delivered, "
+            f"{tracer.events_emitted} spans emitted, "
+            f"{tracer.events_retained} retained "
+            f"({tracer.events_pinned} pinned, {tracer.events_evicted} evicted)"
+        )
+        if args.out is not None:
+            try:
+                records = write_trace(
+                    tracer, args.out,
+                    meta={"scenario": "pilot", "seed": args.seed, "flows": args.flows},
+                )
+            except OSError as exc:
+                print(f"error: cannot write trace: {exc}", file=sys.stderr)
+                return 1
+            print(f"trace: {records - 1} events -> {args.out}")
+        origin = "embedded pilot run"
+
+    if args.flow is not None:
+        events = [e for e in events if (e.flow_id or 0) == args.flow]
+    if args.seq is not None:
+        events = [e for e in events if e.seq == args.seq]
+
+    if args.chrome is not None:
+        try:
+            written = write_chrome_trace(events, args.chrome)
+        except OSError as exc:
+            print(f"error: cannot write chrome trace: {exc}", file=sys.stderr)
+            return 1
+        print(f"chrome trace: {written} records -> {args.chrome} "
+              "(load in Perfetto / chrome://tracing)")
+
+    if args.timeline is not None:
+        try:
+            exp, flow, seq = (int(part, 0) for part in args.timeline.split(":"))
+        except ValueError:
+            print(
+                f"error: --timeline wants EXPERIMENT:FLOW:SEQ, got {args.timeline!r}",
+                file=sys.stderr,
+            )
+            return 2
+        print(format_timeline(select_timeline(events, exp, flow, seq), exp, flow, seq))
+    elif args.anomalies:
+        anomalies = summarize_anomalies(events)
+        if not anomalies:
+            print("no anomalous packets")
+        else:
+            table = ResultTable(
+                f"Anomalous packets ({origin})",
+                ["Experiment", "Flow", "Seq", "Anomalies"],
+            )
+            for (exp, flow, seq), kinds in anomalies:
+                table.add_row(exp, flow, seq, " -> ".join(kinds))
+            table.show()
+    elif args.dump:
+        for event in events[: args.limit]:
+            ident = event.identity
+            tag = f"{ident[0]}/{ident[1]}/{ident[2]}" if ident else "-"
+            attrs = " ".join(
+                f"{k}={v}" for k, v in sorted((event.attrs or {}).items())
+            )
+            print(f"{event.ts_ns:>12} ns  {event.element:<18} "
+                  f"{event.kind:<16} {tag:<18} {attrs}")
+        if len(events) > args.limit:
+            print(f"... {len(events) - args.limit} more (raise --limit)")
+
+    print(f"digest: sha256:{trace_digest(events)} over {len(events)} events")
+
+    if args.verify_int:
+        assert sink is not None
+        result = verify_int_consistency(events, sink)
+        print(
+            f"INT consistency: {result.postcards_checked} postcards over "
+            f"{result.packets_checked} packets, {len(result.mismatches)} mismatches"
+        )
+        for mismatch in result.mismatches[:20]:
+            print(f"  MISMATCH: {mismatch}")
+        if not result.ok:
+            return 1
+    return 0
+
+
 def _cmd_header(_args: argparse.Namespace) -> int:
     registry = extended_registry()
     table = ResultTable(
@@ -403,6 +561,51 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="enable telemetry and write a JSONL snapshot to FILE",
     )
+    pilot.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="enable causal tracing and write a JSONL trace to FILE",
+    )
+
+    trace = sub.add_parser(
+        "trace", help="causal tracing: run, dump, export, root-cause"
+    )
+    trace.add_argument(
+        "--input", metavar="FILE", default=None,
+        help="load an existing trace file instead of running the pilot",
+    )
+    trace.add_argument("--out", metavar="FILE", default=None,
+                       help="write the run's JSONL trace to FILE")
+    trace.add_argument("--chrome", metavar="FILE", default=None,
+                       help="write a Chrome/Perfetto trace-event file")
+    trace.add_argument(
+        "--timeline", metavar="EXP:FLOW:SEQ", default=None,
+        help="print the causal timeline of one packet identity",
+    )
+    trace.add_argument("--anomalies", action="store_true",
+                       help="list anomalous packets and what happened to them")
+    trace.add_argument("--dump", action="store_true",
+                       help="print retained events (see --limit)")
+    trace.add_argument("--limit", type=int, default=40,
+                       help="max events printed by --dump (default 40)")
+    trace.add_argument("--flow", type=int, default=None,
+                       help="filter events to one flow id")
+    trace.add_argument("--seq", type=int, default=None,
+                       help="filter events to one sequence number")
+    trace.add_argument(
+        "--verify-int", action="store_true",
+        help="cross-check trace spans against INT postcards (tolerance 0)",
+    )
+    trace.add_argument("--capacity", type=int, default=None,
+                       help="flight-recorder ring capacity (default: unbounded)")
+    trace.add_argument("--messages", type=int, default=200)
+    trace.add_argument("--size", type=int, default=8000)
+    trace.add_argument("--interval-us", type=float, default=2.0)
+    trace.add_argument("--wan-ms", type=float, default=10.0)
+    trace.add_argument("--loss", type=float, default=0.0)
+    trace.add_argument("--seed", type=int, default=42)
+    trace.add_argument("--flows", type=int, default=1)
 
     comparison = sub.add_parser("compare", help="Fig. 2 vs Fig. 3 head-to-head")
     comparison.add_argument("--messages", type=int, default=1000)
@@ -458,6 +661,7 @@ _COMMANDS = {
     "telemetry": _cmd_telemetry,
     "bench": _cmd_bench,
     "chaos": _cmd_chaos,
+    "trace": _cmd_trace,
 }
 
 

@@ -82,6 +82,9 @@ class MmtStack:
         #: Identical unmet-NAK forwards are capped so a mis-wired
         #: fallback cycle dies out instead of circulating forever.
         self._nak_forward_guard = NakForwardGuard()
+        #: Causal tracer (repro.trace.Tracer) or None; senders and
+        #: receivers of this stack reach it via ``self.stack.tracer``.
+        self.tracer = None
         host.register_l3_protocol(IpProto.MMT, self._receive)
         host.register_l2_protocol(EtherType.MMT, self._receive)
 
@@ -181,6 +184,14 @@ class MmtStack:
             )
             if not self._nak_forward_guard.allow(key):
                 return
+            if self.tracer is not None:
+                for unmet_range in unmet:
+                    for seq in unmet_range:
+                        self.tracer.emit(
+                            "nak.forward", self.host.name,
+                            header.experiment_id, flow_id, seq,
+                            target=self.nak_fallback_addr,
+                        )
             fallback = NakPayload(ranges=list(unmet))
             fwd_header = MmtHeader(
                 config_id=header.config_id,
@@ -201,6 +212,12 @@ class MmtStack:
             return
         mmt = mmt.copy()
         mmt.msg_type = MsgType.RETX_DATA
+        if self.tracer is not None:
+            self.tracer.emit(
+                "retx.send", self.host.name,
+                mmt.experiment_id, mmt.flow_id or 0, mmt.seq,
+                target=requester,
+            )
         # Keep the cached packet's meta (original sent_at, age epoch) so
         # latency/age accounting spans the message's whole lifetime.
         meta = dict(cached.meta)
@@ -522,6 +539,15 @@ class MmtSender:
         meta.setdefault("sent_at", self.sim.now)
         if self.mode.has(Feature.AGE_TRACKING):
             meta["mmt_age_epoch"] = self.sim.now
+        tracer = self.stack.tracer
+        if tracer is not None:
+            # Identity-less for unsequenced (identify-mode) streams: the
+            # seq is only assigned once an in-network transition fires.
+            tracer.emit(
+                "packet.send", self.stack.host.name,
+                self.experiment_id, self.flow_id or 0, header.seq,
+                msg=header.msg_type.name, config=header.config_id,
+            )
         sent = self._send_packet(header, payload_size, payload, meta)
         if not sent:
             self.stats.send_failures += 1
@@ -625,6 +651,12 @@ class MmtSender:
         self.mode = self._degraded_mode
         self._degraded = True
         self._rechecks_done = 0
+        if self.stack.tracer is not None:
+            self.stack.tracer.emit(
+                "mode.degrade", self.stack.host.name,
+                self.experiment_id, self.flow_id or 0,
+                to_config=self.mode.config_id,
+            )
         if not self.mode.has(Feature.SEQUENCED):
             self._heartbeat_timer.stop()
         self._announce_mode()
@@ -636,6 +668,12 @@ class MmtSender:
         self._degraded = False
         self._rechecks_done = 0
         self.stats.mode_upgrades += 1
+        if self.stack.tracer is not None:
+            self.stack.tracer.emit(
+                "mode.upgrade", self.stack.host.name,
+                self.experiment_id, self.flow_id or 0,
+                to_config=self.mode.config_id,
+            )
         self._announce_mode()
 
     def _recheck_buffer(self) -> None:
@@ -795,13 +833,25 @@ class MmtReceiver:
         if header.msg_type == MsgType.HEARTBEAT:
             self._handle_heartbeat(packet, header)
             return
+        tracer = self.stack.tracer
         if header.msg_type == MsgType.RETX_DATA:
             self.stats.retransmissions_received += 1
             self._flow(*header.flow_key).retransmissions += 1
+            if tracer is not None:
+                tracer.emit(
+                    "retx.recv", self.stack.host.name,
+                    header.experiment_id, header.flow_id or 0, header.seq,
+                )
             if header.has(Feature.SEQUENCED):
                 self._sample_rtt(header)
         if header.has(Feature.SEQUENCED):
             if not self._track_sequenced(header):
+                if tracer is not None:
+                    tracer.emit(
+                        "packet.dup", self.stack.host.name,
+                        header.experiment_id, header.flow_id or 0, header.seq,
+                        msg=header.msg_type.name,
+                    )
                 return  # duplicate
         self._deliver(packet, header)
 
@@ -814,8 +864,21 @@ class MmtReceiver:
         sent_at = packet.meta.get("sent_at")
         latency = self.sim.now - sent_at if sent_at is not None else 0
         self.delivery_log.append((self.sim.now, latency))
+        tracer = self.stack.tracer
+        if tracer is not None:
+            tracer.emit(
+                "packet.deliver", self.stack.host.name,
+                header.experiment_id, header.flow_id or 0, header.seq,
+                msg=header.msg_type.name, latency_ns=latency,
+            )
         if header.has(Feature.AGE_TRACKING) and header.aged:
             self.stats.aged_packets += 1
+            if tracer is not None:
+                tracer.emit(
+                    "packet.aged", self.stack.host.name,
+                    header.experiment_id, header.flow_id or 0, header.seq,
+                    age_ns=header.age_ns,
+                )
         if header.has(Feature.TIMELINESS):
             self._check_deadline(header)
         if self.config.grant_credits and header.has(Feature.FLOW_CONTROL):
@@ -854,6 +917,12 @@ class MmtReceiver:
             self.stats.deadline_ok += 1
             return
         self.stats.deadline_misses += 1
+        if self.stack.tracer is not None:
+            self.stack.tracer.emit(
+                "deadline.miss", self.stack.host.name,
+                header.experiment_id, header.flow_id or 0, header.seq,
+                deadline_ns=header.deadline_ns, observed_ns=self.sim.now,
+            )
         report = DeadlineMissPayload(
             seq=header.seq or 0,
             deadline_ns=header.deadline_ns,
@@ -984,11 +1053,19 @@ class MmtReceiver:
         state = self._flow(experiment_id, flow_id)
         if not state.missing:
             return
+        tracer = self.stack.tracer
         if state.buffer_addr is None or state.buffer_addr == "0.0.0.0":
             # Nowhere to NAK: count the loss as unrecoverable.
             self.stats.unrecovered += len(state.missing)
             state.unrecovered += len(state.missing)
             state.given_up.update(state.missing)
+            if tracer is not None:
+                for seq in sorted(state.missing):
+                    tracer.emit(
+                        "nak.giveup", self.stack.host.name,
+                        experiment_id, flow_id, wrap(seq),
+                        reason="no_buffer",
+                    )
             state.missing.clear()
             return
         now = self.sim.now
@@ -1003,6 +1080,12 @@ class MmtReceiver:
                 state.unrecovered += 1
                 del state.missing[seq]
                 state.last_nak_at.pop(seq, None)
+                if tracer is not None:
+                    tracer.emit(
+                        "nak.giveup", self.stack.host.name,
+                        experiment_id, flow_id, wrap(seq),
+                        reason="max_naks", target=state.buffer_addr,
+                    )
                 continue
             if count == 0:
                 due_at = now  # freshly detected gap: NAK immediately
@@ -1014,6 +1097,12 @@ class MmtReceiver:
                 state.missing[seq] = count + 1
                 state.last_nak_at[seq] = now
                 state.nak_sent_at.setdefault(seq, now)
+                if tracer is not None:
+                    tracer.emit(
+                        "nak.send", self.stack.host.name,
+                        experiment_id, flow_id, wrap(seq),
+                        target=state.buffer_addr, attempt=count + 1,
+                    )
                 backoff = self.config.nak_backoff ** count  # next retry
                 due_at = now + int(retry * backoff)
             next_due = due_at if next_due is None else min(next_due, due_at)

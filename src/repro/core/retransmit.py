@@ -64,7 +64,14 @@ class RetransmitBuffer:
         #: element crash), cleared by :meth:`restore`.
         self.failed = False
         self.stats = RetransmitStats()
+        #: Causal tracer (repro.trace.Tracer) or None; records cache
+        #: outcomes under the element label ``buffer:<address>``.
+        self.tracer = None
         self._store: OrderedDict[tuple[int, int], Packet] = OrderedDict()
+
+    @property
+    def _trace_label(self) -> str:
+        return f"buffer:{self.address}"
 
     def fail(self) -> None:
         """Kill the buffer: drop all cached state and refuse new stores.
@@ -77,11 +84,15 @@ class RetransmitBuffer:
             return
         self.failed = True
         self.stats.failures += 1
+        if self.tracer is not None:
+            self.tracer.emit("buffer.fail", self._trace_label, entries=len(self._store))
         self.clear()
 
     def restore(self) -> None:
         """Bring a failed buffer back, empty (restarts never recover state)."""
         self.failed = False
+        if self.tracer is not None:
+            self.tracer.emit("buffer.restore", self._trace_label)
 
     def clear(self) -> None:
         """Drop all cached packets (restart wipe); counters survive."""
@@ -94,6 +105,11 @@ class RetransmitBuffer:
         """Cache a copy of ``packet``; replaces nothing on duplicate."""
         if self.failed:
             self.stats.rejected_failed += 1
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "buffer.reject", self._trace_label,
+                    experiment_id, flow_id, seq, reason="failed",
+                )
             return
         key = (experiment_id, flow_id, seq)
         if key in self._store:
@@ -103,10 +119,20 @@ class RetransmitBuffer:
         self._store[key] = copy
         self.bytes_used += copy.size_bytes
         self.stats.stored += 1
+        if self.tracer is not None:
+            self.tracer.emit(
+                "buffer.store", self._trace_label,
+                experiment_id, flow_id, seq, bytes=copy.size_bytes,
+            )
         while self.bytes_used > self.capacity_bytes and self._store:
-            _evicted_key, evicted = self._store.popitem(last=False)
+            evicted_key, evicted = self._store.popitem(last=False)
             self.bytes_used -= evicted.size_bytes
             self.stats.evicted += 1
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "buffer.evict", self._trace_label,
+                    evicted_key[0], evicted_key[1], evicted_key[2],
+                )
 
     def fetch(
         self, experiment_id: int, seq: int, flow_id: int = 0
@@ -115,8 +141,16 @@ class RetransmitBuffer:
         packet = self._store.get((experiment_id, flow_id, seq))
         if packet is None:
             self.stats.misses += 1
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "buffer.miss", self._trace_label, experiment_id, flow_id, seq
+                )
             return None
         self.stats.hits += 1
+        if self.tracer is not None:
+            self.tracer.emit(
+                "buffer.hit", self._trace_label, experiment_id, flow_id, seq
+            )
         return packet.copy()
 
     def serve_nak(

@@ -95,6 +95,9 @@ class ProgrammableElement(Node):
         #: Identical unmet-NAK forwards are capped (anti-loop guard,
         #: mirroring MmtStack's behaviour).
         self._nak_forward_guard = NakForwardGuard()
+        #: Causal tracer (repro.trace.Tracer) or None; records per-packet
+        #: ingress/egress/drop plus the NAK-serving chain.
+        self.tracer = None
         #: True while crashed: every arriving packet is dropped (and
         #: counted) until :meth:`restart` brings the element back.
         self.failed = False
@@ -154,6 +157,10 @@ class ProgrammableElement(Node):
     def receive(self, packet: Packet, port: Port) -> None:
         if self.failed:
             self.stats.dropped_failed += 1
+            if self.tracer is not None:
+                self.tracer.packet_event(
+                    "element.drop", self.name, packet, reason="failed"
+                )
             return
         eth = packet.find(EthernetHeader)
         if eth is not None:
@@ -182,16 +189,41 @@ class ProgrammableElement(Node):
             ingress_port=ingress.name if ingress is not None else "",
             now_ns=self.sim.now,
         )
-        meta.scratch["queue_occupancy_pct"] = self._max_queue_occupancy_pct()
+        queue_pct = self._max_queue_occupancy_pct()
+        meta.scratch["queue_occupancy_pct"] = queue_pct
+        tracer = self.tracer
+        if tracer is not None:
+            # Pre-pipeline view: at a sequencing element (U280) the seq
+            # is still unassigned here, so ingress may be identity-less.
+            tracer.emit(
+                "element.ingress", self.name,
+                mmt.experiment_id, mmt.flow_id or 0, mmt.seq,
+                msg=mmt.msg_type.name, config=mmt.config_id, queue_pct=queue_pct,
+            )
         self.pipeline.process(packet, meta)
         if meta.drop:
             self.stats.pipeline_drops += 1
+            if tracer is not None:
+                tracer.emit(
+                    "element.drop", self.name,
+                    mmt.experiment_id, mmt.flow_id or 0, mmt.seq,
+                    msg=mmt.msg_type.name, reason="pipeline",
+                )
             return
         if meta.mirror_to_buffer and self.buffer is not None and mmt.seq is not None:
             self.buffer.store(mmt.experiment_id, mmt.seq, packet, mmt.flow_id or 0)
             self.stats.mirrored_to_buffer += 1
         if self.int_hop_id is not None:
             self._int_push(packet, mmt)
+        if tracer is not None:
+            # Post-pipeline view: seq/config are final here, and the
+            # timestamp equals any INT postcard this hop just pushed —
+            # the exact record the --verify-int cross-check anchors on.
+            tracer.emit(
+                "element.egress", self.name,
+                mmt.experiment_id, mmt.flow_id or 0, mmt.seq,
+                msg=mmt.msg_type.name, config=mmt.config_id, queue_pct=queue_pct,
+            )
         for dst_ip, header, payload in meta.generated:
             self.stats.control_generated += 1
             self._send_mmt(dst_ip, header, payload_size=len(payload), payload=payload)
@@ -261,6 +293,10 @@ class ProgrammableElement(Node):
         recovered, unmet = self.buffer.serve_nak(mmt.experiment_id, nak, flow_id)
         self.stats.naks_served += 1
         for cached in recovered:
+            if self.tracer is not None:
+                self.tracer.packet_event(
+                    "retx.send", self.name, cached, target=ip.src
+                )
             self._resend(cached, requester=ip.src)
         if unmet and self.nak_fallback_addr:
             key = (
@@ -271,6 +307,14 @@ class ProgrammableElement(Node):
             if not self._nak_forward_guard.allow(key):
                 self.stats.nak_forwards_suppressed += 1
                 return
+            if self.tracer is not None:
+                for unmet_range in unmet:
+                    for seq in unmet_range:
+                        self.tracer.emit(
+                            "nak.forward", self.name,
+                            mmt.experiment_id, flow_id, seq,
+                            target=self.nak_fallback_addr,
+                        )
             forward = NakPayload(ranges=list(unmet))
             header = MmtHeader(
                 config_id=mmt.config_id,

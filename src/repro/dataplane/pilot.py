@@ -114,6 +114,13 @@ class PilotConfig:
     failover_buffer: bool = False
     #: Capacity of DTN 1's host-side failover buffer.
     dtn1_buffer_bytes: int = 256 * 1024 * 1024
+    #: Enable the causal tracer: a :class:`~repro.trace.Tracer` is
+    #: installed on the engine, every port/link, the programmable
+    #: elements, the endpoint stacks, and the retransmission buffers.
+    #: Pilot *results* are unaffected — tracing observes, never steers.
+    trace: bool = False
+    #: Flight-recorder ring capacity (None = retain every span).
+    trace_capacity: int | None = None
     #: Number of concurrent flows sharing the pilot path. With 1 (the
     #: default) the build is exactly the historical single-flow pilot:
     #: no FLOW_ID extension on the wire, one sender per hop, FIFO relay
@@ -360,6 +367,34 @@ class PilotTestbed:
             self.int_domain.enroll(self.tofino)
             self.int_domain.enroll(self.u55c)
             self.dtn2_stack.int_sink = self.int_domain.make_sink(self.metrics)
+
+        # --- tracing --------------------------------------------------------
+        self.tracer = None
+        if cfg.trace:
+            from ..trace import Tracer
+
+            self.attach_tracer(Tracer(self.sim, capacity=cfg.trace_capacity))
+
+    def attach_tracer(self, tracer) -> None:
+        """Install a :class:`~repro.trace.Tracer` on every hook point.
+
+        Idempotent in effect (re-attaching replaces the previous tracer
+        everywhere), so tests can swap tracers between runs.
+        """
+        self.tracer = tracer
+        self.sim.tracer = tracer
+        for node in self.topology.nodes.values():
+            for port in node.ports.values():
+                port.tracer = tracer
+        for link in self.topology.links:
+            link.tracer = tracer
+        for element in (self.u280, self.tofino, self.u55c):
+            element.tracer = tracer
+        for stack in (self.sensor_stack, self.dtn1_stack, self.dtn2_stack):
+            stack.tracer = tracer
+        self.buffer.tracer = tracer
+        if self.dtn1_buffer is not None:
+            self.dtn1_buffer.tracer = tracer
 
     # -- dataflow callbacks ------------------------------------------------------
 

@@ -120,10 +120,12 @@ class ModeTransitionProgram(Program):
         self._degraded_flows: set[tuple[int, int]] = set()
         self._announced: set[tuple[int, int]] = set()
         self._element_ip = "0.0.0.0"
+        self._element: ProgrammableElement | None = None
 
     def install(self, element: ProgrammableElement) -> None:
         pipeline = element.pipeline
         self._element_ip = element.ip or "0.0.0.0"
+        self._element = element
         seq_register = pipeline.add_register(
             "mode_transition_seq", self.SEQ_REGISTER_SIZE, width_bits=32
         )
@@ -168,6 +170,14 @@ class ModeTransitionProgram(Program):
                     if header.flow_key not in self._degraded_flows:
                         self._degraded_flows.add(header.flow_key)
                         self.degradations += 1
+                    element = self._element
+                    if element is not None and element.tracer is not None:
+                        element.tracer.emit(
+                            "mode.skip", element.name,
+                            header.experiment_id, header.flow_id or 0, header.seq,
+                            reason="no_live_buffer",
+                            from_config=rule.from_config_id,
+                        )
                     return
                 if header.flow_key in self._degraded_flows:
                     self._degraded_flows.discard(header.flow_key)
@@ -193,6 +203,15 @@ class ModeTransitionProgram(Program):
             if activating & int(Feature.AGE_TRACKING):
                 view.sim_stamp(AGE_EPOCH_META, meta.now_ns)
             self.transitions_applied += 1
+            element = self._element
+            if element is not None and element.tracer is not None:
+                # header.seq is final here (assigned above for flows the
+                # rule sequenced), so this is the identity's birth event.
+                element.tracer.emit(
+                    "mode.transition", element.name,
+                    header.experiment_id, header.flow_id or 0, header.seq,
+                    from_config=rule.from_config_id, to_config=target.config_id,
+                )
             if (
                 self.announce_to_source
                 and header.flow_key not in self._announced
@@ -234,8 +253,10 @@ class AgeUpdateProgram(Program):
         self.prioritize_dscp = prioritize_dscp
         self.updates = 0
         self.newly_aged = 0
+        self._element: ProgrammableElement | None = None
 
     def install(self, element: ProgrammableElement) -> None:
+        self._element = element
         table = Table("age_update", keys=[], default_action=Action("age_update", self._action))
         element.pipeline.add_table(table)
 
@@ -254,6 +275,13 @@ class AgeUpdateProgram(Program):
         if not header.aged and age > header.age_budget_ns:
             header.aged = True
             self.newly_aged += 1
+            element = self._element
+            if element is not None and element.tracer is not None:
+                element.tracer.emit(
+                    "age.aged", element.name,
+                    header.experiment_id, header.flow_id or 0, header.seq,
+                    age_ns=age, budget_ns=header.age_budget_ns,
+                )
         if self.prioritize_dscp is not None and view.has_header("ip"):
             view.set("ip.dscp", self.prioritize_dscp)
 
@@ -338,8 +366,10 @@ class NearestBufferProgram(Program):
         #: differ would each read the *other* flow's last stamp and
         #: count a phantom failover per packet.
         self._last_addr: dict[tuple[int, int], str] = {}
+        self._element: ProgrammableElement | None = None
 
     def install(self, element: ProgrammableElement) -> None:
+        self._element = element
         table = Table(
             "nearest_buffer", keys=[], default_action=Action("nearest_buffer", self._action)
         )
@@ -365,10 +395,23 @@ class NearestBufferProgram(Program):
             return
         flow_key = header.flow_key
         last = self._last_addr.get(flow_key)
+        element = self._element
         if last is not None and addr != last:
             self.failovers += 1
+            if element is not None and element.tracer is not None:
+                element.tracer.emit(
+                    "buffer.failover", element.name,
+                    header.experiment_id, header.flow_id or 0, header.seq,
+                    old=last, new=addr,
+                )
         self._last_addr[flow_key] = addr
         if header.buffer_addr != addr:
+            if element is not None and element.tracer is not None:
+                element.tracer.emit(
+                    "buffer.restamp", element.name,
+                    header.experiment_id, header.flow_id or 0, header.seq,
+                    old=header.buffer_addr, new=addr,
+                )
             header.buffer_addr = addr
             self.rewrites += 1
 

@@ -203,6 +203,10 @@ class FaultInjector:
         self.plan = plan
         #: Chronological record of fired actions (replay audit trail).
         self.fired: list[FaultRecord] = []
+        #: Causal tracer (repro.trace.Tracer) or None; records each
+        #: fired action so packet timelines interleave with the faults
+        #: that explain them.
+        self.tracer = None
         self._armed = False
 
     def arm(self) -> int:
@@ -227,3 +231,7 @@ class FaultInjector:
     def _fire(self, action: FaultAction) -> None:
         action.apply()
         self.fired.append(FaultRecord(self.sim.now, action.kind, action.target))
+        if self.tracer is not None:
+            self.tracer.emit(
+                f"fault.{action.kind}", "fault-injector", target=action.target
+            )

@@ -85,6 +85,10 @@ class Simulator:
         #: Not-yet-cancelled events still queued (kept exact so
         #: pending_events() is O(1) instead of scanning the heap).
         self._live = 0
+        #: Causal tracer (repro.trace.Tracer) or None. Duck-typed so the
+        #: engine stays import-free of the trace package; hook sites are
+        #: a single ``is not None`` test when tracing is off.
+        self.tracer = None
 
     @property
     def now(self) -> int:
@@ -143,6 +147,11 @@ class Simulator:
         if len(queue) >= _COMPACT_MIN and self._live < len(queue) // 2:
             self._queue = [entry for entry in queue if not entry[2].cancelled]
             heapq.heapify(self._queue)
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "engine.compact", "engine",
+                    before=len(queue), after=len(self._queue),
+                )
 
     def peek_time(self) -> int | None:
         """Time of the next pending event, or ``None`` if the queue is empty."""

@@ -70,6 +70,9 @@ class Port:
         # Invoked with each packet just before it is queued for egress;
         # programmable NICs hook this to do header processing on egress.
         self.egress_hooks: list[Callable[[Packet], Packet | None]] = []
+        #: Causal tracer (repro.trace.Tracer) or None; records queue
+        #: residency and egress drops when installed.
+        self.tracer = None
 
     @property
     def sim(self) -> Simulator:
@@ -94,10 +97,22 @@ class Port:
             packet = result
         if packet.size_bytes > self.link.max_frame_bytes:
             self.stats.drops_mtu += 1
+            if self.tracer is not None:
+                self.tracer.packet_event(
+                    "port.drop", self.node.name, packet,
+                    port=self.name, reason="mtu",
+                )
             return False
         if not self.queue.enqueue(packet):
             self.stats.drops_queue += 1
+            if self.tracer is not None:
+                self.tracer.packet_event(
+                    "port.drop", self.node.name, packet,
+                    port=self.name, reason="queue",
+                )
             return False
+        if self.tracer is not None:
+            self.tracer.note_enqueue(packet)
         if not self._busy:
             self._transmit_next()
         return True
@@ -107,6 +122,8 @@ class Port:
         if packet is None:
             self._busy = False
             return
+        if self.tracer is not None:
+            self.tracer.queue_wait(packet, self.node.name, self.name)
         self._busy = True
         assert self.link is not None
         tx_time = transmission_time_ns(
@@ -192,6 +209,8 @@ class Link:
         self.name = name or f"{a.node.name}<->{b.node.name}"
         self.up = True
         self.stats = LinkStats()
+        #: Causal tracer (repro.trace.Tracer) or None; records wire loss.
+        self.tracer = None
         self._rng = sim.rng(f"link:{self.name}")
         a.link = self
         b.link = self
@@ -212,20 +231,30 @@ class Link:
         """Carry a fully-serialized packet to the far end (with loss)."""
         if not self.up:
             self.stats.lost_down += 1
+            if self.tracer is not None:
+                self.tracer.packet_event("link.drop", self.name, packet, reason="down")
             return
         if self.loss_model is not None and self.loss_model.should_drop(
             packet, self._rng
         ):
             self.stats.lost_model += 1
+            if self.tracer is not None:
+                self.tracer.packet_event("link.drop", self.name, packet, reason="model")
             return
         if self.loss_rate > 0 and self._rng.random() < self.loss_rate:
             self.stats.lost_random += 1
+            if self.tracer is not None:
+                self.tracer.packet_event("link.drop", self.name, packet, reason="random")
             return
         if self.bit_error_rate > 0:
             bits = packet.size_bytes * 8
             p_corrupt = 1.0 - (1.0 - self.bit_error_rate) ** bits
             if self._rng.random() < p_corrupt:
                 self.stats.lost_corruption += 1
+                if self.tracer is not None:
+                    self.tracer.packet_event(
+                        "link.drop", self.name, packet, reason="corruption"
+                    )
                 return
         destination = self.other_end(from_port)
         self.stats.delivered += 1

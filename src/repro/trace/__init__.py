@@ -1,0 +1,44 @@
+"""repro.trace — span-based causal tracing over the engine clock.
+
+The observability counterpart to :mod:`repro.telemetry`: where
+telemetry aggregates (counters, histograms, INT postcards), the tracer
+records *individual causally-linked events* so any packet's full story —
+including the NAK/retransmission chain that recovered it — can be
+reconstructed after the fact. See DESIGN.md §10.
+"""
+
+from .export import (
+    TRACE_SCHEMA_VERSION,
+    TraceError,
+    load_trace,
+    trace_digest,
+    write_chrome_trace,
+    write_trace,
+)
+from .timeline import format_timeline, select_timeline, summarize_anomalies
+from .tracer import ANOMALY_KINDS, TraceEvent, Tracer
+from .verify import (
+    IntConsistencyReport,
+    RecordingIntSink,
+    attach_recording_sink,
+    verify_int_consistency,
+)
+
+__all__ = [
+    "ANOMALY_KINDS",
+    "TRACE_SCHEMA_VERSION",
+    "IntConsistencyReport",
+    "RecordingIntSink",
+    "TraceError",
+    "TraceEvent",
+    "Tracer",
+    "attach_recording_sink",
+    "format_timeline",
+    "load_trace",
+    "select_timeline",
+    "summarize_anomalies",
+    "trace_digest",
+    "verify_int_consistency",
+    "write_chrome_trace",
+    "write_trace",
+]

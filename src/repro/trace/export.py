@@ -1,0 +1,162 @@
+"""Trace export: schema-versioned JSONL and Chrome trace-event JSON.
+
+The JSONL format mirrors the telemetry snapshot files: one ``meta``
+record (schema version, run context, retention counters) followed by
+one record per retained event, written in emission order with sorted
+keys — so identical seeded runs export byte-identical files, and a
+sha256 over the file body is a valid determinism pin
+(:func:`trace_digest`).
+
+The Chrome export produces the trace-event format that Perfetto and
+``chrome://tracing`` load directly: one lane (thread) per element, an
+instant event per span, and real duration slices for queue residency.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from .tracer import TraceEvent, Tracer
+
+TRACE_SCHEMA_VERSION = 1
+
+
+class TraceError(Exception):
+    """Raised for malformed or mismatched trace files."""
+
+
+def _event_lines(events: list[TraceEvent]) -> list[str]:
+    lines = []
+    for event in events:
+        record = event.to_dict()
+        record["kind"] = "event"
+        lines.append(json.dumps(record, sort_keys=True))
+    return lines
+
+
+def write_trace(tracer: Tracer, path: str, meta: dict | None = None) -> int:
+    """Write the tracer's retained events to ``path``. Returns records
+    written (meta line included)."""
+    header = {
+        "kind": "meta",
+        "schema_version": TRACE_SCHEMA_VERSION,
+        "events_emitted": tracer.events_emitted,
+        "events_evicted": tracer.events_evicted,
+        "events_pinned": tracer.events_pinned,
+        "capacity": tracer.capacity,
+    }
+    header.update(meta or {})
+    lines = [json.dumps(header, sort_keys=True)]
+    lines.extend(_event_lines(tracer.events()))
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("\n".join(lines) + "\n")
+    return len(lines)
+
+
+def load_trace(path: str) -> tuple[dict, list[TraceEvent]]:
+    """Parse a trace file back into ``(meta, events)``."""
+    meta: dict = {}
+    events: list[TraceEvent] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceError(f"{path}:{line_number}: bad JSON: {exc}") from None
+            kind = record.get("kind")
+            if kind == "meta":
+                if meta:
+                    raise TraceError(f"{path}:{line_number}: repeated meta record")
+                version = record.get("schema_version")
+                if version != TRACE_SCHEMA_VERSION:
+                    raise TraceError(
+                        f"{path}: schema_version {version!r}, "
+                        f"expected {TRACE_SCHEMA_VERSION}"
+                    )
+                meta = record
+            elif kind == "event":
+                try:
+                    events.append(TraceEvent.from_dict(record))
+                except KeyError as exc:
+                    raise TraceError(
+                        f"{path}:{line_number}: event missing field {exc}"
+                    ) from None
+            else:
+                raise TraceError(f"{path}:{line_number}: unknown kind {kind!r}")
+    if not meta:
+        raise TraceError(f"{path}: no meta record")
+    return meta, events
+
+
+def trace_digest(events: list[TraceEvent]) -> str:
+    """sha256 over the canonical event serialization — the determinism
+    pin for seeded runs (meta counters are excluded so a capacity change
+    that retains the same events hashes the same)."""
+    return hashlib.sha256("\n".join(_event_lines(events)).encode()).hexdigest()
+
+
+def write_chrome_trace(
+    events: list[TraceEvent], path: str, process_name: str = "repro pilot"
+) -> int:
+    """Write events in Chrome trace-event format (Perfetto-loadable).
+
+    One thread lane per element (tids assigned deterministically from
+    the sorted element names); spans become instant events except
+    ``queue.wait``, which renders as a real duration slice covering the
+    residency window. Timestamps convert ns → µs (the format's unit).
+    Returns the number of trace events written.
+    """
+    elements = sorted({event.element for event in events})
+    tids = {name: tid for tid, name in enumerate(elements, start=1)}
+    out: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "args": {"name": process_name},
+        }
+    ]
+    for name in elements:
+        out.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tids[name],
+                "args": {"name": name},
+            }
+        )
+    for event in events:
+        args = {
+            "id": event.id,
+            "exp": event.experiment_id,
+            "flow": event.flow_id,
+            "seq": event.seq,
+        }
+        if event.attrs:
+            args.update(event.attrs)
+        record = {
+            "name": event.kind,
+            "cat": event.kind.split(".", 1)[0],
+            "pid": 1,
+            "tid": tids[event.element],
+            "ts": event.ts_ns / 1000,
+            "args": args,
+        }
+        wait_ns = (event.attrs or {}).get("wait_ns")
+        if event.kind == "queue.wait" and isinstance(wait_ns, int):
+            record["ph"] = "X"
+            record["ts"] = (event.ts_ns - wait_ns) / 1000
+            record["dur"] = wait_ns / 1000
+        else:
+            record["ph"] = "i"
+            record["s"] = "t"
+        out.append(record)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({"traceEvents": out}, handle, sort_keys=True)
+        handle.write("\n")
+    return len(out)

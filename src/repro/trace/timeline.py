@@ -1,0 +1,92 @@
+"""Root-cause timelines: one packet's life, causally ordered.
+
+Given a trace (live tracer or loaded file) and an identity
+``(experiment, flow, seq)``, :func:`select_timeline` pulls every span of
+that packet — including the NAK/retransmission child events that share
+its identity — and :func:`format_timeline` renders it as the terminal
+report ``repro trace --timeline`` prints: absolute time, delta from the
+previous event, element, event kind, and the attributes that explain it.
+"""
+
+from __future__ import annotations
+
+from .tracer import ANOMALY_KINDS, TraceEvent
+
+#: Human-facing one-liners per event kind (fallback: the kind itself).
+_KIND_LABELS = {
+    "packet.send": "sent by endpoint",
+    "element.ingress": "entered element",
+    "element.egress": "left element",
+    "element.drop": "dropped in pipeline",
+    "mode.transition": "mode transition",
+    "age.aged": "aged in network",
+    "packet.aged": "delivered aged",
+    "packet.deliver": "delivered",
+    "packet.dup": "duplicate discarded",
+    "deadline.miss": "deadline missed",
+    "link.drop": "lost on link",
+    "queue.wait": "queued",
+    "buffer.store": "stored in buffer",
+    "buffer.evict": "evicted from buffer",
+    "buffer.hit": "buffer hit",
+    "buffer.miss": "buffer miss",
+    "buffer.restamp": "buffer re-stamped",
+    "nak.send": "NAK sent",
+    "nak.forward": "NAK forwarded",
+    "nak.giveup": "recovery abandoned",
+    "retx.send": "retransmitted",
+    "retx.recv": "retransmission arrived",
+}
+
+
+def select_timeline(
+    events: list[TraceEvent], experiment_id: int, flow_id: int, seq: int
+) -> list[TraceEvent]:
+    """Every span of one identity, in causal order (time, then emission
+    order — emission order is causal within one engine event)."""
+    identity = (experiment_id, flow_id or 0, seq)
+    return sorted(
+        (e for e in events if e.identity == identity),
+        key=lambda e: (e.ts_ns, e.id),
+    )
+
+
+def _format_attrs(event: TraceEvent) -> str:
+    if not event.attrs:
+        return ""
+    parts = [f"{key}={value}" for key, value in sorted(event.attrs.items())]
+    return "  [" + " ".join(parts) + "]"
+
+
+def format_timeline(
+    timeline: list[TraceEvent], experiment_id: int, flow_id: int, seq: int
+) -> str:
+    """Render a selected timeline as a terminal root-cause report."""
+    title = f"packet experiment={experiment_id} flow={flow_id} seq={seq}"
+    if not timeline:
+        return f"{title}: no trace events (identity unknown or evicted)"
+    lines = [f"{title} — {len(timeline)} events over "
+             f"{timeline[-1].ts_ns - timeline[0].ts_ns} ns"]
+    previous = timeline[0].ts_ns
+    for event in timeline:
+        delta = event.ts_ns - previous
+        previous = event.ts_ns
+        label = _KIND_LABELS.get(event.kind, event.kind)
+        flag = "!" if event.kind in ANOMALY_KINDS else " "
+        lines.append(
+            f" {flag} {event.ts_ns:>12} ns  (+{delta:>9})  "
+            f"{event.element:<18} {label}{_format_attrs(event)}"
+        )
+    return "\n".join(lines)
+
+
+def summarize_anomalies(events: list[TraceEvent]) -> list[tuple[tuple[int, int, int], list[str]]]:
+    """Per anomalous identity, the ordered kinds of its anomaly events —
+    the index ``repro trace --anomalies`` prints."""
+    by_identity: dict[tuple[int, int, int], list[str]] = {}
+    for event in sorted(events, key=lambda e: (e.ts_ns, e.id)):
+        identity = event.identity
+        if identity is None or event.kind not in ANOMALY_KINDS:
+            continue
+        by_identity.setdefault(identity, []).append(event.kind)
+    return sorted(by_identity.items())

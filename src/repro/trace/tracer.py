@@ -1,0 +1,275 @@
+"""The causal tracer: typed spans over the deterministic engine clock.
+
+A :class:`Tracer` records :class:`TraceEvent` spans from cheap hook
+points all over the stack — packet ingress/egress per element, queue
+residency, mode transitions, age/``aged`` stamping, NAK emission →
+forwarding → retransmission chains, buffer failover re-stamps, fault
+actions. Every event carries a *trace identity* ``(experiment, flow,
+seq)``, so the full life of one packet — and every recovery event that
+descended from it — reconstructs by identity alone: child spans (NAKs,
+retransmissions) inherit the identity of the data packet they recover.
+
+Hook sites follow the :class:`~repro.telemetry.registry.MetricsRegistry`
+zero-overhead-when-disabled discipline, but one step cheaper: a
+component holds ``self.tracer = None`` by default and every hook is a
+single attribute load plus ``is not None`` test — the disabled path
+adds no calls at all (pinned by the packet-path perf budget).
+
+Flight recorder: with ``capacity=N`` the tracer keeps a bounded ring of
+the most recent spans *plus* every span belonging to an anomalous
+packet (one that aged, was lost on a link, was retransmitted, missed a
+deadline, or was given up on). The moment an identity turns anomalous
+its spans already in the ring are pinned out of eviction's reach, and
+every later span for it bypasses the ring entirely — so a post-mortem
+always has the complete story for the packets that went wrong, at a
+memory cost bounded by N plus the (rare) anomalies. ``capacity=None``
+retains everything.
+
+Timestamps come from the simulator clock at emit time, so traces from
+identical seeded runs are byte-identical when exported (pinned by a
+golden digest, like the PR 4 wire-trace pins).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING
+
+from ..core.header import MmtHeader
+
+if TYPE_CHECKING:
+    from ..netsim.engine import Simulator
+    from ..netsim.packet import Packet
+
+#: Event kinds that mark their packet identity as *anomalous*: every
+#: span of that identity — past and future — is retained by the flight
+#: recorder regardless of ring capacity. The classes of the issue
+#: ("aged, lost, retransmitted, degraded") map to: age stamping in the
+#: network / aged arrival, wire loss, the whole NAK→retransmit chain,
+#: unmet recovery (buffer miss / give-up), and deadline misses.
+ANOMALY_KINDS = frozenset(
+    {
+        "age.aged",
+        "packet.aged",
+        "link.drop",
+        "port.drop",
+        "element.drop",
+        "nak.send",
+        "nak.forward",
+        "nak.giveup",
+        "retx.send",
+        "retx.recv",
+        "buffer.miss",
+        "deadline.miss",
+    }
+)
+
+
+class TraceEvent:
+    """One recorded span/event.
+
+    ``experiment_id``/``flow_id``/``seq`` are the trace identity; any of
+    them may be ``None`` for events outside a packet's sequenced life
+    (mode-0 traffic before sequence assignment, fault actions, engine
+    housekeeping). ``attrs`` holds small JSON-safe extras (ints/strs).
+    """
+
+    __slots__ = ("id", "ts_ns", "kind", "element", "experiment_id", "flow_id", "seq", "attrs")
+
+    def __init__(
+        self,
+        id: int,
+        ts_ns: int,
+        kind: str,
+        element: str,
+        experiment_id: int | None = None,
+        flow_id: int | None = None,
+        seq: int | None = None,
+        attrs: dict | None = None,
+    ) -> None:
+        self.id = id
+        self.ts_ns = ts_ns
+        self.kind = kind
+        self.element = element
+        self.experiment_id = experiment_id
+        self.flow_id = flow_id
+        self.seq = seq
+        self.attrs = attrs
+
+    @property
+    def identity(self) -> tuple[int, int, int] | None:
+        """``(experiment, flow, seq)`` when fully identified, else None."""
+        if self.experiment_id is None or self.seq is None:
+            return None
+        return (self.experiment_id, self.flow_id or 0, self.seq)
+
+    def to_dict(self) -> dict:
+        record = {
+            "id": self.id,
+            "ts": self.ts_ns,
+            "ev": self.kind,
+            "element": self.element,
+            "exp": self.experiment_id,
+            "flow": self.flow_id,
+            "seq": self.seq,
+        }
+        if self.attrs:
+            record["attrs"] = self.attrs
+        return record
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "TraceEvent":
+        return cls(
+            id=record["id"],
+            ts_ns=record["ts"],
+            kind=record["ev"],
+            element=record["element"],
+            experiment_id=record.get("exp"),
+            flow_id=record.get("flow"),
+            seq=record.get("seq"),
+            attrs=record.get("attrs") or None,
+        )
+
+    def __repr__(self) -> str:
+        ident = self.identity
+        tag = f" {ident[0]}/{ident[1]}/{ident[2]}" if ident else ""
+        return f"TraceEvent#{self.id}[{self.ts_ns}ns {self.element} {self.kind}{tag}]"
+
+
+class Tracer:
+    """Records spans; a flight recorder when ``capacity`` is bounded.
+
+    The tracer is never installed when tracing is off — components keep
+    ``tracer = None`` and hook sites test that, so there is no "disabled
+    tracer" object (and no per-packet no-op calls) to pay for.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int | None = None) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError(f"capacity must be positive or None, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.events_emitted = 0
+        self.events_evicted = 0
+        self._next_id = 0
+        self._ring: deque[TraceEvent] = deque()
+        #: Spans pinned out of the ring because their identity is
+        #: anomalous; kept unsorted, merged by id on read.
+        self._pinned: list[TraceEvent] = []
+        self._anomalous: set[tuple[int, int, int]] = set()
+        #: packet_id → enqueue time for queue-residency spans.
+        self._enqueued_at: dict[int, int] = {}
+
+    # -- recording -----------------------------------------------------------
+
+    def emit(
+        self,
+        kind: str,
+        element: str,
+        experiment_id: int | None = None,
+        flow_id: int | None = None,
+        seq: int | None = None,
+        **attrs,
+    ) -> TraceEvent:
+        """Record one event, timestamped off the engine clock."""
+        event = TraceEvent(
+            id=self._next_id,
+            ts_ns=self.sim.now,
+            kind=kind,
+            element=element,
+            experiment_id=experiment_id,
+            flow_id=flow_id,
+            seq=seq,
+            attrs=attrs or None,
+        )
+        self._next_id += 1
+        self.events_emitted += 1
+        identity = event.identity
+        if identity is not None and identity in self._anomalous:
+            self._pinned.append(event)
+            return event
+        if identity is not None and kind in ANOMALY_KINDS:
+            self._mark_anomalous(identity)
+            self._pinned.append(event)
+            return event
+        self._ring.append(event)
+        if self.capacity is not None and len(self._ring) > self.capacity:
+            self._ring.popleft()
+            self.events_evicted += 1
+        return event
+
+    def packet_event(self, kind: str, element: str, packet: "Packet", **attrs) -> None:
+        """Record an event for an in-flight packet (identity from its
+        MMT header; non-MMT packets are not traced)."""
+        mmt = packet.find(MmtHeader)
+        if mmt is None:
+            return
+        self.emit(
+            kind,
+            element,
+            mmt.experiment_id,
+            mmt.flow_id or 0,
+            mmt.seq,
+            msg=mmt.msg_type.name,
+            **attrs,
+        )
+
+    def note_enqueue(self, packet: "Packet") -> None:
+        """Ports call this when a packet joins an egress queue."""
+        self._enqueued_at[packet.packet_id] = self.sim.now
+
+    def queue_wait(self, packet: "Packet", element: str, port: str) -> None:
+        """Ports call this when a packet starts serializing; emits a
+        ``queue.wait`` residency span when the packet actually waited
+        (zero-wait transits stay implicit — they carry no information
+        and would dominate the ring)."""
+        enqueued = self._enqueued_at.pop(packet.packet_id, None)
+        if enqueued is None:
+            return
+        wait = self.sim.now - enqueued
+        if wait <= 0:
+            return
+        self.packet_event("queue.wait", element, packet, port=port, wait_ns=wait)
+
+    def _mark_anomalous(self, identity: tuple[int, int, int]) -> None:
+        """Pin an identity: pull its spans out of the ring for keeps."""
+        self._anomalous.add(identity)
+        if not self._ring:
+            return
+        keep: deque[TraceEvent] = deque()
+        for event in self._ring:
+            if event.identity == identity:
+                self._pinned.append(event)
+            else:
+                keep.append(event)
+        self._ring = keep
+
+    # -- reading -------------------------------------------------------------
+
+    def events(self) -> list[TraceEvent]:
+        """All retained events (ring + pinned) in emission order."""
+        return sorted([*self._ring, *self._pinned], key=lambda e: e.id)
+
+    @property
+    def events_retained(self) -> int:
+        return len(self._ring) + len(self._pinned)
+
+    @property
+    def events_pinned(self) -> int:
+        return len(self._pinned)
+
+    def anomalous_identities(self) -> set[tuple[int, int, int]]:
+        """Identities the flight recorder pinned (copy)."""
+        return set(self._anomalous)
+
+    def timeline(
+        self, experiment_id: int, flow_id: int, seq: int
+    ) -> list[TraceEvent]:
+        """Every retained span of one packet identity, causally ordered
+        (time, then emission order breaks ties at equal timestamps —
+        emission order *is* causal order inside one engine event)."""
+        identity = (experiment_id, flow_id or 0, seq)
+        return sorted(
+            (e for e in self.events() if e.identity == identity),
+            key=lambda e: (e.ts_ns, e.id),
+        )

@@ -1,0 +1,127 @@
+"""Trace export tests: JSONL round trip, schema guards, Chrome format."""
+
+import json
+
+import pytest
+
+from repro.trace import (
+    TRACE_SCHEMA_VERSION,
+    TraceError,
+    Tracer,
+    load_trace,
+    trace_digest,
+    write_chrome_trace,
+    write_trace,
+)
+
+
+class Clock:
+    def __init__(self, now: int = 0) -> None:
+        self.now = now
+
+
+def make_tracer() -> Tracer:
+    clock = Clock()
+    tracer = Tracer(clock)
+    tracer.emit("packet.send", "sensor", 7, 0, 1, msg="DATA")
+    clock.now = 100
+    tracer.emit("element.egress", "alveo-u280", 7, 0, 1, config=1, queue_pct=0)
+    clock.now = 350
+    tracer.emit("link.drop", "wan", 7, 0, 1, reason="random")
+    tracer.emit("engine.compact", "engine", before=10, after=2)
+    return tracer
+
+
+def test_jsonl_round_trip(tmp_path):
+    tracer = make_tracer()
+    path = tmp_path / "trace.jsonl"
+    records = write_trace(tracer, str(path), meta={"scenario": "unit"})
+    assert records == 5  # meta + 4 events
+    meta, events = load_trace(str(path))
+    assert meta["schema_version"] == TRACE_SCHEMA_VERSION
+    assert meta["scenario"] == "unit"
+    assert meta["events_emitted"] == 4
+    assert [e.kind for e in events] == [
+        "packet.send", "element.egress", "link.drop", "engine.compact",
+    ]
+    assert events[1].attrs == {"config": 1, "queue_pct": 0}
+    assert events[3].identity is None
+    # Loaded events digest identically to the live ones.
+    assert trace_digest(events) == trace_digest(tracer.events())
+
+
+def test_export_is_replay_stable(tmp_path):
+    a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+    write_trace(make_tracer(), str(a))
+    write_trace(make_tracer(), str(b))
+    assert a.read_bytes() == b.read_bytes()
+
+
+def test_digest_ignores_meta_counters(tmp_path):
+    """A capacity change that retains the same events hashes the same."""
+    tracer = make_tracer()
+    bounded = Tracer(Clock(), capacity=100)
+    clock = bounded.sim
+    for event in tracer.events():
+        clock.now = event.ts_ns
+        bounded.emit(
+            event.kind, event.element, event.experiment_id,
+            event.flow_id, event.seq, **(event.attrs or {}),
+        )
+    assert trace_digest(bounded.events()) == trace_digest(tracer.events())
+
+
+def test_load_rejects_bad_schema_version(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text(json.dumps({"kind": "meta", "schema_version": 999}) + "\n")
+    with pytest.raises(TraceError, match="schema_version"):
+        load_trace(str(path))
+
+
+def test_load_rejects_garbage_and_unknown_kinds(tmp_path):
+    garbled = tmp_path / "garbled.jsonl"
+    garbled.write_text("not json\n")
+    with pytest.raises(TraceError, match="bad JSON"):
+        load_trace(str(garbled))
+
+    unknown = tmp_path / "unknown.jsonl"
+    unknown.write_text(
+        json.dumps({"kind": "meta", "schema_version": TRACE_SCHEMA_VERSION})
+        + "\n" + json.dumps({"kind": "mystery"}) + "\n"
+    )
+    with pytest.raises(TraceError, match="unknown kind"):
+        load_trace(str(unknown))
+
+    headless = tmp_path / "headless.jsonl"
+    headless.write_text(json.dumps({"kind": "event", "id": 0}) + "\n")
+    with pytest.raises(TraceError):
+        load_trace(str(headless))
+
+
+def test_chrome_trace_structure(tmp_path):
+    clock = Clock()
+    tracer = Tracer(clock)
+    tracer.emit("element.egress", "alveo-u280", 7, 0, 1, queue_pct=3)
+    clock.now = 4000
+    tracer.emit("queue.wait", "tofino2", 7, 0, 1, port="p0", wait_ns=1500)
+    path = tmp_path / "chrome.json"
+    written = write_chrome_trace(tracer.events(), str(path))
+    payload = json.loads(path.read_text())
+    records = payload["traceEvents"]
+    assert written == len(records)
+
+    # Metadata: one process name, one lane per element, deterministic tids.
+    meta = [r for r in records if r["ph"] == "M"]
+    lanes = {r["args"]["name"]: r.get("tid") for r in meta if r["name"] == "thread_name"}
+    assert lanes == {"alveo-u280": 1, "tofino2": 2}
+
+    instants = [r for r in records if r["ph"] == "i"]
+    assert len(instants) == 1
+    assert instants[0]["name"] == "element.egress"
+    assert instants[0]["cat"] == "element"
+    assert instants[0]["args"]["queue_pct"] == 3
+
+    # queue.wait renders as a duration slice covering the residency.
+    (slice_,) = [r for r in records if r["ph"] == "X"]
+    assert slice_["ts"] == (4000 - 1500) / 1000
+    assert slice_["dur"] == 1.5

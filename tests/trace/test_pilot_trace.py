@@ -1,0 +1,140 @@
+"""Pilot-level tracing pins: determinism, zero perturbation, retention.
+
+Mirrors the PR 4 golden wire-trace pins: the exported trace of the
+golden single-flow pilot scenario is digest-pinned, so any change to
+hook placement, event ordering, or export encoding is caught in review.
+If a change *intentionally* moves a hook, update the digest here in the
+same commit and say why.
+"""
+
+import dataclasses
+
+from repro.dataplane import PilotConfig, PilotTestbed
+from repro.netsim import Simulator
+from repro.netsim.units import MILLISECOND
+from repro.trace import load_trace, trace_digest, write_trace
+
+GOLDEN_SEED = 7
+GOLDEN_MESSAGES = 48
+GOLDEN_PAYLOAD = 4000
+GOLDEN_INTERVAL_NS = 2000
+
+#: sha256 over the canonical event lines of the golden 1-flow trace.
+GOLDEN_TRACE_DIGEST_1FLOW = (
+    "721c87224c637d6c7eadc348321a2555949927326bf8dc98119e1a22464b6962"
+)
+GOLDEN_TRACE_EVENTS_1FLOW = 624
+
+
+def run_golden(flows: int = 1, **overrides) -> PilotTestbed:
+    pilot = PilotTestbed(
+        sim=Simulator(seed=GOLDEN_SEED),
+        config=PilotConfig(flows=flows, trace=True, **overrides),
+    )
+    base, extra = divmod(GOLDEN_MESSAGES, flows)
+    for fid in range(flows):
+        pilot.send_stream(
+            base + (1 if fid < extra else 0),
+            payload_size=GOLDEN_PAYLOAD,
+            interval_ns=GOLDEN_INTERVAL_NS,
+            flow=fid,
+        )
+    pilot.run()
+    return pilot
+
+
+def test_golden_trace_digest_1flow():
+    tracer = run_golden().tracer
+    assert tracer.events_emitted == GOLDEN_TRACE_EVENTS_1FLOW
+    assert trace_digest(tracer.events()) == GOLDEN_TRACE_DIGEST_1FLOW
+
+
+def test_trace_digest_stable_across_runs(tmp_path):
+    """Identical seeded runs export byte-identical trace files."""
+    paths = []
+    for name in ("a.jsonl", "b.jsonl"):
+        path = tmp_path / name
+        write_trace(run_golden().tracer, str(path))
+        paths.append(path)
+    assert paths[0].read_bytes() == paths[1].read_bytes()
+    _meta, events = load_trace(str(paths[0]))
+    assert trace_digest(events) == GOLDEN_TRACE_DIGEST_1FLOW
+
+
+def test_tracing_never_perturbs_pilot_results():
+    """The traced pilot's report is field-for-field identical to the
+    untraced one — tracing observes, never steers. Checked on the clean
+    pilot and on a lossy multi-flow run that exercises the NAK path."""
+    scenarios = [
+        {},
+        {
+            "flows": 4,
+            "wan_loss_rate": 0.05,
+            "wan_delay_ns": 1 * MILLISECOND,
+            "age_budget_ns": MILLISECOND // 2,
+        },
+    ]
+    for overrides in scenarios:
+        flows = overrides.pop("flows", 1)
+        untraced = PilotTestbed(
+            sim=Simulator(seed=GOLDEN_SEED),
+            config=PilotConfig(flows=flows, **overrides),
+        )
+        base, extra = divmod(GOLDEN_MESSAGES, flows)
+        for fid in range(flows):
+            untraced.send_stream(
+                base + (1 if fid < extra else 0),
+                payload_size=GOLDEN_PAYLOAD,
+                interval_ns=GOLDEN_INTERVAL_NS,
+                flow=fid,
+            )
+        baseline = untraced.run()
+
+        traced = run_golden(flows=flows, **overrides).report()
+        assert dataclasses.asdict(traced) == dataclasses.asdict(baseline)
+
+
+def test_flight_recorder_bounds_retention_but_keeps_anomalies():
+    pilot = run_golden(
+        flows=4,
+        trace_capacity=64,
+        wan_loss_rate=0.05,
+        wan_delay_ns=1 * MILLISECOND,
+        age_budget_ns=MILLISECOND // 2,
+    )
+    tracer = pilot.tracer
+    assert tracer.events_evicted > 0
+    assert tracer.events_retained <= 64 + tracer.events_pinned
+    # Every aged delivery was pinned: its full timeline survived churn.
+    aged = {e.identity for e in tracer.events() if e.kind == "packet.aged"}
+    assert aged
+    for identity in aged:
+        kinds = {e.kind for e in tracer.timeline(*identity)}
+        assert "element.egress" in kinds  # pre-anomaly span, rescued
+        assert "packet.deliver" in kinds
+
+
+def test_bounded_and_unbounded_runs_agree_on_anomalies():
+    unbounded = run_golden(
+        flows=2, wan_loss_rate=0.05,
+        wan_delay_ns=1 * MILLISECOND, age_budget_ns=MILLISECOND // 2,
+    ).tracer
+    bounded = run_golden(
+        flows=2, trace_capacity=32, wan_loss_rate=0.05,
+        wan_delay_ns=1 * MILLISECOND, age_budget_ns=MILLISECOND // 2,
+    ).tracer
+    assert bounded.anomalous_identities() == unbounded.anomalous_identities()
+    # Retention contract: spans already evicted before the identity
+    # turned anomalous are gone for good (bounded memory), but from the
+    # first anomaly onward the bounded recorder keeps the full story.
+    from repro.trace import ANOMALY_KINDS
+
+    for identity in sorted(bounded.anomalous_identities()):
+        full = unbounded.timeline(*identity)
+        kept = [e.kind for e in bounded.timeline(*identity)]
+        onset = next(i for i, e in enumerate(full) if e.kind in ANOMALY_KINDS)
+        tail = [e.kind for e in full[onset:]]
+        assert kept[len(kept) - len(tail):] == tail
+        # And everything retained is genuine (a subsequence of the truth).
+        it = iter(e.kind for e in full)
+        assert all(any(k == other for other in it) for k in kept)

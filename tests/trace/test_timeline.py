@@ -1,0 +1,58 @@
+"""Timeline rendering and anomaly summaries."""
+
+from repro.trace import (
+    Tracer,
+    format_timeline,
+    select_timeline,
+    summarize_anomalies,
+)
+
+
+class Clock:
+    def __init__(self, now: int = 0) -> None:
+        self.now = now
+
+
+def build_events():
+    clock = Clock()
+    tracer = Tracer(clock)
+    tracer.emit("mode.transition", "alveo-u280", 7, 0, 3, from_config=0, to_config=1)
+    clock.now = 1000
+    tracer.emit("link.drop", "wan", 7, 0, 3, reason="random")
+    clock.now = 2000
+    tracer.emit("retx.recv", "dtn2", 7, 0, 3)
+    tracer.emit("packet.deliver", "dtn2", 7, 0, 3, latency_ns=2000)
+    tracer.emit("packet.deliver", "dtn2", 7, 0, 4)  # other identity
+    return tracer.events()
+
+
+def test_select_timeline_filters_and_orders():
+    timeline = select_timeline(build_events(), 7, 0, 3)
+    assert [e.kind for e in timeline] == [
+        "mode.transition", "link.drop", "retx.recv", "packet.deliver",
+    ]
+    # Equal timestamps keep emission order (causal within one event).
+    assert timeline[2].ts_ns == timeline[3].ts_ns
+
+
+def test_format_timeline_report():
+    events = build_events()
+    text = format_timeline(select_timeline(events, 7, 0, 3), 7, 0, 3)
+    lines = text.splitlines()
+    assert lines[0] == "packet experiment=7 flow=0 seq=3 — 4 events over 2000 ns"
+    assert "mode transition" in lines[1]
+    # Anomalies are flagged; deltas accumulate between events.
+    assert lines[2].lstrip().startswith("!")
+    assert "(+     1000)" in lines[2]
+    assert "lost on link" in lines[2]
+    assert "[reason=random]" in lines[2]
+
+
+def test_format_timeline_empty_identity():
+    text = format_timeline([], 7, 0, 99)
+    assert "no trace events" in text
+
+
+def test_summarize_anomalies_orders_kinds_causally():
+    summary = summarize_anomalies(build_events())
+    assert summary == [((7, 0, 3), ["link.drop", "retx.recv"])]
