@@ -1,0 +1,104 @@
+"""FLEET — receiver-farm fan-out: node fairness and redirect recovery.
+
+One ingest pipe feeding N sticky receiver DTNs through the EJ-FAT-style
+balancer, at N ∈ {4, 16, 64}, plus a 16-node run with a mid-stream node
+crash. The farm is judged on its own axes: Jain fairness over per-node
+delivered bytes (is the balancer balancing?), per-flow FCT, balancer
+table-update latency, and — for the crash case — redirect
+time-to-recover (crash instant → last repair delivery).
+
+Invariants asserted for every case: nothing unrecovered, node fairness
+≥ 0.9 over live nodes, and recovery bounded (crash case).
+
+Unlike the other bench modules this one writes ``BENCH_fleet.json``
+itself (no ``once``/``bench_result`` fixtures): the acceptance bar
+includes *byte-identical output per seed*, so no wall-clock readings
+may leak into the file.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import ResultTable, format_duration, format_rate
+from repro.fleet import FleetConfig, FleetOrchestrator
+from repro.netsim.units import MILLISECOND
+from repro.telemetry.benchfmt import BenchResult
+
+SEED = 7
+#: Off the 100 µs sync-tick grid, so the crash has a real detection gap.
+CRASH_AT_NS = 1 * MILLISECOND + 50_000
+#: Redirect recovery must land within a few WAN round-trips.
+RECOVERY_BUDGET_NS = 20 * MILLISECOND
+
+
+def build_cases():
+    return [
+        ("4 nodes, 16 flows", FleetConfig(nodes=4, flows=16, seed=SEED)),
+        ("16 nodes, 64 flows", FleetConfig(nodes=16, flows=64, seed=SEED)),
+        ("64 nodes, 128 flows", FleetConfig(nodes=64, flows=128, seed=SEED)),
+        (
+            "16 nodes, 64 flows, node crash",
+            FleetConfig(
+                nodes=16, flows=64, seed=SEED,
+                crash_node=5, crash_at_ns=CRASH_AT_NS,
+            ),
+        ),
+    ]
+
+
+def test_fleet_fairness_and_recovery():
+    bench = BenchResult(name="fleet", seed=SEED)
+    bench.params = {
+        "duration_ns": FleetConfig().duration_ns,
+        "message_bytes": FleetConfig().message_bytes,
+        "sync_interval_ns": FleetConfig().build_farm_config().sync_interval_ns,
+        "crash_at_ns": CRASH_AT_NS,
+    }
+    table = ResultTable(
+        "Receiver-farm fan-out (EJ-FAT-style balancer)",
+        ["Case", "Nodes", "Flows", "Delivered", "Goodput",
+         "Node Jain", "Update lat", "Recover"],
+    )
+    for name, config in build_cases():
+        report = FleetOrchestrator(config).run()
+        bench.record(
+            name,
+            nodes=report.nodes,
+            flows=report.flows,
+            delivered=report.farm.delivered,
+            aggregate_goodput_bps=round(report.aggregate_goodput_bps),
+            node_jain_fairness=round(report.node_fairness, 6),
+            flow_jain_fairness=round(report.flow_fairness, 6),
+            completion_spread_ns=report.completion_spread_ns,
+            table_updates=report.farm.table_updates,
+            epoch=report.farm.epoch,
+            max_update_latency_ns=report.farm.max_update_latency_ns,
+            redirected_windows=report.farm.redirected_windows,
+            recovery_ns=report.recovery_ns,
+            unrecovered=report.farm.unrecovered,
+        )
+        table.add_row(
+            name,
+            report.nodes,
+            report.flows,
+            f"{report.farm.delivered}/{report.farm.dtn1_relayed}",
+            format_rate(round(report.aggregate_goodput_bps)),
+            f"{report.node_fairness:.4f}",
+            format_duration(report.farm.max_update_latency_ns),
+            format_duration(report.recovery_ns) if report.recovery_ns else "—",
+        )
+        # The fleet acceptance bar: nothing given up, the balancer
+        # keeps live nodes within Jain ≥ 0.9, crashes recover bounded.
+        assert report.complete, f"{name}: a flow lost data permanently"
+        assert report.farm.unrecovered == 0, f"{name}: unrecovered loss"
+        assert report.node_fairness >= 0.9, (
+            f"{name}: node fairness {report.node_fairness:.4f} < 0.9"
+        )
+        if config.crash_node is not None:
+            assert report.farm.marks_down == 1, f"{name}: crash undetected"
+            assert report.recovery_ns < RECOVERY_BUDGET_NS, (
+                f"{name}: recovery {report.recovery_ns} ns over budget"
+            )
+    table.show()
+    bench.write(Path(__file__).resolve().parent.parent)

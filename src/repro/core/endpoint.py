@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Iterable
 
 from ..netsim.engine import Timer
 from ..netsim.headers import EtherType, IpProto
@@ -1121,7 +1121,13 @@ class MmtReceiver:
             self.stats.naks_sent += 1
             state.naks_sent += 1
         if state.missing and next_due is not None:
-            self._nak_timers[flow_key].start(max(next_due - now, 1))
+            # Reconciliation can reach here with no timer armed yet (a
+            # detect_gaps=False receiver never NAK-ed spontaneously).
+            timer = self._nak_timers.get(flow_key)
+            if timer is None:
+                timer = Timer(self.sim, lambda: self._fire_nak(flow_key))
+                self._nak_timers[flow_key] = timer
+            timer.start(max(next_due - now, 1))
 
     # -- end-of-run reconciliation ---------------------------------------------
 
@@ -1143,6 +1149,40 @@ class MmtReceiver:
                 state.missing[seq] = 0
                 newly += 1
         state.highest_seen = max(state.highest_seen, expected - 1)
+        if state.missing:
+            self._fire_nak((experiment_id, flow_id))
+        return newly
+
+    def request_sequences(
+        self,
+        experiment_id: int,
+        seqs: Iterable[int],
+        flow_id: int = 0,
+        buffer_addr: str | None = None,
+    ) -> int:
+        """Reconcile against an explicit sequence list.
+
+        The stripe-consumer counterpart of :meth:`request_missing`: a
+        receiver behind an EJ-FAT-style balancer owns whole windows of
+        the flow's sequence space, never ``[0, expected)`` — the farm
+        reconciler computes exactly which seqs its bound windows still
+        owe and requests those. ``buffer_addr`` seeds the NAK target for
+        flows this receiver has no data-derived buffer address for yet
+        (e.g. windows remapped to it after a peer crashed). Returns how
+        many seqs were newly marked missing.
+        """
+        state = self._flow(experiment_id, flow_id)
+        if buffer_addr is not None and state.buffer_addr is None:
+            state.buffer_addr = buffer_addr
+        newly = 0
+        for seq in seqs:
+            if seq < state.base or seq in state.received or seq in state.given_up:
+                continue
+            if seq not in state.missing:
+                state.missing[seq] = 0
+                newly += 1
+            if seq > state.highest_seen:
+                state.highest_seen = seq
         if state.missing:
             self._fire_nak((experiment_id, flow_id))
         return newly

@@ -24,6 +24,7 @@ from .chaos import (
     ChaosReport,
     ChaosRun,
     run_chaos,
+    run_fleet_chaos,
     run_scenarios,
     write_bench,
 )
@@ -53,6 +54,7 @@ __all__ = [
     "SCENARIOS",
     "UniformLoss",
     "run_chaos",
+    "run_fleet_chaos",
     "run_scenarios",
     "write_bench",
 ]

@@ -28,6 +28,13 @@ Scenarios
     re-stamps flows to it and recovery completes with zero unrecovered;
     without it the DTN 1 sender degrades to identification-only
     (announced, bounded NAKs, no storm).
+``fleet-node-crash``
+    The receiver-farm build (:mod:`repro.fleet`): one of N receiver
+    DTNs crashes mid-stream. The fleet controller marks it down at the
+    next sync tick, the balancer redirects its bound windows to
+    survivors, and calendar-directed reconciliation repairs everything
+    the dead node absorbed — zero unrecovered, with the crash-to-repair
+    gap reported as time-to-recover.
 """
 
 from __future__ import annotations
@@ -45,7 +52,13 @@ from .lossmodels import GilbertElliottLoss
 from .plan import FaultInjector, FaultPlan
 
 #: The named scenarios, in the order ``--scenario all`` runs them.
-SCENARIOS = ("link-flap", "burst-loss", "element-restart", "buffer-failover")
+SCENARIOS = (
+    "link-flap",
+    "burst-loss",
+    "element-restart",
+    "buffer-failover",
+    "fleet-node-crash",
+)
 
 
 @dataclass
@@ -65,6 +78,9 @@ class ChaosConfig:
     #: Background WAN corruption loss for ``buffer-failover`` (without
     #: some loss there is nothing for a retransmission buffer to do).
     wan_loss_rate: float = 0.02
+    #: ``fleet-node-crash`` only: farm size and concurrency.
+    fleet_nodes: int = 8
+    fleet_flows: int = 16
 
     @property
     def stream_ns(self) -> int:
@@ -120,7 +136,9 @@ class ChaosRun:
     scenario: str
     config: ChaosConfig
     report: ChaosReport
-    pilot: PilotTestbed
+    #: The testbed behind the run: a :class:`PilotTestbed`, or a
+    #: :class:`~repro.fleet.farm.ReceiverFarm` for ``fleet-node-crash``.
+    pilot: object
     injector: FaultInjector
     metrics: MetricsRegistry
 
@@ -167,8 +185,98 @@ def _build_plan(cfg: ChaosConfig, pilot: PilotTestbed) -> FaultPlan:
     return plan
 
 
+def run_fleet_chaos(cfg: ChaosConfig) -> ChaosRun:
+    """The receiver-farm crash scenario: build, crash, repair, measure."""
+    # Imported here, not at module top: fleet builds on faults (the
+    # controller consumes BufferDirectory-style marks), so the reverse
+    # import must stay lazy.
+    from ..fleet import FarmConfig, ReceiverFarm
+
+    farm = ReceiverFarm(
+        sim=Simulator(seed=cfg.seed),
+        config=FarmConfig(
+            nodes=cfg.fleet_nodes,
+            flows=cfg.fleet_flows,
+            wan_delay_ns=cfg.wan_delay_ns,
+            telemetry=True,
+        ),
+    )
+    victim = farm.nodes[cfg.fleet_nodes // 2]
+    # The message budget is split across the flows (all sending in
+    # parallel), so the stream actually spans one flow's share — the
+    # crash must land inside *that* window, half an interval off the
+    # midpoint so it never coincides with a sync tick (the detection
+    # gap must be nonzero for redirect-on-crash to be exercised).
+    base_count, extra = divmod(cfg.messages, cfg.fleet_flows)
+    span = (base_count + (1 if extra else 0)) * cfg.interval_ns
+    crash_at = span // 2 + cfg.interval_ns // 2
+    plan = FaultPlan()
+    plan.at(
+        crash_at,
+        lambda: farm.crash_node(victim.index),
+        kind="node_crash",
+        target=victim.host.name,
+    )
+    injector = FaultInjector(farm.sim, plan)
+
+    for fid in range(cfg.fleet_flows):
+        count = base_count + (1 if fid < extra else 0)
+        farm.send_stream(
+            count, payload_size=cfg.payload_size, interval_ns=cfg.interval_ns, flow=fid
+        )
+    injector.arm()
+    base = farm.run()
+
+    fault_start, fault_end = plan.start_ns, plan.end_ns
+    deliveries = [(t, m) for t, m, *_ in farm.deliveries]
+    before = sum(1 for t, _m in deliveries if t < fault_start)
+    during = sum(1 for t, _m in deliveries if fault_start <= t <= fault_end)
+    after = sum(1 for t, _m in deliveries if t > fault_end)
+    retx_times = [t for t, m in deliveries if m == MsgType.RETX_DATA]
+    recovered_at = max(retx_times, default=fault_end)
+
+    report = ChaosReport(
+        messages_sent=base.messages_sent,
+        delivered=base.delivered,
+        delivered_before=before,
+        delivered_during=during,
+        delivered_after=after,
+        duplicates=sum(node.receiver.stats.duplicates for node in farm.nodes),
+        unrecovered=base.unrecovered,
+        naks_sent=base.naks_sent,
+        naks_served=base.naks_served,
+        failover_served=0,
+        retransmissions=base.retransmissions,
+        faults_injected=len(plan),
+        faults_fired=len(injector.fired),
+        fault_start_ns=fault_start,
+        fault_end_ns=fault_end,
+        time_to_recover_ns=max(0, recovered_at - fault_end),
+        lost_down=victim.link.stats.lost_down,
+        lost_model=0,
+        mode_degradations=0,
+        mode_upgrades=0,
+        degraded_final=0,
+        element_degradations=0,
+        buffer_failovers=0,
+        # The controller's liveness marks play the directory's role.
+        directory_marks_down=farm.controller.stats.marks_down,
+    )
+    metrics = farm.collect_telemetry()
+    return ChaosRun(
+        scenario=cfg.scenario,
+        config=cfg,
+        report=report,
+        pilot=farm,
+        injector=injector,
+        metrics=metrics,
+    )
+
+
 def run_chaos(cfg: ChaosConfig) -> ChaosRun:
     """Build, fault, run, and measure one scenario."""
+    if cfg.scenario == "fleet-node-crash":
+        return run_fleet_chaos(cfg)
     pilot = PilotTestbed(sim=Simulator(seed=cfg.seed), config=_pilot_config(cfg))
     plan = _build_plan(cfg, pilot)
     injector = FaultInjector(pilot.sim, plan)
@@ -278,6 +386,8 @@ def run_scenarios(cfg: ChaosConfig) -> list[ChaosRun]:
             seed=cfg.seed,
             wan_delay_ns=cfg.wan_delay_ns,
             wan_loss_rate=cfg.wan_loss_rate,
+            fleet_nodes=cfg.fleet_nodes,
+            fleet_flows=cfg.fleet_flows,
         )
         runs.append(run_chaos(base))
     degraded = ChaosConfig(

@@ -1,0 +1,29 @@
+"""Receiver farms: EJ-FAT-style one-pipe → N-node fan-out.
+
+The subsystem that takes the reproduction past its single receiving
+DTN. One ingest pipe (sensor → DTN 1 → U280 → Tofino2) feeds a farm of
+N receiver DTNs behind an in-network load balancer with a sticky
+``(experiment, flow, event-window) → node`` calendar
+(:mod:`~repro.fleet.farm`), a health-fed epoch-numbered control loop
+carrying EJ-FAT-style sync messages into balancer table updates
+(:mod:`~repro.fleet.control`), and an orchestrator scaling the
+multi-flow harness to hundreds of flows over tens of nodes
+(:mod:`~repro.fleet.orchestrator`).
+"""
+
+from .control import ControlStats, FleetController
+from .farm import FarmConfig, FarmNode, FarmReport, ReceiverFarm, node_address
+from .orchestrator import FleetConfig, FleetOrchestrator, FleetReport
+
+__all__ = [
+    "ControlStats",
+    "FarmConfig",
+    "FarmNode",
+    "FarmReport",
+    "FleetConfig",
+    "FleetController",
+    "FleetOrchestrator",
+    "FleetReport",
+    "ReceiverFarm",
+    "node_address",
+]

@@ -1,0 +1,621 @@
+"""A receiver farm: one ingest pipe fanned out over N sticky DTNs.
+
+The pilot (Fig. 4) terminates every flow at a single DTN 2; EJ-FAT's
+whole point is that one DAQ stream feeds a *farm* — an in-network load
+balancer sprays event windows over N processing nodes, keeping every
+fragment of one event on one node. :class:`ReceiverFarm` rebuilds the
+pilot's ingest pipe and replaces the single receiving DTN with that
+farm::
+
+    sensor — DAQ switch — DTN 1 — [U280] — Tofino2 ═╦═ rx-dtn-0
+             (identify)         (age-recover,       ╠═ rx-dtn-1
+                                 HBM buffer)        ╠═ ...
+                                      balancer ─────╩═ rx-dtn-N-1
+
+Each receiver DTN is a full endpoint: its own :class:`MmtStack`,
+per-flow receiver state, and NAK path back to the U280's HBM buffer.
+The Tofino2 runs the :class:`~repro.dataplane.loadbalancer
+.LoadBalancerProgram`, which owns the sticky ``(experiment, flow,
+event-window) → node`` calendar; retransmissions pass through the same
+steering, so repair traffic always lands on the window's bound node —
+even after a crash remaps the window, because the calendar entry moves
+*first* and the repair follows it.
+
+Receivers are stripe consumers (``detect_gaps=False``): the windows
+between their own belong to peers, so they never NAK spontaneously.
+Loss recovery is driven by end-of-run reconciliation instead — the
+farm knows the calendar, computes exactly which seqs each node's bound
+windows still owe, and has that node request them
+(:meth:`~repro.core.endpoint.MmtReceiver.request_sequences`); NAK
+retries and backoff then run the normal receiver machinery.
+
+Node health feeds the balancer through the epoch-numbered
+:class:`~repro.fleet.control.FleetController` sync loop;
+:meth:`crash_node` kills a node's access link and marks it down, after
+which the next sync tick redirects its windows (see control.py).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.endpoint import MmtReceiver, MmtSender, MmtStack, ReceiverConfig
+from ..core.features import MsgType
+from ..core.header import make_experiment_id
+from ..core.modes import ModeRegistry, pilot_registry
+from ..core.retransmit import RetransmitBuffer
+from ..dataplane.alveo import AlveoNic
+from ..dataplane.loadbalancer import LoadBalancerProgram
+from ..dataplane.pilot import PILOT_EXPERIMENT, U280_POSITION
+from ..dataplane.programs import (
+    AgeUpdateProgram,
+    BufferTapProgram,
+    ModeTransitionProgram,
+    NearestBufferProgram,
+    TransitionRule,
+)
+from ..dataplane.tofino import TofinoSwitch
+from ..netsim.engine import Simulator
+from ..netsim.host import Host
+from ..netsim.link import Link
+from ..netsim.packet import Packet
+from ..netsim.queues import DrrScheduler
+from ..netsim.topology import Topology
+from ..netsim.units import MICROSECOND, MILLISECOND, gbps
+from ..telemetry import (
+    MetricsRegistry,
+    scrape_balancer,
+    scrape_element,
+    scrape_receiver_flows,
+    scrape_simulator,
+    scrape_stack,
+    scrape_topology,
+)
+from .control import FleetController
+
+
+def node_address(index: int) -> str:
+    """Deterministic per-node IP: the farm scales to hundreds of DTNs."""
+    return f"10.40.{index // 200}.{index % 200 + 2}"
+
+
+@dataclass
+class FarmConfig:
+    """Parameters for one receiver-farm build."""
+
+    nodes: int = 4
+    flows: int = 8
+    #: Event-window size (seqs per balancer tick).
+    window: int = 16
+    link_rate_bps: int = gbps(100)
+    #: One-way delay of each Tofino2 → receiver-DTN WAN leg.
+    wan_delay_ns: int = 1 * MILLISECOND
+    #: Random loss on the WAN legs.
+    wan_loss_rate: float = 0.0
+    daq_delay_ns: int = 5 * MICROSECOND
+    age_budget_ns: int = 50 * MILLISECOND
+    buffer_bytes: int = 512 * 1024 * 1024
+    mtu_bytes: int = 9000
+    slice_id: int = 0
+    #: Control-loop sync cadence (EJ-FAT sync messages).
+    sync_interval_ns: int = 100 * MICROSECOND
+    #: What retransmissions do when their window's backend died between
+    #: sync ticks (see LoadBalancerProgram).
+    retx_policy: str = "rebind"
+    #: Record every steering decision (property tests; off = zero cost).
+    record_steering: bool = False
+    #: Receiver tuning override (None builds stripe-consumer defaults).
+    receiver: ReceiverConfig | None = None
+    telemetry: bool = False
+    trace: bool = False
+    trace_capacity: int | None = None
+
+
+@dataclass
+class FarmNode:
+    """One receiver DTN of the farm."""
+
+    index: int
+    host: Host
+    stack: MmtStack
+    receiver: MmtReceiver
+    #: The Tofino2 ↔ node WAN leg (cut by :meth:`ReceiverFarm.crash_node`).
+    link: Link
+    delivered: int = 0
+    bytes_delivered: int = 0
+    retx_delivered: int = 0
+    crashed_at_ns: int | None = None
+
+    @property
+    def address(self) -> str:
+        return self.host.ip
+
+    @property
+    def alive(self) -> bool:
+        return self.crashed_at_ns is None
+
+
+@dataclass
+class FarmReport:
+    """Everything a farm run measured."""
+
+    nodes: int
+    flows: int
+    messages_sent: int
+    dtn1_relayed: int
+    delivered: int
+    naks_sent: int
+    naks_served: int
+    retransmissions: int
+    unrecovered: int
+    #: flow_id → the pilot-style per-flow accounting row.
+    per_flow: dict[int, dict[str, int]]
+    #: node index → delivery/steering shares.
+    per_node: dict[int, dict[str, int]]
+    #: Balancer + control-loop health.
+    epoch: int
+    table_updates: int
+    redirects: int
+    retx_rebinds: int
+    syncs: int
+    marks_down: int
+    redirected_windows: int
+    max_update_latency_ns: int
+    #: Last delivery carried by a retransmission (0 = none).
+    last_retx_delivery_ns: int = 0
+
+    @property
+    def complete(self) -> bool:
+        """Every relayed message was delivered somewhere, none given up."""
+        return all(
+            row["unrecovered"] == 0 and row["delivered"] >= row["relayed"]
+            for row in self.per_flow.values()
+        )
+
+
+class ReceiverFarm:
+    """A ready-to-run build of the EJ-FAT-style fan-out testbed."""
+
+    def __init__(
+        self,
+        sim: Simulator | None = None,
+        config: FarmConfig | None = None,
+        registry: ModeRegistry | None = None,
+    ) -> None:
+        self.sim = sim or Simulator(seed=7)
+        self.config = config or FarmConfig()
+        self.registry = registry or pilot_registry()
+        if self.config.nodes < 1:
+            raise ValueError(f"nodes must be >= 1, got {self.config.nodes}")
+        if self.config.flows < 1:
+            raise ValueError(f"flows must be >= 1, got {self.config.flows}")
+        self.experiment_id = make_experiment_id(PILOT_EXPERIMENT, self.config.slice_id)
+        self._build()
+
+    # -- construction ----------------------------------------------------------
+
+    def _build(self) -> None:
+        cfg = self.config
+        topo = Topology(self.sim)
+        self.topology = topo
+
+        self.sensor = topo.add_host("sensor", ip="10.10.0.2")
+        self.daq_switch = topo.add_switch("daq-switch")
+        self.dtn1 = topo.add_host("dtn1", ip="10.10.0.10")
+        self.u280 = topo.add(
+            AlveoNic.u280(self.sim, "alveo-u280", mac=topo.allocate_mac(), ip="10.20.0.2")
+        )
+        self.tofino = topo.add(
+            TofinoSwitch(self.sim, "tofino2", mac=topo.allocate_mac(), ip="10.20.0.1")
+        )
+
+        rate = cfg.link_rate_bps
+        short = 1 * MICROSECOND
+        topo.connect(self.sensor, self.daq_switch, rate, cfg.daq_delay_ns, cfg.mtu_bytes)
+        topo.connect(self.daq_switch, self.dtn1, rate, cfg.daq_delay_ns, cfg.mtu_bytes)
+        topo.connect(self.dtn1, self.u280, rate, short, cfg.mtu_bytes)
+        topo.connect(self.u280, self.tofino, rate, short, cfg.mtu_bytes)
+
+        # The farm: one WAN leg per receiver DTN, loss on each leg.
+        node_hosts: list[Host] = []
+        node_links: list[Link] = []
+        for index in range(cfg.nodes):
+            host = topo.add_host(f"rx-dtn-{index}", ip=node_address(index))
+            link = topo.connect(
+                self.tofino, host, rate, cfg.wan_delay_ns, cfg.mtu_bytes,
+                loss_rate=cfg.wan_loss_rate,
+            )
+            node_hosts.append(host)
+            node_links.append(link)
+        topo.install_routes()
+
+        # --- programmable elements -----------------------------------------
+        self.buffer: RetransmitBuffer = self.u280.attach_buffer(cfg.buffer_bytes)
+        self.u280_transition = ModeTransitionProgram(
+            self.registry,
+            [
+                TransitionRule(
+                    from_config_id=self.registry.by_name("identify").config_id,
+                    to_mode="age-recover",
+                    buffer_addr=self.u280.ip,
+                    age_budget_ns=cfg.age_budget_ns,
+                )
+            ],
+            path_position=U280_POSITION,
+        )
+        self.u280_transition.install(self.u280)
+        BufferTapProgram(buffer_addr=self.u280.ip).install(self.u280)
+        AgeUpdateProgram().install(self.u280)
+
+        self.tofino_age = AgeUpdateProgram()
+        self.tofino_age.install(self.tofino)
+        NearestBufferProgram(buffer_addr=self.u280.ip).install(self.tofino)
+        self.balancer = LoadBalancerProgram(
+            experiment_id=self.experiment_id,
+            backends=[host.ip for host in node_hosts],
+            window=cfg.window,
+            retx_policy=cfg.retx_policy,
+            record_log=cfg.record_steering,
+        )
+        self.balancer.install(self.tofino)
+
+        # --- endpoints --------------------------------------------------------
+        self.sensor_stack = MmtStack(self.sensor, self.registry)
+        self.dtn1_stack = MmtStack(self.dtn1, self.registry)
+
+        tagged = cfg.flows > 1
+
+        def flow_kwargs(fid: int) -> dict:
+            if not tagged:
+                return {"flow": "fleet"}
+            return {"flow": f"fleet-f{fid}", "flow_id": fid}
+
+        self.sensor_senders: list[MmtSender] = [
+            self.sensor_stack.create_sender(
+                experiment_id=self.experiment_id,
+                mode="identify",
+                dst_mac=self.dtn1.mac,
+                l2_port=next(iter(self.sensor.ports)),
+                **flow_kwargs(fid),
+            )
+            for fid in range(cfg.flows)
+        ]
+        # DTN 1 re-originates toward the farm; the balancer re-steers
+        # per window, so the nominal destination is just node 0.
+        self.dtn1_senders: list[MmtSender] = [
+            self.dtn1_stack.create_sender(
+                experiment_id=self.experiment_id,
+                mode="identify",
+                dst_ip=node_hosts[0].ip,
+                **flow_kwargs(fid),
+            )
+            for fid in range(cfg.flows)
+        ]
+        self.relay_drr: DrrScheduler | None = (
+            DrrScheduler(quantum_bytes=cfg.mtu_bytes) if tagged else None
+        )
+        self._relay_drain_pending = False
+        self.dtn1_receiver: MmtReceiver = self.dtn1_stack.bind_receiver(
+            PILOT_EXPERIMENT, on_message=self._relay_at_dtn1
+        )
+
+        receiver_config = cfg.receiver or ReceiverConfig(
+            detect_gaps=False,
+            initial_rtt_ns=max(4 * cfg.wan_delay_ns, 1 * MILLISECOND),
+        )
+        self.nodes: list[FarmNode] = []
+        self._node_by_address: dict[str, FarmNode] = {}
+        for index, (host, link) in enumerate(zip(node_hosts, node_links)):
+            stack = MmtStack(host, self.registry)
+            receiver = stack.bind_receiver(
+                PILOT_EXPERIMENT,
+                on_message=self._deliver_fn(index),
+                config=receiver_config,
+            )
+            node = FarmNode(
+                index=index, host=host, stack=stack, receiver=receiver, link=link
+            )
+            self.nodes.append(node)
+            self._node_by_address[host.ip] = node
+
+        # --- control loop ---------------------------------------------------
+        self.controller = FleetController(
+            self.sim,
+            self.balancer,
+            fill_fn=self._node_fill,
+            sync_interval_ns=cfg.sync_interval_ns,
+        )
+
+        # --- bookkeeping ------------------------------------------------------
+        self.messages_sent = 0
+        self.dtn1_relayed = 0
+        self.messages_sent_by_flow: dict[int, int] = {f: 0 for f in range(cfg.flows)}
+        self.dtn1_relayed_by_flow: dict[int, int] = {f: 0 for f in range(cfg.flows)}
+        #: flow_id → unique seqs delivered anywhere in the farm.
+        self.delivered_seqs: dict[int, set[int]] = {f: set() for f in range(cfg.flows)}
+        #: flow_id → [(delivery time, payload size)], farm-wide.
+        self.delivered_by_flow: dict[int, list[tuple[int, int]]] = {
+            f: [] for f in range(cfg.flows)
+        }
+        #: Every delivery: (time, msg_type, node index, flow, seq).
+        self.deliveries: list[tuple[int, MsgType, int, int, int]] = []
+        self._stream_end_ns = 0
+
+        # --- telemetry / tracing ---------------------------------------------
+        self.metrics: MetricsRegistry | None = (
+            MetricsRegistry() if cfg.telemetry else None
+        )
+        self.tracer = None
+        if cfg.trace:
+            from ..trace import Tracer
+
+            self.attach_tracer(Tracer(self.sim, capacity=cfg.trace_capacity))
+
+    def attach_tracer(self, tracer) -> None:
+        """Install a tracer on every hook point (pilot-style)."""
+        self.tracer = tracer
+        self.sim.tracer = tracer
+        for node in self.topology.nodes.values():
+            for port in node.ports.values():
+                port.tracer = tracer
+        for link in self.topology.links:
+            link.tracer = tracer
+        for element in (self.u280, self.tofino):
+            element.tracer = tracer
+        self.sensor_stack.tracer = tracer
+        self.dtn1_stack.tracer = tracer
+        for node in self.nodes:
+            node.stack.tracer = tracer
+        self.buffer.tracer = tracer
+        self.balancer.tracer = tracer
+        self.controller.tracer = tracer
+
+    # -- health signals --------------------------------------------------------
+
+    def _node_fill(self, address: str) -> int:
+        """EJ-FAT sync fill: occupancy of the balancer's egress queue
+        toward the node — the backlog the balancer itself can see."""
+        node = self._node_by_address[address]
+        for port in node.link.ends:
+            if port.node is self.tofino:
+                queue = port.queue
+                return min(100, (queue.bytes_queued * 100) // queue.capacity_bytes)
+        return 0
+
+    def crash_node(self, index: int) -> None:
+        """Kill a receiver DTN: its WAN leg drops everything in flight
+        and the controller learns at the next sync tick (directory-style
+        mark), which redirects its windows."""
+        node = self.nodes[index]
+        if node.crashed_at_ns is not None:
+            return
+        node.crashed_at_ns = self.sim.now
+        node.link.up = False
+        self.controller.mark_node_down(node.address)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "fleet.node_crash", node.host.name, at_ns=self.sim.now
+            )
+
+    def restore_node(self, index: int) -> None:
+        """Bring a crashed node back (it rejoins for *new* windows)."""
+        node = self.nodes[index]
+        if node.crashed_at_ns is None:
+            return
+        node.crashed_at_ns = None
+        node.link.up = True
+        self.controller.mark_node_up(node.address)
+
+    def drain_node(self, index: int) -> None:
+        """Maintenance drain: bound windows finish, new windows avoid."""
+        self.controller.drain(self.nodes[index].address)
+
+    # -- dataflow callbacks ----------------------------------------------------
+
+    def _relay_at_dtn1(self, packet: Packet, header) -> None:
+        self.dtn1_relayed += 1
+        fid = header.flow_id or 0
+        self.dtn1_relayed_by_flow[fid] = self.dtn1_relayed_by_flow.get(fid, 0) + 1
+        meta = {"sent_at": packet.meta.get("sent_at", self.sim.now)}
+        if self.relay_drr is None:
+            self.dtn1_senders[0].send(packet.payload_size, payload=packet.payload, meta=meta)
+            return
+        self.relay_drr.enqueue(
+            fid, (packet.payload_size, packet.payload, meta), packet.size_bytes
+        )
+        if not self._relay_drain_pending:
+            self._relay_drain_pending = True
+            self.sim.schedule(0, self._drain_relay)
+
+    def _drain_relay(self) -> None:
+        assert self.relay_drr is not None
+        self._relay_drain_pending = False
+        while True:
+            served = self.relay_drr.dequeue()
+            if served is None:
+                return
+            fid, (payload_size, payload, meta) = served
+            self.dtn1_senders[fid].send(payload_size, payload=payload, meta=meta)
+
+    def _deliver_fn(self, node_index: int):
+        def deliver(packet: Packet, header) -> None:
+            node = self.nodes[node_index]
+            fid = header.flow_id or 0
+            node.delivered += 1
+            node.bytes_delivered += packet.payload_size
+            if header.msg_type == MsgType.RETX_DATA:
+                node.retx_delivered += 1
+            self.delivered_seqs[fid].add(header.seq)
+            self.delivered_by_flow[fid].append((self.sim.now, packet.payload_size))
+            self.deliveries.append(
+                (self.sim.now, header.msg_type, node_index, fid, header.seq)
+            )
+
+        return deliver
+
+    # -- driving ---------------------------------------------------------------
+
+    def send_message(
+        self, payload_size: int = 8000, flow: int = 0, payload: bytes | None = None
+    ) -> None:
+        """Emit one DAQ message from the sensor right now."""
+        self.sensor_senders[flow].send(payload_size, payload=payload)
+        self.messages_sent += 1
+        self.messages_sent_by_flow[flow] = self.messages_sent_by_flow.get(flow, 0) + 1
+        self._stream_end_ns = max(self._stream_end_ns, self.sim.now)
+
+    def send_stream(
+        self,
+        count: int,
+        payload_size: int = 8000,
+        interval_ns: int = 1_000,
+        flow: int = 0,
+    ) -> None:
+        """Schedule a steady stream of ``count`` messages from the sensor."""
+        for i in range(count):
+            self.sim.schedule(i * interval_ns, self.send_message, payload_size, flow)
+        if count:
+            self._stream_end_ns = max(
+                self._stream_end_ns, self.sim.now + (count - 1) * interval_ns
+            )
+
+    def run(
+        self,
+        control_until_ns: int | None = None,
+        extra_ns: int = 0,
+        reconcile: bool = True,
+    ) -> FarmReport:
+        """Run to quiescence (plus ``extra_ns``), reconcile, and report.
+
+        The control loop's sync ticks cover the traffic span (known from
+        scheduled streams, or ``control_until_ns`` when a generator
+        emits lazily) plus two settle intervals; liveness marks past
+        that horizon still trigger one catch-up tick each.
+        """
+        horizon = max(self._stream_end_ns, control_until_ns or 0)
+        self.controller.run_until(horizon + 2 * self.config.sync_interval_ns)
+        self.sim.run(until_ns=self.sim.now + extra_ns if extra_ns else None)
+        self.sim.run()
+        if reconcile:
+            self.reconcile()
+            self.sim.run()
+        return self.report()
+
+    def reconcile(self) -> int:
+        """Calendar-directed end-of-run recovery.
+
+        For every flow, every relayed-but-undelivered seq is requested
+        at the node its window is bound to *now* (a window remapped by
+        redirect-on-crash is requested at its new owner, and the repair
+        is steered there too). Returns how many seqs were requested.
+        """
+        requested = 0
+        for fid in range(self.config.flows):
+            expected = self.dtn1_relayed_by_flow.get(fid, 0)
+            delivered = self.delivered_seqs[fid]
+            per_node: dict[int, list[int]] = {}
+            for seq in range(expected):
+                if seq in delivered:
+                    continue
+                # route() (not backend_for) so stale bindings to dead
+                # nodes are rebound on discovery.
+                address = self.balancer.route(fid, seq)
+                node = self._node_by_address[address]
+                per_node.setdefault(node.index, []).append(seq)
+            for index, seqs in sorted(per_node.items()):
+                node = self.nodes[index]
+                if not node.alive:
+                    continue  # no live backend at all: nothing to ask
+                requested += node.receiver.request_sequences(
+                    self.experiment_id, seqs, flow_id=fid, buffer_addr=self.u280.ip
+                )
+        return requested
+
+    # -- reporting -------------------------------------------------------------
+
+    def collect_telemetry(self) -> MetricsRegistry:
+        """Scrape the whole farm into the registry (end of run)."""
+        if self.metrics is None:
+            raise RuntimeError("telemetry disabled; build with FarmConfig(telemetry=True)")
+        registry = self.metrics
+        scrape_simulator(self.sim, registry)
+        scrape_topology(self.topology, registry, now_ns=self.sim.now)
+        for element in (self.u280, self.tofino):
+            scrape_element(element, registry)
+        scrape_stack(self.sensor_stack, registry)
+        scrape_stack(self.dtn1_stack, registry)
+        for node in self.nodes:
+            scrape_stack(node.stack, registry)
+            scrape_receiver_flows(node.receiver, registry, host=node.host.name)
+        scrape_balancer(self.balancer, registry, element=self.tofino.name)
+        registry.counter("fleet_controller_syncs").set_total(self.controller.stats.syncs)
+        registry.counter("fleet_controller_marks_down").set_total(
+            self.controller.stats.marks_down
+        )
+        registry.counter("fleet_controller_redirected_windows").set_total(
+            self.controller.stats.redirected_windows
+        )
+        return registry
+
+    def flow_report(self) -> dict[int, dict[str, int]]:
+        """Pilot-style per-flow accounting, summed across the farm."""
+        report: dict[int, dict[str, int]] = {}
+        summaries = [node.receiver.flow_summary() for node in self.nodes]
+        for fid in range(self.config.flows):
+            rows = [s.get((self.experiment_id, fid), {}) for s in summaries]
+            deliveries = self.delivered_by_flow.get(fid, [])
+            report[fid] = {
+                "sent": self.messages_sent_by_flow.get(fid, 0),
+                "relayed": self.dtn1_relayed_by_flow.get(fid, 0),
+                "delivered": len(self.delivered_seqs[fid]),
+                "bytes_delivered": sum(r.get("bytes_delivered", 0) for r in rows),
+                "naks_sent": sum(r.get("naks_sent", 0) for r in rows),
+                "unrecovered": sum(r.get("unrecovered", 0) for r in rows),
+                "retransmissions": sum(r.get("retransmissions", 0) for r in rows),
+                "first_delivery_ns": deliveries[0][0] if deliveries else 0,
+                "last_delivery_ns": deliveries[-1][0] if deliveries else 0,
+            }
+        return report
+
+    def node_report(self) -> dict[int, dict[str, int]]:
+        """Per-node delivery and steering shares."""
+        report: dict[int, dict[str, int]] = {}
+        for node in self.nodes:
+            backend = self.balancer.backends[node.address]
+            report[node.index] = {
+                "delivered": node.delivered,
+                "bytes_delivered": node.bytes_delivered,
+                "retx_delivered": node.retx_delivered,
+                "windows_assigned": backend.windows_assigned,
+                "packets_steered": backend.packets_steered,
+                "bytes_steered": backend.bytes_steered,
+                "fill_pct": backend.fill_pct,
+                "alive": int(node.alive),
+            }
+        return report
+
+    def report(self) -> FarmReport:
+        per_flow = self.flow_report()
+        retx_times = [t for t, m, *_ in self.deliveries if m == MsgType.RETX_DATA]
+        return FarmReport(
+            nodes=self.config.nodes,
+            flows=self.config.flows,
+            messages_sent=self.messages_sent,
+            dtn1_relayed=self.dtn1_relayed,
+            delivered=sum(len(s) for s in self.delivered_seqs.values()),
+            naks_sent=sum(row["naks_sent"] for row in per_flow.values()),
+            naks_served=self.u280.stats.naks_served,
+            retransmissions=sum(row["retransmissions"] for row in per_flow.values()),
+            unrecovered=sum(row["unrecovered"] for row in per_flow.values()),
+            per_flow=per_flow,
+            per_node=self.node_report(),
+            epoch=self.balancer.epoch,
+            table_updates=self.balancer.table_updates,
+            redirects=self.balancer.redirects,
+            retx_rebinds=self.balancer.retx_rebinds,
+            syncs=self.controller.stats.syncs,
+            marks_down=self.controller.stats.marks_down,
+            redirected_windows=self.controller.stats.redirected_windows,
+            max_update_latency_ns=self.controller.stats.max_update_latency_ns,
+            last_retx_delivery_ns=max(retx_times, default=0),
+        )

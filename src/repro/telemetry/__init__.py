@@ -19,6 +19,7 @@ The measurement substrate for the whole stack, in four parts:
 
 from .benchfmt import BenchResult, load_bench_result
 from .collect import (
+    scrape_balancer,
     scrape_buffer,
     scrape_element,
     scrape_flow_counters,
@@ -85,6 +86,7 @@ __all__ = [
     "quantile_from_buckets",
     "read_snapshot",
     "read_snapshots",
+    "scrape_balancer",
     "scrape_buffer",
     "scrape_element",
     "scrape_flow_counters",

@@ -93,8 +93,15 @@ def scrape_receiver(receiver, registry: MetricsRegistry, host: str | None = None
     histogram.observe_many(latency for _at, latency in receiver.delivery_log)
 
 
-def scrape_sender(sender, registry: MetricsRegistry, host: str | None = None) -> None:
+def scrape_sender(
+    sender,
+    registry: MetricsRegistry,
+    host: str | None = None,
+    flow: str | None = None,
+) -> None:
     labels = {"host": host} if host else {}
+    if flow:
+        labels["flow"] = flow
     _scrape_dataclass(registry, "mmt_tx", sender.stats, **labels)
 
 
@@ -109,8 +116,14 @@ def scrape_stack(stack, registry: MetricsRegistry) -> None:
     )
     for receiver in stack.receivers.values():
         scrape_receiver(receiver, registry, host=host)
+    # A host with several senders (one per flow) gets per-flow series;
+    # single-sender stacks keep the unlabelled legacy series, and two
+    # same-host senders never collide on one monotonic counter.
+    multi = len(stack.senders) > 1
     for sender in stack.senders:
-        scrape_sender(sender, registry, host=host)
+        scrape_sender(
+            sender, registry, host=host, flow=sender.flow if multi else None
+        )
     if stack.buffer is not None:
         scrape_buffer(stack.buffer, registry, host=host)
 
@@ -159,6 +172,38 @@ def scrape_flow_residency(residency, registry: MetricsRegistry, host: str | None
         if host:
             labels["host"] = host
         registry.gauge("retx_buffer_flow_bytes", **labels).set(nbytes)
+
+
+def scrape_balancer(balancer, registry: MetricsRegistry, element: str | None = None) -> None:
+    """An EJ-FAT-style load balancer: per-backend state plus the
+    table-health counters (epoch, redirects, retx rebinds).
+
+    One ``fleet_node_*`` series per backend — fill level as reported by
+    the sync loop, windows assigned, packets/bytes steered — so a
+    scrape answers "is the farm balanced and who is absorbing repair
+    traffic" without touching the balancer object.
+    """
+    base = {"element": element} if element else {}
+    for address, state in balancer.backends.items():
+        labels = dict(base, backend=address)
+        registry.gauge("fleet_node_fill_pct", **labels).set(state.fill_pct)
+        registry.gauge("fleet_node_draining", **labels).set(int(state.draining))
+        registry.gauge("fleet_node_dead", **labels).set(int(state.dead))
+        registry.counter("fleet_node_windows_assigned", **labels).set_total(
+            state.windows_assigned
+        )
+        registry.counter("fleet_node_packets_steered", **labels).set_total(
+            state.packets_steered
+        )
+        registry.counter("fleet_node_bytes_steered", **labels).set_total(
+            state.bytes_steered
+        )
+    registry.counter("balancer_epoch", **base).set_total(balancer.epoch)
+    registry.counter("balancer_table_updates", **base).set_total(balancer.table_updates)
+    registry.counter("balancer_redirects", **base).set_total(balancer.redirects)
+    registry.counter("balancer_retx_rebinds", **base).set_total(balancer.retx_rebinds)
+    registry.counter("balancer_follows_dead", **base).set_total(balancer.follows_dead)
+    registry.counter("balancer_unsteerable", **base).set_total(balancer.unsteerable)
 
 
 def scrape_element(element, registry: MetricsRegistry) -> None:

@@ -173,3 +173,99 @@ class TestControlPlane:
         send_all(sim, sender, 16)
         assert balancer.backend_for(0) in {w.ip for w in workers}
         assert balancer.backend_for(0) == balancer.backend_for(7)
+
+
+class TestLivenessAndRetxPolicy:
+    """Regression: a window's backend drained or crashed after binding.
+
+    Pre-policy, the balancer steered retransmissions exactly like
+    first-pass DATA, silently following a stale binding into a dead
+    backend. Now liveness is explicit (mark_down/mark_up), bound
+    windows are remapped on crash, and retransmissions obey
+    ``retx_policy`` when they discover a dead binding themselves.
+    """
+
+    def two_backends(self, **kwargs) -> LoadBalancerProgram:
+        return LoadBalancerProgram(
+            EXP_ID, backends=["10.0.3.2", "10.0.3.3"], window=8, **kwargs
+        )
+
+    def test_retx_after_drain_stays_on_bound_backend(self):
+        balancer = self.two_backends()
+        bound = balancer.route(0, 0)
+        balancer.drain(bound)
+        # Bound windows finish on the draining backend — retx included.
+        assert balancer.route(0, 1, is_retx=True) == bound
+        assert balancer.route(0, 2) == bound
+        # New windows avoid it.
+        other = balancer.route(0, 8)
+        assert other != bound
+
+    def test_mark_down_remaps_bound_windows(self):
+        balancer = self.two_backends()
+        first = balancer.route(0, 0)
+        epoch = balancer.epoch
+        moved = balancer.mark_down(first)
+        assert moved == [(0, 0)]
+        assert balancer.epoch > epoch
+        assert balancer.windows_bound_to(first) == 0
+        # First-pass and repair traffic both land on the new owner.
+        survivor = balancer.backend_for(0)
+        assert survivor != first
+        assert balancer.route(0, 1) == survivor
+        assert balancer.route(0, 3, is_retx=True) == survivor
+        assert balancer.redirects == 1
+
+    def test_retx_rebind_policy_on_stale_dead_binding(self):
+        """A binding can still point at a dead backend when the crash
+        happened with no live peer to remap to (liveness races the
+        table update). Policy "rebind": the retransmission moves the
+        window to whatever is alive by the time it arrives."""
+        balancer = self.two_backends()
+        first = balancer.route(0, 0)
+        other = next(a for a in balancer.backends if a != first)
+        balancer.mark_down(other)  # lose the spare first
+        balancer.mark_down(first)  # nothing live: binding stays put
+        assert balancer.backend_for(0) == first
+        balancer.mark_up(other)
+        assert balancer.route(0, 1, is_retx=True) == other
+        assert balancer.retx_rebinds == 1
+
+    def test_retx_follow_policy_preserves_stale_steering(self):
+        """Policy "follow" keeps the historical bug observable: the
+        retransmission is steered into the dead backend and counted."""
+        balancer = self.two_backends(retx_policy="follow")
+        first = balancer.route(0, 0)
+        other = next(a for a in balancer.backends if a != first)
+        balancer.mark_down(other)
+        balancer.mark_down(first)
+        balancer.mark_up(other)
+        assert balancer.route(0, 1, is_retx=True) == first
+        assert balancer.follows_dead == 1
+        # First-transmission DATA always rebinds regardless of policy.
+        assert balancer.route(0, 2) == other
+        assert balancer.redirects == 1
+
+    def test_retx_policy_validated(self):
+        with pytest.raises(LoadBalancerError):
+            self.two_backends(retx_policy="punt")
+
+    def test_mark_down_survivors_absorb_new_windows(self, sim):
+        _topo, sender, balancer, workers, received, _rx = build(
+            sim, workers=3, window=8
+        )
+        balancer.mark_down(workers[0].ip)
+        send_all(sim, sender, 240)
+        assert len(received["worker0"]) == 0
+        assert len(received["worker1"]) + len(received["worker2"]) == 240
+
+    def test_steering_log_records_decisions(self):
+        balancer = self.two_backends(record_log=True)
+        bound = balancer.route(0, 0)
+        balancer.route(0, 1)
+        balancer.mark_down(bound)
+        kinds = [r.kind for r in balancer.steering_log]
+        assert kinds == ["bind", "steer", "redirect"]
+        # Epoch is stamped on every record: the redirect belongs to the
+        # post-mark table generation.
+        assert balancer.steering_log[-1].epoch == balancer.epoch

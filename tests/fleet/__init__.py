@@ -1,0 +1,1 @@
+"""Receiver-farm fan-out: farm build, control loop, fleet orchestration."""
