@@ -1,4 +1,4 @@
-"""Metrics and report-table helpers."""
+"""Metrics, report-table helpers, and campaign sharding."""
 
 from .metrics import (
     AgeOfInformation,
@@ -8,6 +8,17 @@ from .metrics import (
     jains_fairness,
     percentile,
 )
+from .shard import (
+    ShardError,
+    TracedPilotCase,
+    available_cores,
+    campaign_digest,
+    fleet_case_metrics,
+    merge_campaign,
+    multiflow_case_metrics,
+    run_sharded,
+    run_traced_pilot_case,
+)
 from .tables import ResultTable, format_duration, format_rate
 from .tracestats import trace_metrics
 
@@ -15,6 +26,15 @@ __all__ = [
     "AgeOfInformation",
     "LatencySummary",
     "ResultTable",
+    "ShardError",
+    "TracedPilotCase",
+    "available_cores",
+    "campaign_digest",
+    "fleet_case_metrics",
+    "merge_campaign",
+    "multiflow_case_metrics",
+    "run_sharded",
+    "run_traced_pilot_case",
     "completion_fraction",
     "format_duration",
     "format_rate",

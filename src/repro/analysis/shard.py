@@ -1,0 +1,288 @@
+"""Deterministic multi-core campaign sharding.
+
+A *campaign* is a batch of independent seeded simulation runs — a seed
+sweep, a scenario matrix, a parameter grid. Each run already owns its
+own :class:`~repro.netsim.engine.Simulator` (and therefore its own
+named RNG streams), so runs share no state and can execute in any
+order on any core. This module fans a campaign across worker
+processes and merges the results with stable ordering, under one
+contract:
+
+**the merged artifact is byte-identical for every ``--jobs N``.**
+
+Three rules make that hold:
+
+1. every task is a pure function of its picklable config — workers
+   never read global mutable state, and each builds its simulator from
+   the config's seed;
+2. ``jobs <= 1`` runs the tasks inline, in order, with no worker
+   processes at all — so ``--jobs 1`` *is* the sequential baseline by
+   construction, not by equivalence argument;
+3. results come back in task-submission order (``Pool.map`` preserves
+   it), and merge helpers sort by explicit case labels — never by
+   completion time.
+
+Workers are spawned with the ``fork`` start method when the platform
+offers it (cheap, inherits the imported tree) and fall back to
+``spawn`` elsewhere; either way the worker callables live at module
+level so they pickle by qualified name.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from ..telemetry.benchfmt import BenchResult
+
+__all__ = [
+    "ShardError",
+    "TracedPilotCase",
+    "available_cores",
+    "campaign_digest",
+    "fleet_case_metrics",
+    "merge_campaign",
+    "merge_counts",
+    "multiflow_case_metrics",
+    "packet_path_shard",
+    "packet_train_shard",
+    "run_sharded",
+    "run_traced_pilot_case",
+    "split_evenly",
+]
+
+
+class ShardError(Exception):
+    """Raised for invalid sharding requests."""
+
+
+def available_cores() -> int:
+    """CPU cores this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _pool_context():
+    """Fork where available (cheap, inherits imports), else spawn."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - platforms without fork
+        return multiprocessing.get_context("spawn")
+
+
+def run_sharded(
+    worker: Callable[[Any], Any],
+    tasks: Sequence[Any],
+    jobs: int = 1,
+) -> list[Any]:
+    """Apply ``worker`` to every task, fanning across ``jobs`` processes.
+
+    Results are returned in task order regardless of which worker
+    finished first. ``jobs <= 1`` (or a single task) runs inline in the
+    calling process — the sequential baseline every parallel run must
+    reproduce. ``worker`` must be a module-level callable and each task
+    must be picklable; both are requirements of the ``spawn`` fallback
+    and good hygiene under ``fork``.
+    """
+    if jobs < 0:
+        raise ShardError(f"jobs must be >= 0, got {jobs}")
+    tasks = list(tasks)
+    if jobs <= 1 or len(tasks) <= 1:
+        return [worker(task) for task in tasks]
+    processes = min(jobs, len(tasks))
+    context = _pool_context()
+    with context.Pool(processes=processes) as pool:
+        # chunksize=1: tasks are coarse (whole simulations), so favor
+        # balance over batching; order is preserved by map() itself.
+        return pool.map(worker, tasks, chunksize=1)
+
+
+# -- merge helpers ------------------------------------------------------------
+
+
+def merge_campaign(
+    name: str,
+    labeled_metrics: Sequence[tuple[str, dict]],
+    params: dict | None = None,
+    seed: int | None = None,
+) -> BenchResult:
+    """Merge per-case metric dicts into one :class:`BenchResult`.
+
+    Cases are recorded sorted by label — the merge order (and therefore
+    the serialized artifact) depends only on the case labels, never on
+    which shard finished first. Duplicate labels are rejected: they
+    would silently overwrite each other in the metrics dict.
+    """
+    labels = [label for label, _ in labeled_metrics]
+    if len(set(labels)) != len(labels):
+        raise ShardError(f"duplicate case labels in campaign: {sorted(labels)}")
+    bench = BenchResult(name=name, params=dict(params or {}), seed=seed)
+    for label, metrics in sorted(labeled_metrics, key=lambda pair: pair[0]):
+        bench.record(label, **metrics)
+    return bench
+
+
+def campaign_digest(results: Any) -> str:
+    """sha256 over the canonical JSON of ``results``.
+
+    The pin for shard-determinism tests: identical merged campaigns
+    hash identically, regardless of job count or completion order.
+    """
+    canonical = json.dumps(results, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def split_evenly(total: int, shards: int) -> list[int]:
+    """Split ``total`` units into ``shards`` near-equal chunks.
+
+    Deterministic: the remainder goes to the *earlier* shards, so the
+    split depends only on ``(total, shards)``. Zero-sized chunks are
+    dropped (fewer units than shards).
+    """
+    if shards < 1:
+        raise ShardError(f"shards must be >= 1, got {shards}")
+    base, extra = divmod(total, shards)
+    sizes = [base + (1 if i < extra else 0) for i in range(shards)]
+    return [size for size in sizes if size > 0]
+
+
+def merge_counts(shards: Sequence[dict]) -> dict:
+    """Sum per-shard operation-count dicts key by key.
+
+    Every perf workload count is a pure function of its arguments, so
+    the summed dict is a pure function of the *split* — identical for
+    every job count given the same shard sizes and seeds.
+    """
+    merged: dict[str, int] = {}
+    for counts in shards:
+        for key, value in counts.items():
+            merged[key] = merged.get(key, 0) + value
+    return merged
+
+
+# -- campaign workers ---------------------------------------------------------
+#
+# Module-level so they pickle under spawn. Each takes one picklable
+# config and returns plain data (dicts of ints/floats/strings) — live
+# simulation objects never cross the process boundary.
+
+
+def packet_path_shard(task: tuple[int, int, int]) -> dict:
+    """One ``(packets, hops, seed)`` shard of the single-packet workload."""
+    from .perf import packet_path_churn
+
+    packets, hops, seed = task
+    return packet_path_churn(packets=packets, hops=hops, seed=seed)
+
+
+def packet_train_shard(task: tuple[int, int, int, int]) -> dict:
+    """One ``(packets, hops, train, seed)`` shard of the batched workload."""
+    from .perf import packet_train_churn
+
+    packets, hops, train, seed = task
+    return packet_train_churn(packets=packets, hops=hops, train=train, seed=seed)
+
+
+def multiflow_case_metrics(config) -> tuple[str, dict]:
+    """Run one :class:`~repro.integration.multiflow.MultiFlowConfig`
+    case; returns ``(label, flat metrics)`` suitable for merging."""
+    from ..integration.multiflow import MultiFlowOrchestrator
+
+    report = MultiFlowOrchestrator(config).run()
+    label = f"seed{config.seed:06d}_flows{config.flows}"
+    return label, {
+        "flows": report.flows,
+        "duration_ns": report.duration_ns,
+        "delivered": report.pilot.delivered,
+        "messages_sent": report.pilot.messages_sent,
+        "unrecovered": report.pilot.unrecovered,
+        "retransmissions": report.pilot.retransmissions,
+        "aggregate_goodput_bps": round(report.aggregate_goodput_bps, 3),
+        "fairness": round(report.fairness, 9),
+        "completion_spread_ns": report.completion_spread_ns,
+        "complete": int(report.complete),
+    }
+
+
+def fleet_case_metrics(config) -> tuple[str, dict]:
+    """Run one :class:`~repro.fleet.orchestrator.FleetConfig` case;
+    returns ``(label, flat metrics)`` suitable for merging."""
+    from ..fleet.orchestrator import FleetOrchestrator
+
+    report = FleetOrchestrator(config).run()
+    label = f"seed{config.seed:06d}_nodes{config.nodes}_flows{config.flows}"
+    return label, {
+        "nodes": report.nodes,
+        "flows": report.flows,
+        "delivered": sum(row["delivered"] for row in report.per_flow.values()),
+        "unrecovered": sum(row["unrecovered"] for row in report.per_flow.values()),
+        "aggregate_goodput_bps": round(report.aggregate_goodput_bps, 3),
+        "flow_fairness": round(report.flow_fairness, 9),
+        "node_fairness": round(report.node_fairness, 9),
+        "completion_spread_ns": report.completion_spread_ns,
+        "recovery_ns": report.recovery_ns,
+        "complete": int(report.complete),
+    }
+
+
+@dataclass(frozen=True)
+class TracedPilotCase:
+    """One traced pilot run in a campaign (fully picklable)."""
+
+    seed: int = 42
+    messages: int = 100
+    flows: int = 1
+    payload_size: int = 8000
+    interval_ns: int = 2_000
+    wan_delay_ns: int = 1_000_000
+    wan_loss_rate: float = 0.0
+    trace_capacity: int | None = None
+    extra: dict = field(default_factory=dict)
+
+
+def run_traced_pilot_case(case: TracedPilotCase) -> tuple[str, dict]:
+    """Run one traced pilot and return its metrics *and* trace digest.
+
+    The digest (sha256 over the canonical trace serialization) is the
+    strongest determinism witness a shard can return: two runs that
+    merely agree on summary counters can still have diverged internally,
+    but identical digests pin every recorded span.
+    """
+    from ..dataplane.pilot import PilotConfig, PilotTestbed
+    from ..netsim.engine import Simulator
+    from ..trace import trace_digest
+
+    config = PilotConfig(
+        wan_delay_ns=case.wan_delay_ns,
+        wan_loss_rate=case.wan_loss_rate,
+        flows=case.flows,
+        trace=True,
+        trace_capacity=case.trace_capacity,
+        **dict(case.extra),
+    )
+    pilot = PilotTestbed(sim=Simulator(seed=case.seed), config=config)
+    base, extra = divmod(case.messages, case.flows)
+    for fid in range(case.flows):
+        count = base + (1 if fid < extra else 0)
+        pilot.send_stream(
+            count,
+            payload_size=case.payload_size,
+            interval_ns=case.interval_ns,
+            flow=fid,
+        )
+    report = pilot.run()
+    label = f"seed{case.seed:06d}_msgs{case.messages}_flows{case.flows}"
+    return label, {
+        "messages_sent": report.messages_sent,
+        "delivered": report.delivered,
+        "unrecovered": report.unrecovered,
+        "retransmissions": report.retransmissions,
+        "trace_events": len(pilot.tracer.events()),
+        "trace_digest": trace_digest(pilot.tracer.events()),
+    }

@@ -456,7 +456,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from pathlib import Path
     from time import perf_counter
 
-    from .analysis.perf import engine_event_churn, packet_path_churn
+    from .analysis.perf import engine_event_churn
+    from .analysis.shard import (
+        merge_counts,
+        packet_path_shard,
+        packet_train_shard,
+        run_sharded,
+        split_evenly,
+    )
     from .telemetry import load_bench_result
 
     def committed_rate(bench: str, test: str, key: str) -> str:
@@ -469,16 +476,37 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         except (KeyError, TypeError, ValueError):
             return "-"
 
+    jobs = max(1, args.jobs)
+    train = max(1, args.train)
+
     start = perf_counter()
     engine = engine_event_churn(events=args.events)
     engine_wall = perf_counter() - start
 
+    # Shard the packet workloads: near-equal chunks, seed offset by
+    # shard index, counts merged by summation. The merged counts are a
+    # pure function of the split, so they match for every --jobs N.
+    chunks = split_evenly(args.packets, jobs)
     start = perf_counter()
-    packet = packet_path_churn(packets=args.packets)
+    packet = merge_counts(run_sharded(
+        packet_path_shard,
+        [(chunk, 4, args.seed + i) for i, chunk in enumerate(chunks)],
+        jobs=jobs,
+    ))
     packet_wall = perf_counter() - start
 
+    train_chunks = [n * train for n in split_evenly(args.packets // train, jobs)]
+    start = perf_counter()
+    batched = merge_counts(run_sharded(
+        packet_train_shard,
+        [(chunk, 4, train, args.seed + i) for i, chunk in enumerate(train_chunks)],
+        jobs=jobs,
+    ))
+    batched_wall = perf_counter() - start
+
+    label = f" [{jobs} jobs]" if jobs > 1 else ""
     table = ResultTable(
-        "Perf microbenchmarks (deterministic workloads)",
+        f"Perf microbenchmarks (deterministic workloads){label}",
         ["Benchmark", "Ops", "Wall", "Rate", "Committed"],
     )
     table.add_row(
@@ -494,6 +522,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         format_duration(round(packet_wall * 1e9)),
         f"{packet['packets'] / packet_wall:,.0f}/s",
         committed_rate("packet_path", "test_packet_path_throughput", "packets_per_second"),
+    )
+    table.add_row(
+        f"packet trains x{train} (packets/s)",
+        batched["packets"],
+        format_duration(round(batched_wall * 1e9)),
+        f"{batched['packets'] / batched_wall:,.0f}/s",
+        committed_rate("packet_path", "test_packet_train_throughput", "packets_per_second"),
     )
     table.show()
     return 0
@@ -517,7 +552,10 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         seed=args.seed,
         failover=not args.no_failover,
     )
-    runs = run_scenarios(cfg) if args.scenario == "all" else [run_chaos(cfg)]
+    if args.scenario == "all":
+        runs = run_scenarios(cfg, jobs=max(1, args.jobs))
+    else:
+        runs = [run_chaos(cfg)]
     table = ResultTable(
         "Chaos scenarios (Fig. 4 pilot under fault injection)",
         ["Scenario", "Delivered", "Unrecovered", "NAKs sent/served",
@@ -838,7 +876,16 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--events", type=int, default=200_000,
                        help="events for the engine workload")
     bench.add_argument("--packets", type=int, default=20_000,
-                       help="packets for the packet-path workload")
+                       help="packets for the packet-path workloads")
+    bench.add_argument("--train", type=int, default=32,
+                       help="headers per train for the batched workload")
+    bench.add_argument("--seed", type=int, default=7,
+                       help="value-jitter seed threaded through the "
+                       "packet workloads (operation counts don't move)")
+    bench.add_argument("--jobs", type=int, default=1,
+                       help="shard the packet workloads across N worker "
+                       "processes (deterministic counts, merged in "
+                       "shard order)")
 
     chaos = sub.add_parser("chaos", help="run the pilot under fault injection")
     chaos.add_argument(
@@ -859,6 +906,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument(
         "--out-dir", default=".", help="directory for BENCH_chaos.json"
+    )
+    chaos.add_argument(
+        "--jobs", type=int, default=1,
+        help="with --scenario all: shard the scenario matrix across N "
+        "worker processes (BENCH_chaos.json is identical for every N)",
     )
 
     telemetry = sub.add_parser("telemetry", help="render a telemetry snapshot")

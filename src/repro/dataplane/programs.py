@@ -257,7 +257,12 @@ class AgeUpdateProgram(Program):
 
     def install(self, element: ProgrammableElement) -> None:
         self._element = element
-        table = Table("age_update", keys=[], default_action=Action("age_update", self._action))
+        table = Table(
+            "age_update",
+            keys=[],
+            default_action=Action("age_update", self._action),
+            relevant_features=int(Feature.AGE_TRACKING),
+        )
         element.pipeline.add_table(table)
 
     def _action(self, view: PacketView, meta: Metadata, _params: dict) -> None:
@@ -310,7 +315,12 @@ class BufferTapProgram(Program):
 
     def install(self, element: ProgrammableElement) -> None:
         self._element = element
-        table = Table("buffer_tap", keys=[], default_action=Action("buffer_tap", self._action))
+        table = Table(
+            "buffer_tap",
+            keys=[],
+            default_action=Action("buffer_tap", self._action),
+            relevant_features=int(Feature.SEQUENCED),
+        )
         element.pipeline.add_table(table)
 
     def _action(self, view: PacketView, meta: Metadata, _params: dict) -> None:
@@ -371,7 +381,10 @@ class NearestBufferProgram(Program):
     def install(self, element: ProgrammableElement) -> None:
         self._element = element
         table = Table(
-            "nearest_buffer", keys=[], default_action=Action("nearest_buffer", self._action)
+            "nearest_buffer",
+            keys=[],
+            default_action=Action("nearest_buffer", self._action),
+            relevant_features=int(Feature.RETRANSMISSION),
         )
         element.pipeline.add_table(table)
 
@@ -439,6 +452,7 @@ class DeadlineEnforceProgram(Program):
             "deadline_enforce",
             keys=[],
             default_action=Action("deadline_enforce", self._action),
+            relevant_features=int(Feature.TIMELINESS),
         )
         element.pipeline.add_table(table)
 
@@ -483,7 +497,11 @@ class DuplicationProgram(Program):
         self.duplicated = 0
 
     def install(self, element: ProgrammableElement) -> None:
-        table = Table("duplication", keys=["mmt.dup_group"])
+        table = Table(
+            "duplication",
+            keys=["mmt.dup_group"],
+            relevant_features=int(Feature.DUPLICATION),
+        )
         action = Action("duplicate", self._action)
         for group, destinations in self.groups.items():
             table.add_entry((group,), action, params={"destinations": destinations})
@@ -534,6 +552,7 @@ class BackpressureProgram(Program):
             "backpressure",
             keys=["meta.queue_occupancy_pct"],
             match_kinds=[MatchKind.RANGE],
+            relevant_features=int(Feature.BACKPRESSURE),
         )
         table.add_entry(
             ((self.occupancy_threshold_pct, 100),),

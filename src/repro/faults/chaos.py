@@ -138,9 +138,11 @@ class ChaosRun:
     report: ChaosReport
     #: The testbed behind the run: a :class:`PilotTestbed`, or a
     #: :class:`~repro.fleet.farm.ReceiverFarm` for ``fleet-node-crash``.
+    #: ``None`` for runs that crossed a process boundary (sharded
+    #: campaigns detach live simulation state before pickling).
     pilot: object
-    injector: FaultInjector
-    metrics: MetricsRegistry
+    injector: FaultInjector | None
+    metrics: MetricsRegistry | None
 
 
 def _pilot_config(cfg: ChaosConfig) -> PilotConfig:
@@ -373,12 +375,11 @@ def _collect_metrics(pilot: PilotTestbed) -> MetricsRegistry:
     return registry
 
 
-def run_scenarios(cfg: ChaosConfig) -> list[ChaosRun]:
-    """Run every named scenario (plus the no-failover degradation
-    variant of ``buffer-failover``) with the same traffic parameters."""
-    runs: list[ChaosRun] = []
+def _campaign_configs(cfg: ChaosConfig) -> list[tuple[str, ChaosConfig]]:
+    """The (run name, config) matrix ``run_scenarios`` executes."""
+    items: list[tuple[str, ChaosConfig]] = []
     for scenario in SCENARIOS:
-        base = ChaosConfig(
+        items.append((scenario, ChaosConfig(
             scenario=scenario,
             messages=cfg.messages,
             payload_size=cfg.payload_size,
@@ -388,9 +389,8 @@ def run_scenarios(cfg: ChaosConfig) -> list[ChaosRun]:
             wan_loss_rate=cfg.wan_loss_rate,
             fleet_nodes=cfg.fleet_nodes,
             fleet_flows=cfg.fleet_flows,
-        )
-        runs.append(run_chaos(base))
-    degraded = ChaosConfig(
+        )))
+    items.append(("buffer-failover-degraded", ChaosConfig(
         scenario="buffer-failover",
         messages=cfg.messages,
         payload_size=cfg.payload_size,
@@ -399,11 +399,53 @@ def run_scenarios(cfg: ChaosConfig) -> list[ChaosRun]:
         failover=False,
         wan_delay_ns=cfg.wan_delay_ns,
         wan_loss_rate=cfg.wan_loss_rate,
+    )))
+    return items
+
+
+def _run_detached(item: tuple[str, ChaosConfig]) -> ChaosRun:
+    """Shard worker: run one scenario, return it stripped of live state.
+
+    The simulator, injector, and metrics registry hold bound methods
+    and cross-references that must not cross a process boundary; the
+    config and the all-ints report pickle cleanly and carry everything
+    ``write_bench`` needs.
+    """
+    name, config = item
+    run = run_chaos(config)
+    return ChaosRun(
+        scenario=name,
+        config=run.config,
+        report=run.report,
+        pilot=None,
+        injector=None,
+        metrics=None,
     )
-    run = run_chaos(degraded)
-    run.scenario = "buffer-failover-degraded"
-    runs.append(run)
-    return runs
+
+
+def run_scenarios(cfg: ChaosConfig, jobs: int = 1) -> list[ChaosRun]:
+    """Run every named scenario (plus the no-failover degradation
+    variant of ``buffer-failover``) with the same traffic parameters.
+
+    ``jobs > 1`` shards the scenario matrix across worker processes via
+    :func:`repro.analysis.shard.run_sharded`. Every scenario owns its
+    own seeded simulator, so the reports — and the merged
+    ``BENCH_chaos.json`` — are identical for every job count; the only
+    difference is that sharded runs come back *detached* (``pilot``,
+    ``injector``, and ``metrics`` are ``None``), since live simulation
+    objects don't cross process boundaries.
+    """
+    items = _campaign_configs(cfg)
+    if jobs <= 1:
+        runs: list[ChaosRun] = []
+        for name, config in items:
+            run = run_chaos(config)
+            run.scenario = name
+            runs.append(run)
+        return runs
+    from ..analysis.shard import run_sharded
+
+    return run_sharded(_run_detached, items, jobs=jobs)
 
 
 def write_bench(runs: list[ChaosRun], directory: str | Path = ".") -> Path:

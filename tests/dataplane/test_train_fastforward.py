@@ -1,0 +1,184 @@
+"""Per-element train fast-forward: a burst whose feature bits no table
+cares about skips the pipeline entirely, byte-identically."""
+
+from repro.core import Feature, MmtHeader, MsgType, make_experiment_id
+from repro.dataplane import (
+    AgeUpdateProgram,
+    BufferTapProgram,
+    ProgrammableElement,
+)
+from repro.netsim import (
+    EtherType,
+    EthernetHeader,
+    IpProto,
+    Ipv4Header,
+    Packet,
+    Simulator,
+    Topology,
+    units,
+)
+from repro.trace import Tracer
+
+EXP_ID = make_experiment_id(5)
+
+
+def build_chain(sim, element):
+    topo = Topology(sim)
+    a = topo.add_host("a", ip="10.0.1.2")
+    b = topo.add_host("b", ip="10.0.2.2")
+    topo.add(element)
+    topo.connect(a, element, units.gbps(10), 1000)
+    topo.connect(element, b, units.gbps(10), 1000)
+    topo.install_routes()
+    return topo, a, b
+
+
+def make_train(src, dst_ip, n, features=Feature.AGE_TRACKING, msg_type=MsgType.DATA):
+    port = next(iter(src.ports.values()))
+    peer_mac = "02:00:00:00:00:01"
+    packets = []
+    for i in range(n):
+        aging = bool(features & Feature.AGE_TRACKING)
+        header = MmtHeader(
+            features=features,
+            msg_type=msg_type,
+            experiment_id=EXP_ID,
+            aged=aging,
+            age_ns=0 if aging else None,
+            age_budget_ns=1_000_000 if aging else None,
+        )
+        packets.append(
+            Packet(
+                headers=[
+                    EthernetHeader(src="02:aa:00:00:00:02", dst=peer_mac,
+                                   ethertype=EtherType.IPV4),
+                    Ipv4Header(src="10.0.1.2", dst=dst_ip, proto=IpProto.MMT),
+                    header,
+                ],
+                payload_size=512,
+                meta={"i": i},
+            )
+        )
+    return port, packets
+
+
+def collect(host):
+    got = []
+    host.register_l3_protocol(IpProto.MMT, got.append)
+    return got
+
+
+def test_empty_pipeline_fast_forwards_whole_train(sim):
+    element = ProgrammableElement(sim, "el", mac="02:00:00:00:00:01")
+    _topo, a, b = build_chain(sim, element)
+    got = collect(b)
+    port, packets = make_train(a, b.ip, 6)
+    assert port.send_train(packets) == 6
+    sim.run()
+    assert len(got) == 6
+    assert element.stats.train_fastforwards == 1
+    assert element.stats.mmt_processed == 6
+    assert element.stats.pipeline_drops == 0
+
+
+def test_irrelevant_table_still_fast_forwards(sim):
+    element = ProgrammableElement(sim, "el", mac="02:00:00:00:00:01")
+    _topo, a, b = build_chain(sim, element)
+    # BufferTap declares SEQUENCED; an AGE_TRACKING-only train is a
+    # provable no-op for it.
+    BufferTapProgram(buffer_addr="10.0.0.50").install(element)
+    got = collect(b)
+    port, packets = make_train(a, b.ip, 4, features=Feature.AGE_TRACKING)
+    port.send_train(packets)
+    sim.run()
+    assert len(got) == 4
+    assert element.stats.train_fastforwards == 1
+
+
+def test_relevant_feature_bit_disables_fast_forward(sim):
+    element = ProgrammableElement(sim, "el", mac="02:00:00:00:00:01")
+    _topo, a, b = build_chain(sim, element)
+    AgeUpdateProgram().install(element)
+    got = collect(b)
+    port, packets = make_train(a, b.ip, 4, features=Feature.AGE_TRACKING)
+    port.send_train(packets)
+    sim.run()
+    # Falls back to the serial path: the pipeline must see each packet.
+    assert len(got) == 4
+    assert element.stats.train_fastforwards == 0
+    assert element.stats.mmt_processed == 4
+
+
+def test_control_packet_disqualifies_train(sim):
+    element = ProgrammableElement(sim, "el", mac="02:00:00:00:00:01")
+    _topo, a, b = build_chain(sim, element)
+    got = collect(b)
+    port, packets = make_train(a, b.ip, 3)
+    _port, control = make_train(a, b.ip, 1, features=Feature.NONE,
+                                msg_type=MsgType.HEARTBEAT)
+    port.send_train(packets + control)
+    sim.run()
+    assert len(got) == 4
+    assert element.stats.train_fastforwards == 0
+
+
+def test_fast_forward_bytes_match_serial_path(sim):
+    def run(send_as_train):
+        sim = Simulator(seed=3)
+        element = ProgrammableElement(sim, "el", mac="02:00:00:00:00:01")
+        _topo, a, b = build_chain(sim, element)
+        got = collect(b)
+        port, packets = make_train(a, b.ip, 5)
+        if send_as_train:
+            port.send_train(packets)
+        else:
+            for packet in packets:
+                port.send(packet)
+        sim.run()
+        out = []
+        for packet in got:
+            ip = packet.find(Ipv4Header)
+            eth = packet.find(EthernetHeader)
+            mmt = packet.find(MmtHeader)
+            out.append((eth.src, eth.dst, ip.ttl, mmt.encode()))
+        return out
+
+    assert run(send_as_train=True) == run(send_as_train=False)
+
+
+def test_tracer_on_element_forces_serial_path(sim):
+    element = ProgrammableElement(sim, "el", mac="02:00:00:00:00:01")
+    _topo, a, b = build_chain(sim, element)
+    element.tracer = Tracer(sim)
+    got = collect(b)
+    port, packets = make_train(a, b.ip, 3)
+    port.send_train(packets)
+    sim.run()
+    assert len(got) == 3
+    assert element.stats.train_fastforwards == 0
+    assert element.tracer.events_emitted > 0
+
+
+def test_failed_element_drops_whole_train(sim):
+    element = ProgrammableElement(sim, "el", mac="02:00:00:00:00:01")
+    _topo, a, b = build_chain(sim, element)
+    element.crash()
+    got = collect(b)
+    port, packets = make_train(a, b.ip, 5)
+    port.send_train(packets)
+    sim.run()
+    assert len(got) == 0
+    assert element.stats.dropped_failed == 5
+
+
+def test_ttl_expiry_dropped_in_fast_path(sim):
+    element = ProgrammableElement(sim, "el", mac="02:00:00:00:00:01")
+    _topo, a, b = build_chain(sim, element)
+    got = collect(b)
+    port, packets = make_train(a, b.ip, 3)
+    for packet in packets:
+        packet.find(Ipv4Header).ttl = 1
+    port.send_train(packets)
+    sim.run()
+    assert len(got) == 0
+    assert element.stats.dropped_no_route == 3

@@ -1,0 +1,174 @@
+"""Coalesced packet trains: O(1) engine events per burst, serial-equal
+timing, admission, and loss draws."""
+
+from repro.netsim import (
+    DropTailQueue,
+    Link,
+    Packet,
+    Simulator,
+    SinkNode,
+    units,
+)
+from repro.netsim.link import WIRE_OVERHEAD_BYTES
+from repro.trace import Tracer
+
+
+def build_pair(sim, rate_bps=units.gbps(1), delay_ns=1000, queue=None, **link_kwargs):
+    a = SinkNode(sim, "a")
+    b = SinkNode(sim, "b")
+    pa = a.add_port("p", queue=queue)
+    pb = b.add_port("p")
+    link = Link(
+        sim, pa, pb, rate_bps=rate_bps, propagation_delay_ns=delay_ns, **link_kwargs
+    )
+    return a, b, pa, pb, link
+
+
+def make_train(n, size=1000):
+    return [Packet(payload_size=size, meta={"i": i}) for i in range(n)]
+
+
+def test_train_arrives_whole_at_tail_time():
+    sim = Simulator()
+    _a, b, pa, _pb, _link = build_pair(sim, rate_bps=units.gbps(1), delay_ns=5000)
+    assert pa.send_train(make_train(3)) == 3
+    sim.run()
+    gap = units.transmission_time_ns(1000 + WIRE_OVERHEAD_BYTES, units.gbps(1))
+    # The burst is one wire occupancy: everything lands at the train
+    # tail's serialization time plus propagation.
+    times = [t for t, _ in b.received]
+    assert times == [3 * gap + 5000] * 3
+    order = [p.meta["i"] for _, p in b.received]
+    assert order == [0, 1, 2]
+
+
+def test_train_costs_constant_engine_events():
+    def events_for(n):
+        sim = Simulator()
+        _a, b, pa, _pb, _link = build_pair(sim)
+        pa.send_train(make_train(n))
+        sim.run()
+        assert b.rx_packets == n
+        return sim.events_processed
+
+    # One tx-done + one delivery, regardless of train length.
+    assert events_for(1) == events_for(64) == 2
+
+
+def test_serial_sends_cost_linear_events():
+    sim = Simulator()
+    _a, b, pa, _pb, _link = build_pair(sim)
+    for packet in make_train(8):
+        pa.send(packet)
+    sim.run()
+    assert b.rx_packets == 8
+    assert sim.events_processed == 16  # 2 per packet
+
+
+def test_train_tx_stats_match_serial():
+    serial = Simulator()
+    _a, _b, pa_s, _pb, _l = build_pair(serial)
+    for packet in make_train(5):
+        pa_s.send(packet)
+    serial.run()
+
+    batched = Simulator()
+    _a2, _b2, pa_t, _pb2, _l2 = build_pair(batched)
+    pa_t.send_train(make_train(5))
+    batched.run()
+
+    assert (pa_t.stats.tx_packets, pa_t.stats.tx_bytes) == (
+        pa_s.stats.tx_packets,
+        pa_s.stats.tx_bytes,
+    )
+
+
+def test_train_loss_draws_match_serial_order():
+    def survivors(send_as_train):
+        sim = Simulator(seed=99)
+        _a, b, pa, _pb, link = build_pair(sim, delay_ns=0, loss_rate=0.3)
+        packets = make_train(200, size=100)
+        if send_as_train:
+            pa.send_train(packets)
+        else:
+            for packet in packets:
+                pa.send(packet)
+        sim.run()
+        return [p.meta["i"] for _, p in b.received], link.stats.lost_random
+
+    serial_ids, serial_lost = survivors(send_as_train=False)
+    train_ids, train_lost = survivors(send_as_train=True)
+    assert train_ids == serial_ids
+    assert train_lost == serial_lost
+    assert 0 < serial_lost < 200
+
+
+def test_train_droptail_admission_matches_serial():
+    # Queue fits exactly 3 x 1000-byte packets; a serial burst of 5 on
+    # an idle port admits 4 (the head starts serializing immediately).
+    def admitted(send_as_train):
+        sim = Simulator()
+        queue = DropTailQueue(3000)
+        _a, b, pa, _pb, _link = build_pair(sim, queue=queue)
+        packets = make_train(5)
+        if send_as_train:
+            count = pa.send_train(packets)
+        else:
+            count = sum(1 for p in packets if pa.send(p))
+        sim.run()
+        return count, b.rx_packets, pa.stats.drops_queue
+
+    assert admitted(send_as_train=True) == admitted(send_as_train=False) == (4, 4, 1)
+
+
+def test_train_mtu_drops_dont_kill_the_rest():
+    sim = Simulator()
+    _a, b, pa, _pb, _link = build_pair(sim, mtu_bytes=1500)
+    packets = [Packet(payload_size=100), Packet(payload_size=9000),
+               Packet(payload_size=100)]
+    assert pa.send_train(packets) == 2
+    sim.run()
+    assert b.rx_packets == 2
+    assert pa.stats.drops_mtu == 1
+
+
+def test_train_on_down_link_counts_lost_down():
+    sim = Simulator()
+    _a, b, pa, _pb, link = build_pair(sim)
+    link.up = False
+    pa.send_train(make_train(4))
+    sim.run()
+    assert b.rx_packets == 0
+    assert link.stats.lost_down == 4
+
+
+def test_train_on_busy_port_queues_behind_in_flight_packet():
+    sim = Simulator()
+    _a, b, pa, _pb, _link = build_pair(sim, delay_ns=0)
+    pa.send(Packet(payload_size=1000, meta={"i": -1}))  # transmitter now busy
+    assert pa.send_train(make_train(3)) == 3
+    sim.run()
+    assert b.rx_packets == 4
+    assert [p.meta["i"] for _, p in b.received] == [-1, 0, 1, 2]
+
+
+def test_tracer_forces_per_packet_fallback():
+    sim = Simulator()
+    _a, b, pa, _pb, _link = build_pair(sim)
+    pa.tracer = Tracer(sim)
+    pa.send_train(make_train(4))
+    sim.run()
+    assert b.rx_packets == 4
+    # Per-packet path: 2 events per packet, not 2 per train.
+    assert sim.events_processed == 8
+
+
+def test_link_tracer_forces_per_packet_propagation():
+    sim = Simulator()
+    _a, b, pa, _pb, link = build_pair(sim)
+    link.tracer = Tracer(sim)
+    pa.send_train(make_train(4))
+    sim.run()
+    assert b.rx_packets == 4
+    # Coalesced serialization (1 event) + one delivery event per packet.
+    assert sim.events_processed == 5
