@@ -1,0 +1,54 @@
+"""SOAK — the full one-hour endurance run under churn.
+
+Drives the directory-wired pilot for an hour of simulated time with a
+steady + Poisson DAQ mix and the periodic churn script (diurnal rate
+curve, Gilbert–Elliott windows with parameter drift, link flaps,
+staggered buffer kill/restore cycles, directory liveness flaps,
+mid-flow mode-map rewrites), then the receiver-farm segment with node
+flaps. The acceptance bar is endurance, not throughput: nothing
+unrecovered, every bounded-memory budget held, and a flat growth slope
+across the final third of the run.
+
+Like ``bench_fleet``, this module writes ``BENCH_soak.json`` itself
+(no ``once``/``bench_result`` fixtures): the acceptance bar includes
+*byte-identical output per seed*, so no wall-clock readings may leak
+into the file.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import ResultTable, format_duration
+from repro.soak import SoakConfig, run_soak, write_bench
+
+
+def test_soak_endurance(request):
+    cfg = SoakConfig()
+    report = run_soak(cfg, strict=True)
+
+    assert report.complete
+    assert report.unrecovered == 0
+    assert report.fleet_unrecovered == 0
+    assert report.budget_violations == 0
+    # The churn actually churned: every planned fault fired and every
+    # mechanism under test was exercised at least once.
+    assert report.faults_fired == report.faults_injected
+    assert report.mode_degradations > 0
+    assert report.mode_upgrades == report.mode_degradations
+    assert report.degraded_final == 0
+    assert report.mode_rewrites > 0
+    assert report.link_rate_changes > 0
+    assert report.ge_drifts > 0
+    # Growth slopes flat (retx/trace have small documented allowances).
+    assert report.growth_guard_entries <= 0
+    assert report.growth_registry_series <= 0
+
+    table = ResultTable(
+        f"Endurance soak ({format_duration(report.duration_ns)} simulated)",
+        ["Metric", "Value"],
+    )
+    for name, value in sorted(report.metrics().items()):
+        table.add_row(name, value)
+    table.show()
+
+    path = write_bench(report, cfg, str(request.config.rootpath))
+    print(f"\nwrote {path}")

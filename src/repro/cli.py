@@ -11,6 +11,8 @@ Installed as the ``repro`` console script::
     repro telemetry out.jsonl             # render a snapshot as tables
     repro bench                           # perf microbenchmarks (events/s, packets/s)
     repro chaos --scenario link-flap      # pilot under fault injection
+    repro soak --ci                       # ~60 s simulated endurance smoke
+    repro soak                            # the full one-hour endurance soak
     repro pilot --trace trace.jsonl       # ... with the causal flight recorder on
     repro trace --timeline 10752:0:7      # one packet's root-cause timeline
     repro trace --chrome trace.json       # Perfetto-loadable export
@@ -583,6 +585,71 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_soak(args: argparse.Namespace) -> int:
+    """Run the long-soak endurance harness and write ``BENCH_soak.json``.
+
+    Hours-equivalent simulated time under churn with bounded-memory
+    assertions at every epoch boundary. Strict by default: any violated
+    size budget, growth slope, or unrecovered loss exits 1 (CI runs
+    ``repro soak --ci``, the ~60 s preset). Every reported value is
+    simulation-derived, so the bench file is byte-identical per seed.
+    """
+    from .soak import SoakBudgetError, SoakConfig, run_soak, write_bench
+
+    if args.ci:
+        cfg = SoakConfig.ci(seed=args.seed)
+    else:
+        cfg = SoakConfig(seed=args.seed)
+    if args.duration_s is not None:
+        cfg.duration_ns = round(args.duration_s * 1_000_000_000)
+    try:
+        report = run_soak(cfg, strict=not args.no_strict)
+    except SoakBudgetError as exc:
+        print(f"SOAK BUDGET VIOLATION: {exc}", file=sys.stderr)
+        return 1
+    table = ResultTable(
+        f"Endurance soak ({format_duration(report.duration_ns)} simulated)",
+        ["Metric", "Value"],
+    )
+    rows = [
+        ("messages sent (steady + poisson)",
+         f"{report.messages_sent} ({report.steady_sent} + {report.poisson_sent})"),
+        ("delivered", report.delivered),
+        ("unrecovered", report.unrecovered),
+        ("NAKs sent / served", f"{report.naks_sent} / {report.naks_served}"),
+        ("losses (link down / loss model)",
+         f"{report.lost_down} / {report.lost_model}"),
+        ("faults fired", f"{report.faults_fired}/{report.faults_injected}"),
+        ("mode degrade / upgrade / stuck",
+         f"{report.mode_degradations} / {report.mode_upgrades} / "
+         f"{report.degraded_final}"),
+        ("mode-map rewrites", report.mode_rewrites),
+        ("link rate / delay changes",
+         f"{report.link_rate_changes} / {report.link_delay_changes}"),
+        ("GE parameter drifts", report.ge_drifts),
+        ("peak retx residency",
+         f"{report.peak_retx_bytes} B ({report.peak_retx_occupancy_pct}% of cap)"),
+        ("peak guard / trace / series",
+         f"{report.peak_guard_entries} / {report.peak_trace_events} / "
+         f"{report.peak_registry_series}"),
+        ("growth (retx B / guard / trace / series)",
+         f"{report.growth_retx_bytes} / {report.growth_guard_entries} / "
+         f"{report.growth_trace_events} / {report.growth_registry_series}"),
+        ("fleet delivered",
+         f"{report.fleet_delivered}/{report.fleet_messages} "
+         f"({report.fleet_flaps} node flaps)"),
+        ("fleet unrecovered", report.fleet_unrecovered),
+        ("budget violations", report.budget_violations),
+        ("complete", report.complete),
+    ]
+    for name, value in rows:
+        table.add_row(name, value)
+    table.show()
+    path = write_bench(report, cfg, args.out_dir)
+    print(f"\nwrote {path}")
+    return 0 if report.complete else 1
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     """Causal tracing: run a traced pilot (or load a trace file) and
     dump, filter, export, or root-cause it.
@@ -891,7 +958,7 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument(
         "--scenario",
         choices=("link-flap", "burst-loss", "element-restart", "buffer-failover",
-                 "fleet-node-crash", "all"),
+                 "fleet-node-crash", "link-drift", "mode-rewrite-churn", "all"),
         default="link-flap",
     )
     chaos.add_argument("--messages", type=int, default=500)
@@ -913,6 +980,27 @@ def build_parser() -> argparse.ArgumentParser:
         "worker processes (BENCH_chaos.json is identical for every N)",
     )
 
+    soak = sub.add_parser(
+        "soak", help="long-soak endurance run with bounded-memory assertions"
+    )
+    soak.add_argument(
+        "--ci", action="store_true",
+        help="the CI smoke preset: ~60 s simulated with denser traffic "
+        "(default is the full one-hour soak)",
+    )
+    soak.add_argument(
+        "--duration-s", type=float, default=None,
+        help="override the simulated duration in seconds",
+    )
+    soak.add_argument("--seed", type=int, default=42)
+    soak.add_argument(
+        "--no-strict", action="store_true",
+        help="record budget violations in the report instead of failing fast",
+    )
+    soak.add_argument(
+        "--out-dir", default=".", help="directory for BENCH_soak.json"
+    )
+
     telemetry = sub.add_parser("telemetry", help="render a telemetry snapshot")
     telemetry.add_argument("snapshot", help="JSONL snapshot file (repro pilot --telemetry)")
     telemetry.add_argument(
@@ -930,6 +1018,7 @@ _COMMANDS = {
     "telemetry": _cmd_telemetry,
     "bench": _cmd_bench,
     "chaos": _cmd_chaos,
+    "soak": _cmd_soak,
     "fleet": _cmd_fleet,
     "trace": _cmd_trace,
 }

@@ -322,6 +322,8 @@ class SenderStats:
     buffer_rechecks_failed: int = 0
     #: 1 once the sender exhausted its re-checks and stays degraded.
     degraded_final: int = 0
+    #: Mid-flow primary-mode rewrites (:meth:`MmtSender.set_mode`).
+    mode_rewrites: int = 0
 
 
 class MmtSender:
@@ -471,6 +473,50 @@ class MmtSender:
     def next_seq(self) -> int:
         """The sequence number the next message will carry."""
         return self._next_seq
+
+    def set_mode(self, mode: Mode | str) -> None:
+        """Shape-shift the stream's *primary* mode mid-flow.
+
+        The rewrite is seamless for per-flow state: sequence numbering
+        (``next_seq``), the local retransmit cache, credits, and pacing
+        all carry over, so packets already in flight stay recoverable
+        and new packets continue the same sequence space.
+
+        A currently *degraded* sender keeps transmitting in its degraded
+        mode; the rewrite retargets what :meth:`_upgrade` will restore
+        once a live buffer returns — shape-shifting and churn compose.
+        Feature requirements are validated exactly as at construction
+        (and before any state changes, so a bad rewrite is a no-op).
+        """
+        mode = self.stack.registry.by_name(mode) if isinstance(mode, str) else mode
+        if mode.has(Feature.PACING) and self.pace_rate_mbps is None:
+            raise EndpointError("PACING mode requires pace_rate_mbps")
+        if mode.has(Feature.TIMELINESS) and (
+            self.deadline_offset_ns is None or self.notify_addr is None
+        ):
+            raise EndpointError("TIMELINESS mode requires deadline_offset_ns+notify_addr")
+        if mode.has(Feature.AGE_TRACKING) and self.age_budget_ns is None:
+            raise EndpointError("AGE_TRACKING mode requires age_budget_ns")
+        if self.buffer_local and self.stack.buffer is None:
+            raise EndpointError("buffer_local requires stack.attach_buffer() first")
+        previous = self._primary_mode
+        self._primary_mode = mode
+        self.stats.mode_rewrites += 1
+        if self.stack.tracer is not None:
+            self.stack.tracer.emit(
+                "mode.rewrite", self.stack.host.name,
+                self.experiment_id, self.flow_id or 0,
+                from_config=previous.config_id, to_config=mode.config_id,
+            )
+        if self._degraded:
+            return  # the new primary takes effect at the next upgrade
+        self.mode = mode
+        if mode.has(Feature.FLOW_CONTROL) and self._credits is None:
+            self._credits = self.config.initial_credits
+        if not mode.has(Feature.SEQUENCED):
+            self._heartbeat_timer.stop()
+        if mode is not previous:
+            self._announce_mode()
 
     def apply_backpressure(self, signal: BackpressurePayload) -> None:
         """React to a backpressure signal by reducing the pacing rate."""
@@ -740,6 +786,13 @@ class ReceiverConfig:
     initial_rtt_ns: int = 2 * MILLISECOND
     #: A retry is not sent before ``rtt_safety`` × estimated RTT passed.
     rtt_safety: float = 2.0
+    #: Re-derive the retry RTO from the path's *current* one-way delay
+    #: (tracked from every fresh delivery): the RTT basis is floored at
+    #: two one-way trips, so a mid-flight delay ramp on a time-varying
+    #: link raises the RTO with it instead of firing spurious NAK
+    #: retries off a stale estimate. Disable to reproduce the frozen
+    #: pre-trajectory behavior.
+    adapt_rtt_to_path: bool = True
     #: Largest leading gap treated as recoverable loss when the first
     #: packet of a flow arrives with seq > 0. A bigger jump means the
     #: receiver joined mid-stream (or after a 32-bit wrap): history is
@@ -796,6 +849,10 @@ class _FlowState:
     last_nak_at: dict[int, int] = field(default_factory=dict)
     #: EWMA of the NAK→retransmission round trip to the buffer.
     rtt_est_ns: int | None = None
+    #: EWMA of the one-way source→receiver delay of *fresh* data, fed
+    #: by every delivery. Weighted toward the newest sample (1/2) so a
+    #: link-delay trajectory moves the estimate within a few packets.
+    path_delay_ns: int | None = None
     #: Per-flow delivery / recovery counters.
     delivered: int = 0
     bytes_delivered: int = 0
@@ -864,6 +921,19 @@ class MmtReceiver:
         sent_at = packet.meta.get("sent_at")
         latency = self.sim.now - sent_at if sent_at is not None else 0
         self.delivery_log.append((self.sim.now, latency))
+        if (
+            self.config.adapt_rtt_to_path
+            and sent_at is not None
+            and latency > 0
+            and header.msg_type == MsgType.DATA
+        ):
+            # Fresh data only: a retransmission's ``sent_at`` is its
+            # *original* origination time, so its latency includes the
+            # NAK wait and would wildly inflate the path estimate.
+            if state.path_delay_ns is None:
+                state.path_delay_ns = latency
+            else:
+                state.path_delay_ns = (state.path_delay_ns + latency) // 2
         tracer = self.stack.tracer
         if tracer is not None:
             tracer.emit(
@@ -954,6 +1024,12 @@ class MmtReceiver:
 
     def _retry_interval_ns(self, state: _FlowState) -> int:
         rtt = state.rtt_est_ns if state.rtt_est_ns is not None else self.config.initial_rtt_ns
+        if self.config.adapt_rtt_to_path and state.path_delay_ns is not None:
+            # The NAK round trip can never beat two one-way trips of the
+            # path as it is *now*: when a trajectory ramps the delay
+            # mid-flight, this floor re-derives the RTO from the current
+            # delay instead of retrying off the frozen initial estimate.
+            rtt = max(rtt, 2 * state.path_delay_ns)
         return max(self.config.reorder_wait_ns, int(rtt * self.config.rtt_safety))
 
     def _flow(self, experiment_id: int, flow_id: int = 0) -> _FlowState:

@@ -117,10 +117,15 @@ class ModeTransitionProgram(Program):
         self.degraded_packets = 0
         self.degradations = 0
         self.degradation_recoveries = 0
+        #: Control-plane rewrites of the installed table (mid-flow
+        #: shape-shifting via :meth:`replace_rules`).
+        self.rewrites = 0
         self._degraded_flows: set[tuple[int, int]] = set()
         self._announced: set[tuple[int, int]] = set()
         self._element_ip = "0.0.0.0"
         self._element: ProgrammableElement | None = None
+        self._table: Table | None = None
+        self._action: Action | None = None
 
     def install(self, element: ProgrammableElement) -> None:
         pipeline = element.pipeline
@@ -135,7 +140,15 @@ class ModeTransitionProgram(Program):
             match_kinds=[MatchKind.EXACT, MatchKind.EXACT],
         )
         action = Action("transition_mode", self._make_action(seq_register))
-        for rule in self.rules:
+        self._table = table
+        self._action = action
+        self._populate(table, action, self.rules)
+        pipeline.add_table(table)
+
+    def _populate(
+        self, table: Table, action: Action, rules: list[TransitionRule]
+    ) -> None:
+        for rule in rules:
             target = self.registry.by_name(rule.to_mode)
             table.add_entry(
                 (rule.ingress_port, rule.from_config_id),
@@ -143,7 +156,36 @@ class ModeTransitionProgram(Program):
                 params={"rule": rule, "target": target},
                 priority=1 if rule.ingress_port is not None else 0,
             )
-        pipeline.add_table(table)
+
+    def replace_rules(self, rules: list[TransitionRule]) -> int:
+        """Control-plane rewrite of the mode map, mid-flow.
+
+        The installed table's entries are swapped for ``rules`` — the
+        path-migration event where a segment starts shifting streams
+        into a different shape. The table object, its action closure,
+        and the per-flow sequence register all carry over, so a flow
+        whose rewritten rule still sequences it continues its numbering
+        uninterrupted and in-flight retransmit state stays valid.
+
+        Unknown target modes raise before anything is touched (an
+        atomic rewrite: the old map stays in force on failure). Returns
+        the number of installed rules.
+        """
+        table, action = self._table, self._action
+        if table is None or action is None:
+            raise RuntimeError("program not installed; nothing to rewrite")
+        for rule in rules:
+            self.registry.by_name(rule.to_mode)  # validate before mutating
+        table.entries.clear()
+        self._populate(table, action, rules)
+        self.rules = list(rules)
+        self.rewrites += 1
+        element = self._element
+        if element is not None and element.tracer is not None:
+            element.tracer.emit(
+                "mode.rewrite", element.name, rules=len(rules)
+            )
+        return len(rules)
 
     def _make_action(self, seq_register):
         def transition_mode(view: PacketView, meta: Metadata, params: dict) -> None:

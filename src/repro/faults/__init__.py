@@ -4,6 +4,9 @@ Three pieces, stacked:
 
 - :mod:`repro.faults.plan` — :class:`FaultPlan`/:class:`FaultInjector`:
   scripted, seeded, replayable faults on any topology;
+- :mod:`repro.faults.dynamics` — time-varying link models:
+  :class:`Trajectory` curves (step/linear/diurnal) applied to live
+  links by a self-scheduling :class:`LinkDynamics` driver;
 - :mod:`repro.faults.lossmodels` — protocol-aware loss models
   (:class:`ControlPacketLoss`, :class:`FlowFilteredLoss`) plus
   re-exports of the generic netsim ones
@@ -25,9 +28,11 @@ from .chaos import (
     ChaosRun,
     run_chaos,
     run_fleet_chaos,
+    run_mode_rewrite_chaos,
     run_scenarios,
     write_bench,
 )
+from .dynamics import LinkDynamics, Trajectory
 from .lossmodels import (
     CONTROL_MSG_TYPES,
     ControlPacketLoss,
@@ -50,11 +55,14 @@ __all__ = [
     "FaultRecord",
     "FlowFilteredLoss",
     "GilbertElliottLoss",
+    "LinkDynamics",
     "LossModel",
     "SCENARIOS",
+    "Trajectory",
     "UniformLoss",
     "run_chaos",
     "run_fleet_chaos",
+    "run_mode_rewrite_chaos",
     "run_scenarios",
     "write_bench",
 ]

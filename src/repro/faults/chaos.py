@@ -35,19 +35,36 @@ Scenarios
     survivors, and calendar-directed reconciliation repairs everything
     the dead node absorbed — zero unrecovered, with the crash-to-repair
     gap reported as time-to-recover.
+``link-drift``
+    Time-varying WAN: a :class:`~repro.faults.dynamics.LinkDynamics`
+    driver ramps the propagation delay to 2× (piecewise-linear) and
+    steps the rate down and back, while a Gilbert–Elliott model is
+    installed and its parameters *drift* on a schedule. Exercises the
+    delay-adaptive retransmit timeout: the receiver re-derives its RTO
+    from the delay the path has now, not the one it started with.
+``mode-rewrite-churn``
+    Mid-flow shape-shifting under churn: a multi-flow directory build
+    where the U55C's mode-transition map is rewritten mid-stream
+    (deliver-check → age-recover and back) while buffer liveness flaps
+    degrade and re-upgrade the senders. Every flow's payload digests
+    are checked end to end — the rewrite must deliver all in-flight
+    flows with zero content corruption.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, fields as dataclass_fields
 from pathlib import Path
 
 from ..core.features import MsgType
 from ..dataplane.pilot import PilotConfig, PilotTestbed
+from ..dataplane.programs import TransitionRule
 from ..netsim.engine import Simulator
 from ..netsim.units import MICROSECOND, MILLISECOND
 from ..telemetry.benchfmt import BenchResult
 from ..telemetry.registry import MetricsRegistry
+from .dynamics import LinkDynamics, Trajectory
 from .lossmodels import GilbertElliottLoss
 from .plan import FaultInjector, FaultPlan
 
@@ -58,6 +75,8 @@ SCENARIOS = (
     "element-restart",
     "buffer-failover",
     "fleet-node-crash",
+    "link-drift",
+    "mode-rewrite-churn",
 )
 
 
@@ -81,6 +100,9 @@ class ChaosConfig:
     #: ``fleet-node-crash`` only: farm size and concurrency.
     fleet_nodes: int = 8
     fleet_flows: int = 16
+    #: ``mode-rewrite-churn`` only: concurrent flows whose in-flight
+    #: state must survive the mid-flow mode-map rewrite.
+    rewrite_flows: int = 3
 
     @property
     def stream_ns(self) -> int:
@@ -118,6 +140,10 @@ class ChaosReport:
     element_degradations: int
     buffer_failovers: int
     directory_marks_down: int
+    link_rate_changes: int
+    link_delay_changes: int
+    mode_rewrites: int
+    content_mismatches: int
 
     @property
     def complete(self) -> bool:
@@ -182,6 +208,54 @@ def _build_plan(cfg: ChaosConfig, pilot: PilotTestbed) -> FaultPlan:
         plan.element_restart(pilot.tofino, at_ns=2 * stream // 3)
     elif cfg.scenario == "buffer-failover":
         plan.buffer_fail(pilot.buffer, at_ns=stream // 2, directory=pilot.directory)
+    elif cfg.scenario == "link-drift":
+        # Time-varying WAN: delay ramps linearly to 2x across the middle
+        # of the stream (and stays there), while the rate steps down to
+        # 40% and back. Layered on top, a Gilbert-Elliott model whose
+        # parameters drift worse and then recover — so the receiver's
+        # retransmit timeout is exercised against the delay the path has
+        # *now*, not the one the stream started with.
+        wan = pilot.wan_link
+        base_delay = cfg.wan_delay_ns
+        delay = Trajectory(
+            [
+                (0, base_delay),
+                (stream // 4, base_delay),
+                (3 * stream // 4, 2 * base_delay),
+            ],
+            interpolate="linear",
+        )
+        rate = Trajectory(
+            [
+                (0, wan.rate_bps),
+                (stream // 3, wan.rate_bps * 2 // 5),
+                (2 * stream // 3, wan.rate_bps),
+            ],
+            interpolate="step",
+        )
+        plan.link_dynamics(
+            LinkDynamics(
+                wan,
+                rate_bps=rate,
+                delay_ns=delay,
+                start_ns=0,
+                end_ns=stream,
+                sample_every_ns=max(stream // 32, 1),
+            )
+        )
+        model = GilbertElliottLoss(
+            p_good_to_bad=0.03, p_bad_to_good=0.25, loss_good=0.0, loss_bad=0.5
+        )
+        plan.set_loss_model(wan, model, at_ns=stream // 4)
+        plan.ge_drift(
+            model,
+            [
+                (stream // 2, {"p_good_to_bad": 0.05, "loss_bad": 0.7}),
+                (5 * stream // 8, {"p_good_to_bad": 0.02, "loss_bad": 0.3}),
+            ],
+            target=wan.name,
+        )
+        plan.clear_loss_model(wan, at_ns=3 * stream // 4)
     else:
         raise ValueError(f"unknown scenario {cfg.scenario!r} (one of {SCENARIOS})")
     return plan
@@ -263,6 +337,10 @@ def run_fleet_chaos(cfg: ChaosConfig) -> ChaosRun:
         buffer_failovers=0,
         # The controller's liveness marks play the directory's role.
         directory_marks_down=farm.controller.stats.marks_down,
+        link_rate_changes=0,
+        link_delay_changes=0,
+        mode_rewrites=0,
+        content_mismatches=0,
     )
     metrics = farm.collect_telemetry()
     return ChaosRun(
@@ -279,6 +357,8 @@ def run_chaos(cfg: ChaosConfig) -> ChaosRun:
     """Build, fault, run, and measure one scenario."""
     if cfg.scenario == "fleet-node-crash":
         return run_fleet_chaos(cfg)
+    if cfg.scenario == "mode-rewrite-churn":
+        return run_mode_rewrite_chaos(cfg)
     pilot = PilotTestbed(sim=Simulator(seed=cfg.seed), config=_pilot_config(cfg))
     plan = _build_plan(cfg, pilot)
     injector = FaultInjector(pilot.sim, plan)
@@ -341,6 +421,205 @@ def run_chaos(cfg: ChaosConfig) -> ChaosRun:
         directory_marks_down=(
             pilot.directory.marks_down if pilot.directory is not None else 0
         ),
+        link_rate_changes=pilot.wan_link.stats.rate_changes,
+        link_delay_changes=pilot.wan_link.stats.delay_changes,
+        mode_rewrites=0,
+        content_mismatches=0,
+    )
+    metrics = _collect_metrics(pilot)
+    return ChaosRun(
+        scenario=cfg.scenario,
+        config=cfg,
+        report=report,
+        pilot=pilot,
+        injector=injector,
+        metrics=metrics,
+    )
+
+
+def _rewrite_payload(fid: int, index: int, size: int) -> bytes:
+    """Deterministic per-message payload for content verification."""
+    stamp = f"mrc:{fid}:{index}:".encode()
+    return (stamp * (size // len(stamp) + 1))[:size]
+
+
+def run_mode_rewrite_chaos(cfg: ChaosConfig) -> ChaosRun:
+    """Mid-flow shape-shifting under churn, with content verification.
+
+    A multi-flow directory build where, mid-stream: a burst-loss window
+    seeds retransmit state; both buffers' directory liveness flaps (so
+    every sender degrades and later upgrades); and the U55C's mode map
+    is rewritten *while that churn is in flight* — first shifting the
+    WAN→DTN2 segment from deliver-check down to age-recover, then back.
+    Liveness flaps are control-plane only (buffer contents survive), so
+    every sequenced loss must still be recoverable: the acceptance bar
+    is ``unrecovered == 0`` **and** a byte-exact payload-digest match
+    per flow (``content_mismatches == 0``).
+
+    Reconciliation is per flow against each sender's ``next_seq`` — the
+    degraded (identification-only) window relays messages that consume
+    no sequence numbers, so relay counts deliberately over-count the
+    sequenced space there.
+    """
+    flows = max(1, cfg.rewrite_flows)
+    pilot = PilotTestbed(
+        sim=Simulator(seed=cfg.seed),
+        config=PilotConfig(
+            wan_delay_ns=cfg.wan_delay_ns,
+            wan_loss_rate=0.0,
+            telemetry=True,
+            use_directory=True,
+            reliable_from_dtn1=True,
+            failover_buffer=True,
+            flows=flows,
+        ),
+    )
+    stream = cfg.stream_ns
+    directory = pilot.directory
+    assert directory is not None and pilot.dtn1_buffer is not None
+
+    # -- the churn script ------------------------------------------------------
+    age_recover_id = pilot.registry.by_name("age-recover").config_id
+    original_rule = TransitionRule(
+        from_config_id=age_recover_id,
+        to_mode="deliver-check",
+        deadline_offset_ns=pilot.config.deadline_offset_ns,
+        notify_addr=pilot.dtn1.ip,
+    )
+    shifted_rule = TransitionRule(
+        from_config_id=age_recover_id, to_mode="age-recover"
+    )
+    model = GilbertElliottLoss(
+        p_good_to_bad=0.05, p_bad_to_good=0.2, loss_good=0.0, loss_bad=0.7
+    )
+    plan = FaultPlan()
+    # Correlated loss early, while every flow is sequenced: the
+    # retransmit state the rewrite must not corrupt.
+    plan.set_loss_model(pilot.wan_link, model, at_ns=stream // 5)
+    plan.clear_loss_model(pilot.wan_link, at_ns=2 * stream // 5)
+    # Liveness churn: mark the U280 down (failover re-stamps to DTN 1),
+    # then DTN 1 too (no live buffer -> every sender degrades). Marks
+    # are control-plane only — contents survive, NAKs still get served.
+    plan.at(
+        11 * stream // 20,
+        lambda: directory.mark_down(pilot.buffer.address),
+        kind="directory_down",
+        target=pilot.buffer.address,
+    )
+    plan.at(
+        13 * stream // 20,
+        lambda: directory.mark_down(pilot.dtn1_buffer.address),
+        kind="directory_down",
+        target=pilot.dtn1_buffer.address,
+    )
+    # The shape-shift itself lands mid-churn, while the senders are
+    # degraded and retransmit state is outstanding.
+    plan.mode_rewrite(pilot.u55c_transition, [shifted_rule], at_ns=3 * stream // 4)
+    # Liveness returns only after the last identify relay has *arrived*
+    # at the U280 (so none races the upgrade rule into a colliding
+    # sequence space — an element-sequenced relay would start at the
+    # element register's seq 0 and be dropped as a duplicate of the
+    # sender's own seq 0). The stream//20 margin covers that drain for
+    # long streams; short streams need the explicit path bound:
+    # two DAQ hops plus the DTN1→U280 hop, with per-hop serialization.
+    serialization_ns = (
+        (cfg.payload_size + 256) * 8 * 1_000_000_000
+    ) // pilot.config.link_rate_bps
+    relay_drain_ns = 2 * (
+        2 * pilot.config.daq_delay_ns + 1 * MICROSECOND + 4 * serialization_ns
+    )
+    markup_at = stream + max(stream // 20, relay_drain_ns)
+    for buffer in (pilot.dtn1_buffer, pilot.buffer):
+        plan.at(
+            markup_at,
+            lambda address=buffer.address: directory.mark_up(address),
+            kind="directory_up",
+            target=buffer.address,
+        )
+    plan.mode_rewrite(pilot.u55c_transition, [original_rule], at_ns=11 * stream // 10)
+    injector = FaultInjector(pilot.sim, plan)
+
+    # -- deterministic traffic with content accounting -------------------------
+    sent_digests: dict[int, dict[bytes, int]] = {f: {} for f in range(flows)}
+    got_digests: dict[int, dict[bytes, int]] = {f: {} for f in range(flows)}
+    deliveries: list[tuple[int, MsgType]] = []
+    inner = pilot.dtn2_receiver.on_message
+
+    def observe(packet, header) -> None:
+        deliveries.append((pilot.sim.now, header.msg_type))
+        digest = hashlib.sha256(packet.payload or b"").digest()
+        bucket = got_digests[header.flow_id or 0]
+        bucket[digest] = bucket.get(digest, 0) + 1
+        if inner is not None:
+            inner(packet, header)
+
+    pilot.dtn2_receiver.on_message = observe
+
+    for j in range(cfg.messages):
+        fid, index = j % flows, j // flows
+        payload = _rewrite_payload(fid, index, cfg.payload_size)
+        digest = hashlib.sha256(payload).digest()
+        sent_digests[fid][digest] = sent_digests[fid].get(digest, 0) + 1
+        pilot.sim.schedule(
+            j * cfg.interval_ns, pilot.send_message, cfg.payload_size, fid, payload
+        )
+    injector.arm()
+    pilot.run(reconcile=False)
+    # Per-flow reconciliation against the *sequenced* space actually
+    # used: degraded-window messages consumed no sequence numbers.
+    for fid in range(flows):
+        pilot.dtn2_receiver.request_missing(
+            pilot.experiment_id, pilot.dtn1_senders[fid].next_seq, flow_id=fid
+        )
+    pilot.sim.run()
+    base = pilot.report()
+
+    mismatches = 0
+    for fid in range(flows):
+        digests = set(sent_digests[fid]) | set(got_digests[fid])
+        for digest in digests:
+            mismatches += abs(
+                sent_digests[fid].get(digest, 0) - got_digests[fid].get(digest, 0)
+            )
+
+    fault_start, fault_end = plan.start_ns, plan.end_ns
+    before = sum(1 for t, _m in deliveries if t < fault_start)
+    during = sum(1 for t, _m in deliveries if fault_start <= t <= fault_end)
+    after = sum(1 for t, _m in deliveries if t > fault_end)
+    retx_times = [t for t, m in deliveries if m == MsgType.RETX_DATA]
+    recovered_at = max(retx_times, default=fault_end)
+    senders = pilot.dtn1_senders
+
+    report = ChaosReport(
+        messages_sent=base.messages_sent,
+        delivered=base.delivered,
+        delivered_before=before,
+        delivered_during=during,
+        delivered_after=after,
+        duplicates=base.duplicates,
+        unrecovered=base.unrecovered,
+        naks_sent=base.naks_sent,
+        naks_served=base.naks_served,
+        failover_served=pilot.dtn1_buffer.stats.hits,
+        retransmissions=base.retransmissions,
+        faults_injected=len(plan),
+        faults_fired=len(injector.fired),
+        fault_start_ns=fault_start,
+        fault_end_ns=fault_end,
+        time_to_recover_ns=max(0, recovered_at - fault_end),
+        lost_down=pilot.wan_link.stats.lost_down,
+        lost_model=pilot.wan_link.stats.lost_model,
+        mode_degradations=sum(s.stats.mode_degradations for s in senders),
+        mode_upgrades=sum(s.stats.mode_upgrades for s in senders),
+        degraded_final=sum(s.stats.degraded_final for s in senders),
+        element_degradations=pilot.u280_transition.degradations,
+        buffer_failovers=pilot.tofino_nearest.failovers,
+        directory_marks_down=directory.marks_down,
+        link_rate_changes=pilot.wan_link.stats.rate_changes,
+        link_delay_changes=pilot.wan_link.stats.delay_changes,
+        mode_rewrites=pilot.u55c_transition.rewrites
+        + sum(s.stats.mode_rewrites for s in senders),
+        content_mismatches=mismatches,
     )
     metrics = _collect_metrics(pilot)
     return ChaosRun(

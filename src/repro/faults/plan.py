@@ -18,14 +18,17 @@ from its seed alone.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING, Callable, Iterable
 
 if TYPE_CHECKING:  # imports only for annotations: keep faults light
+    from ..core.endpoint import MmtSender
     from ..core.retransmit import BufferDirectory, RetransmitBuffer
     from ..dataplane.element import ProgrammableElement
+    from ..dataplane.programs import ModeTransitionProgram, TransitionRule
     from ..netsim.engine import Simulator
-    from ..netsim.link import Link
-    from ..netsim.loss import LossModel
+    from ..netsim.link import Link, Port
+    from ..netsim.loss import GilbertElliottLoss, LossModel
+    from .dynamics import LinkDynamics
 
 
 @dataclass(frozen=True)
@@ -131,6 +134,100 @@ class FaultPlan:
 
     def clear_loss_model(self, link: "Link", at_ns: int) -> "FaultPlan":
         return self.set_loss_model(link, None, at_ns)
+
+    # -- time-varying dynamics -------------------------------------------------
+
+    def link_dynamics(self, dynamics: "LinkDynamics") -> "FaultPlan":
+        """Arm a :class:`~repro.faults.dynamics.LinkDynamics` driver.
+
+        The plan carries one action at the driver's start; the driver
+        then self-schedules (one pending event at a time) until its
+        bounded ``end_ns``, applying the trajectories through
+        ``Link.reconfigure``. A second terminal action marks the
+        driver's horizon so the plan's ``start_ns``/``end_ns`` window —
+        which chaos scenarios report against — brackets the whole drift.
+        """
+        self._add(
+            dynamics.start_ns, "link_dynamics", dynamics.link.name, dynamics.arm
+        )
+        if dynamics.end_ns > dynamics.start_ns:
+            self._add(
+                dynamics.end_ns,
+                "link_dynamics_end",
+                dynamics.link.name,
+                lambda: None,
+            )
+        return self
+
+    def ge_drift(
+        self,
+        model: "GilbertElliottLoss",
+        schedule: "Iterable[tuple[int, dict[str, float]]]",
+        target: str = "",
+    ) -> "FaultPlan":
+        """Drift an installed Gilbert–Elliott model's parameters.
+
+        ``schedule`` is ``(at_ns, params)`` waypoints where each
+        ``params`` dict holds ``set_params`` keyword arguments.
+        Parameters are validated eagerly — a bad probability fails at
+        plan construction, not mid-soak. The regime state and RNG
+        stream are untouched, so drift schedules replay to identical
+        loss draws for identical seeds.
+        """
+        valid = {"p_good_to_bad", "p_bad_to_good", "loss_good", "loss_bad"}
+        for at_ns, params in schedule:
+            unknown = set(params) - valid
+            if unknown:
+                raise ValueError(f"unknown GE parameters: {sorted(unknown)}")
+            for name, value in params.items():
+                if not 0.0 <= value <= 1.0:
+                    raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+            def apply(params: dict = dict(params)) -> None:
+                model.set_params(**params)
+
+            self._add(at_ns, "ge_drift", target or "gilbert-elliott", apply)
+        return self
+
+    def queue_resize(self, port: "Port", capacity_bytes: int, at_ns: int) -> "FaultPlan":
+        """Re-carve a port's egress queue capacity at ``at_ns``."""
+        if capacity_bytes <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity_bytes}")
+
+        def apply() -> None:
+            port.queue.resize(capacity_bytes)
+
+        return self._add(at_ns, "queue_resize", repr(port), apply)
+
+    # -- mid-flow shape-shifting ----------------------------------------------
+
+    def mode_rewrite(
+        self,
+        program: "ModeTransitionProgram",
+        rules: "list[TransitionRule]",
+        at_ns: int,
+    ) -> "FaultPlan":
+        """Rewrite an element's mode-transition map mid-flow.
+
+        The control-plane path-migration event: the installed table's
+        entries are replaced with ``rules`` while the sequence register
+        (and therefore every in-flight flow's numbering) carries over.
+        """
+
+        def apply() -> None:
+            program.replace_rules(rules)
+
+        return self._add(at_ns, "mode_rewrite", "mode_transition", apply)
+
+    def sender_set_mode(
+        self, sender: "MmtSender", mode: str, at_ns: int
+    ) -> "FaultPlan":
+        """Shape-shift a sender's primary mode mid-flow at ``at_ns``."""
+
+        def apply() -> None:
+            sender.set_mode(mode)
+
+        return self._add(at_ns, "sender_set_mode", sender.flow, apply)
 
     # -- dataplane elements ---------------------------------------------------
 

@@ -267,6 +267,14 @@ class LinkStats:
     #: Packets eaten by the attached :class:`~repro.netsim.loss.LossModel`
     #: (burst loss, targeted control-packet loss, ...).
     lost_model: int = 0
+    #: Mid-run :meth:`Link.reconfigure` steps that changed the rate /
+    #: the propagation delay — trajectory drivers bump these so traces
+    #: and INT can attribute latency shifts to link dynamics.
+    rate_changes: int = 0
+    delay_changes: int = 0
+    #: The rate currently in force (mirrors ``Link.rate_bps`` so scrapes
+    #: of a drifting link report where the trajectory has taken it).
+    current_rate_bps: int = 0
 
 
 class Link:
@@ -314,6 +322,7 @@ class Link:
         self.name = name or f"{a.node.name}<->{b.node.name}"
         self.up = True
         self.stats = LinkStats()
+        self.stats.current_rate_bps = rate_bps
         #: Causal tracer (repro.trace.Tracer) or None; records wire loss.
         self.tracer = None
         self._rng = sim.rng(f"link:{self.name}")
@@ -324,6 +333,56 @@ class Link:
     def max_frame_bytes(self) -> int:
         """Largest frame admitted: MTU plus L2 header+FCS (18 bytes)."""
         return self.mtu_bytes + 18
+
+    def reconfigure(
+        self,
+        rate_bps: int | None = None,
+        propagation_delay_ns: int | None = None,
+        loss_rate: float | None = None,
+    ) -> bool:
+        """Change the link's characteristics mid-run (trajectory step).
+
+        Validation matches construction. Semantics are physical: a rate
+        change takes effect at the *next* serialization (a packet already
+        on the transmitter keeps its old tx time), and a delay change
+        applies to packets entering the wire from now on (in-flight
+        packets keep the delay they departed with). Both are functions of
+        the engine clock only, so seeded runs replay byte-identically.
+
+        Returns True when anything actually changed; changes bump the
+        ``rate_changes``/``delay_changes`` stats and emit a
+        ``link.reconfig`` trace span so latency shifts in a trace can be
+        attributed to the trajectory step that caused them.
+        """
+        if rate_bps is not None and rate_bps <= 0:
+            raise ValueError(f"rate must be positive, got {rate_bps}")
+        if propagation_delay_ns is not None and propagation_delay_ns < 0:
+            raise ValueError(f"delay must be >= 0, got {propagation_delay_ns}")
+        if loss_rate is not None and not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        changed = False
+        if rate_bps is not None and int(rate_bps) != self.rate_bps:
+            self.rate_bps = int(rate_bps)
+            self.stats.rate_changes += 1
+            changed = True
+        if (
+            propagation_delay_ns is not None
+            and int(propagation_delay_ns) != self.propagation_delay_ns
+        ):
+            self.propagation_delay_ns = int(propagation_delay_ns)
+            self.stats.delay_changes += 1
+            changed = True
+        if loss_rate is not None and loss_rate != self.loss_rate:
+            self.loss_rate = loss_rate
+            changed = True
+        self.stats.current_rate_bps = self.rate_bps
+        if changed and self.tracer is not None:
+            self.tracer.emit(
+                "link.reconfig", self.name,
+                rate_bps=self.rate_bps,
+                delay_ns=self.propagation_delay_ns,
+            )
+        return changed
 
     def other_end(self, port: Port) -> Port:
         if port is self.ends[0]:

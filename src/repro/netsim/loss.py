@@ -79,6 +79,36 @@ class GilbertElliottLoss(LossModel):
         self.in_bad = False
         self.bursts = 0
         self.dropped = 0
+        #: Scheduled mid-run parameter rewrites (:meth:`set_params`).
+        self.drifts = 0
+
+    def set_params(
+        self,
+        p_good_to_bad: float | None = None,
+        p_bad_to_good: float | None = None,
+        loss_good: float | None = None,
+        loss_bad: float | None = None,
+    ) -> None:
+        """Drift the chain's parameters in place (scheduled GE drift).
+
+        The regime state (``in_bad``) and the owning link's RNG stream
+        are untouched: the per-packet draw sequence — regime transition
+        draw, then a loss draw only when the regime's loss is nonzero —
+        keeps its shape, so drift schedules replay deterministically
+        from the seed.
+        """
+        for name, value in (
+            ("p_good_to_bad", p_good_to_bad),
+            ("p_bad_to_good", p_bad_to_good),
+            ("loss_good", loss_good),
+            ("loss_bad", loss_bad),
+        ):
+            if value is None:
+                continue
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+            setattr(self, name, value)
+        self.drifts += 1
 
     def should_drop(self, packet: Packet, rng: random.Random) -> bool:
         # Regime transition first, then the loss draw for the regime the

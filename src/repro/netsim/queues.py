@@ -36,6 +36,22 @@ class QueueDiscipline:
         self.peak_bytes = 0
         self.enqueued = 0
         self.dropped = 0
+        #: Mid-run capacity changes (:meth:`resize`).
+        self.resizes = 0
+
+    def resize(self, capacity_bytes: int) -> None:
+        """Change the byte capacity mid-run (buffer-carving trajectory).
+
+        Shrinking below the current backlog drops nothing retroactively:
+        queued packets drain normally and new arrivals are refused until
+        occupancy falls under the new limit — the way switch buffer
+        re-carving behaves.
+        """
+        if capacity_bytes <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity_bytes}")
+        if capacity_bytes != self.capacity_bytes:
+            self.capacity_bytes = capacity_bytes
+            self.resizes += 1
 
     def enqueue(self, packet: Packet) -> bool:
         raise NotImplementedError

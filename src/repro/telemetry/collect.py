@@ -62,6 +62,13 @@ def scrape_link(link, registry: MetricsRegistry, now_ns: int | None = None) -> N
     )
     registry.counter("link_lost_down_total", **labels).set_total(link.stats.lost_down)
     registry.counter("link_lost_model_total", **labels).set_total(link.stats.lost_model)
+    registry.counter("link_rate_changes_total", **labels).set_total(
+        link.stats.rate_changes
+    )
+    registry.counter("link_delay_changes_total", **labels).set_total(
+        link.stats.delay_changes
+    )
+    registry.gauge("link_current_rate_bps", **labels).set(link.stats.current_rate_bps)
     if now_ns:
         for port in link.ends:
             # utilization% = bits sent / (rate × elapsed), integer math.

@@ -1,0 +1,86 @@
+"""RTO re-derivation from the path's current delay under trajectories.
+
+A time-varying link can ramp its propagation delay mid-flight; the
+receiver's NAK retry interval (its RTO) must ramp with it. The
+``adapt_rtt_to_path`` knob floors the retry RTT at two one-way trips
+of the path *as currently measured from fresh deliveries* — with it
+off, the frozen initial estimate fires spurious retries the moment the
+real round trip outgrows it.
+
+The scenario: a 2 ms WAN ramping linearly to 4 ms (a 2× delay ramp)
+across a 200-message stream, with two deterministic outage blips late
+in the ramp where the stale RTO undershoots the true repair round
+trip. Counters are pinned exactly — the run is seeded and every fault
+time is scripted, so these are golden numbers, not ranges.
+"""
+
+from repro.dataplane import PilotConfig, PilotTestbed
+from repro.faults import FaultInjector, FaultPlan, LinkDynamics, Trajectory
+from repro.netsim import Simulator
+from repro.netsim.units import MILLISECOND
+
+INTERVAL_NS = 100_000
+COUNT = 200
+STREAM_NS = COUNT * INTERVAL_NS
+
+
+def _run_ramp(adapt: bool, seed: int = 11):
+    pilot = PilotTestbed(
+        sim=Simulator(seed=seed),
+        config=PilotConfig(wan_delay_ns=2 * MILLISECOND),
+    )
+    pilot.dtn2_receiver.config.adapt_rtt_to_path = adapt
+    plan = FaultPlan()
+    plan.link_dynamics(LinkDynamics(
+        pilot.wan_link,
+        delay_ns=Trajectory(
+            [(0, 2 * MILLISECOND), (STREAM_NS, 4 * MILLISECOND)],
+            interpolate="linear",
+        ),
+        sample_every_ns=STREAM_NS // 20,
+    ))
+    # Two outage blips late in the ramp, where the one-way delay is
+    # near 2x and a frozen RTO undershoots the repair round trip.
+    for down_at in (14 * MILLISECOND, 18 * MILLISECOND):
+        plan.link_down(pilot.wan_link, at_ns=down_at)
+        plan.link_up(pilot.wan_link, at_ns=down_at + 200_000)
+    injector = FaultInjector(pilot.sim, plan)
+    for i in range(COUNT):
+        pilot.sim.schedule(i * INTERVAL_NS, pilot.send_message, 2000, 0)
+    injector.arm()
+    report = pilot.run()
+    return pilot, report
+
+
+class TestRtoAdaptsToDelayRamp:
+    def test_pinned_retx_counts_with_adaptation(self):
+        pilot, report = _run_ramp(adapt=True)
+        assert report.delivered == COUNT
+        assert report.unrecovered == 0
+        # One NAK per outage, one repair burst each, zero spurious.
+        assert report.naks_sent == 2
+        assert report.naks_served == 2
+        assert report.retransmissions == 4
+        assert report.duplicates == 0
+        # The trajectory actually ramped the link the whole way.
+        assert pilot.wan_link.stats.delay_changes == 20
+        assert pilot.wan_link.propagation_delay_ns == 4 * MILLISECOND
+
+    def test_frozen_rto_fires_spurious_retries(self):
+        _pilot, report = _run_ramp(adapt=False)
+        assert report.delivered == COUNT
+        assert report.unrecovered == 0
+        # The stale 4 ms retry interval undershoots the ~8 ms repair
+        # round trip at the top of the ramp: one extra NAK round and
+        # its duplicate repairs.
+        assert report.naks_sent == 3
+        assert report.naks_served == 3
+        assert report.retransmissions == 6
+        assert report.duplicates == 2
+
+    def test_adaptation_replays_identically(self):
+        first = _run_ramp(adapt=True)[1]
+        second = _run_ramp(adapt=True)[1]
+        assert (first.naks_sent, first.retransmissions, first.delivered) == (
+            second.naks_sent, second.retransmissions, second.delivered
+        )

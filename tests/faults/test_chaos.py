@@ -31,6 +31,21 @@ class TestScenarios:
         assert r.retransmissions > 0
         assert r.naks_served > 0
 
+    def test_link_drift_recovers_under_trajectories(self):
+        run = run_chaos(fast_config("link-drift"))
+        r = run.report
+        assert r.complete, f"link-drift: {r.unrecovered} unrecovered"
+        # The trajectories actually moved the link and the GE model
+        # actually drifted mid-window.
+        assert r.link_rate_changes > 0
+        assert r.link_delay_changes > 0
+        assert r.lost_model > 0
+        # The drift schedule is part of the plan and fired fully.
+        assert r.faults_fired == r.faults_injected
+        # The drivers are bounded: the run reached quiescence (we are
+        # here) and the link ends at the trajectories' final values.
+        assert run.pilot.wan_link.loss_model is None
+
     def test_burst_loss_uses_the_model(self):
         run = run_chaos(fast_config("burst-loss"))
         r = run.report

@@ -1,0 +1,179 @@
+"""Conformance properties of the time-varying link dynamics.
+
+The replay contract under test: a trajectory is a pure function of the
+engine clock (identical samples for identical specs), the driver's
+application times land *exactly* on waypoint boundaries (never a
+rounded grid point), and scheduled Gilbert–Elliott parameter drift
+never perturbs the loss-draw sequence shape — replays from one seed
+are byte-identical.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.faults import GilbertElliottLoss, LinkDynamics, Trajectory
+from repro.netsim import Simulator
+
+from tests.conftest import TwoHostRig
+from tests.proptest.strategies import Gen, cases
+
+
+def arbitrary_trajectory_spec(gen: Gen) -> dict:
+    """A valid Trajectory constructor argument set, as plain data so the
+    same spec can build the curve twice."""
+    count = gen.integer(1, 6)
+    times, t = [], 0
+    for i in range(count):
+        t += gen.integer(0 if i == 0 else 1, 1_000_000)
+        times.append(t)
+    waypoints = [(t, float(gen.integer(1, 10**9))) for t in times]
+    interpolate = gen.choice(("step", "linear"))
+    period_ns = None
+    if times[0] == 0 and gen.boolean(0.3):
+        period_ns = times[-1] + gen.integer(1, 1_000_000)
+    return {
+        "waypoints": waypoints,
+        "interpolate": interpolate,
+        "period_ns": period_ns,
+    }
+
+
+class TestTrajectoryDeterminism:
+    def test_same_spec_same_samples(self):
+        """Two curves built from one spec agree at 64 arbitrary times."""
+        for _index, gen in cases():
+            spec = arbitrary_trajectory_spec(gen)
+            first = Trajectory(**spec)
+            second = Trajectory(**spec)
+            for _ in range(64):
+                t = gen.integer(0, 4_000_000)
+                assert first.value_at(t) == second.value_at(t)
+
+    def test_value_at_is_pure(self):
+        """Sampling in any order never changes the answer."""
+        for _index, gen in cases(count=50):
+            curve = Trajectory(**arbitrary_trajectory_spec(gen))
+            times = [gen.integer(0, 4_000_000) for _ in range(32)]
+            forward = [curve.value_at(t) for t in times]
+            backward = [curve.value_at(t) for t in reversed(times)]
+            assert forward == list(reversed(backward))
+
+    def test_change_times_hits_every_boundary_exactly(self):
+        """Every waypoint inside the window appears verbatim — boundaries
+        are never displaced onto a sampling grid."""
+        for _index, gen in cases():
+            spec = arbitrary_trajectory_spec(gen)
+            curve = Trajectory(**spec)
+            end = spec["waypoints"][-1][0] + gen.integer(0, 1_000_000)
+            sample_every = gen.integer(1, 500_000)
+            times = curve.change_times(0, end, sample_every_ns=sample_every)
+            assert times == sorted(set(times))
+            for t, _v in spec["waypoints"]:
+                if t <= end:
+                    assert t in times
+            assert all(0 <= t <= end for t in times)
+            if spec["interpolate"] == "step" and spec["period_ns"] is None:
+                # Step curves change only at boundaries: nothing else.
+                boundary_set = {t for t, _v in spec["waypoints"]}
+                assert set(times) <= boundary_set
+
+
+class TestDriverOnClock:
+    def test_step_boundaries_apply_on_the_exact_tick(self):
+        """Run a seeded sim to one tick before a boundary and then onto
+        it: the link's rate flips exactly at ``start + waypoint``."""
+        for index, gen in cases(count=25):
+            sim = Simulator(seed=index)
+            rig = TwoHostRig(sim)
+            link = rig.link_b
+            r0 = link.rate_bps
+            flip_at = gen.integer(1, 1_000_000)
+            start = gen.integer(0, 1_000_000)
+            dynamics = LinkDynamics(
+                link,
+                rate_bps=Trajectory([(0, r0), (flip_at, r0 // 2)]),
+                start_ns=start,
+            )
+            dynamics.arm()
+            sim.run(until_ns=start + flip_at - 1)
+            assert link.rate_bps == r0
+            sim.run(until_ns=start + flip_at)
+            assert link.rate_bps == r0 // 2
+            sim.run()
+            assert dynamics.applied == len(dynamics)
+
+    def test_driver_replays_identically(self):
+        """Two seeded runs of one dynamics spec apply identical values:
+        identical stats on the link afterwards."""
+        for index, gen in cases(count=25):
+            spec = arbitrary_trajectory_spec(gen)
+            sample_every = gen.integer(1, 500_000)
+
+            def run_once() -> tuple[int, int, int]:
+                sim = Simulator(seed=1000 + index)
+                link = TwoHostRig(sim).link_b
+                dynamics = LinkDynamics(
+                    link,
+                    rate_bps=Trajectory(**spec),
+                    end_ns=spec["waypoints"][-1][0],
+                    sample_every_ns=sample_every,
+                )
+                dynamics.arm()
+                sim.run()
+                return (
+                    link.stats.rate_changes,
+                    link.stats.current_rate_bps,
+                    dynamics.applied,
+                )
+
+            assert run_once() == run_once()
+
+
+class TestGilbertElliottDriftReplay:
+    def test_drift_schedule_replays_identical_draws(self):
+        """One seed, one drift schedule, two runs: the drop sequence is
+        identical — drift rewrites parameters without touching the
+        regime state or the RNG stream."""
+        for index, gen in cases(count=100):
+            p_gb = gen.integer(1, 50) / 100.0
+            p_bg = gen.integer(1, 50) / 100.0
+            loss_bad = gen.integer(1, 100) / 100.0
+            draws = gen.integer(10, 200)
+            drift_after = gen.integer(0, draws)
+            drifted = {
+                "p_good_to_bad": gen.integer(1, 99) / 100.0,
+                "loss_bad": gen.integer(0, 100) / 100.0,
+            }
+
+            def run_once() -> list[bool]:
+                model = GilbertElliottLoss(p_gb, p_bg, 0.0, loss_bad)
+                rng = random.Random(9000 + index)
+                out = []
+                for i in range(draws):
+                    if i == drift_after:
+                        model.set_params(**drifted)
+                    out.append(model.should_drop(None, rng))
+                return out
+
+            assert run_once() == run_once()
+
+    def test_drift_preserves_draw_shape_before_the_drift(self):
+        """Draws *before* the drift point match an undrifted model's:
+        scheduling a future drift cannot perturb the past."""
+        for index, gen in cases(count=50):
+            p_gb = gen.integer(1, 50) / 100.0
+            draws = gen.integer(20, 100)
+            drift_after = gen.integer(10, draws)
+
+            def run(drift: bool) -> list[bool]:
+                model = GilbertElliottLoss(p_gb, 0.3, 0.0, 0.5)
+                rng = random.Random(7000 + index)
+                out = []
+                for i in range(drift_after):
+                    out.append(model.should_drop(None, rng))
+                if drift:
+                    model.set_params(loss_bad=0.9)
+                return out
+
+            assert run(True) == run(False)
