@@ -8,12 +8,20 @@ from .metrics import (
     jains_fairness,
     percentile,
 )
+from .fct import (
+    FctCollector,
+    FctError,
+    FctSummary,
+    FlowRecord,
+    interpolated_percentile,
+)
 from .shard import (
     ShardError,
     TracedPilotCase,
     available_cores,
     campaign_digest,
     fleet_case_metrics,
+    incast_case_metrics,
     merge_campaign,
     multiflow_case_metrics,
     run_sharded,
@@ -24,6 +32,10 @@ from .tracestats import trace_metrics
 
 __all__ = [
     "AgeOfInformation",
+    "FctCollector",
+    "FctError",
+    "FctSummary",
+    "FlowRecord",
     "LatencySummary",
     "ResultTable",
     "ShardError",
@@ -31,6 +43,8 @@ __all__ = [
     "available_cores",
     "campaign_digest",
     "fleet_case_metrics",
+    "incast_case_metrics",
+    "interpolated_percentile",
     "merge_campaign",
     "multiflow_case_metrics",
     "run_sharded",

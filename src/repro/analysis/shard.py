@@ -45,6 +45,7 @@ __all__ = [
     "available_cores",
     "campaign_digest",
     "fleet_case_metrics",
+    "incast_case_metrics",
     "merge_campaign",
     "merge_counts",
     "multiflow_case_metrics",
@@ -208,6 +209,15 @@ def multiflow_case_metrics(config) -> tuple[str, dict]:
         "completion_spread_ns": report.completion_spread_ns,
         "complete": int(report.complete),
     }
+
+
+def incast_case_metrics(config) -> tuple[str, dict]:
+    """Run one :class:`~repro.integration.incast.IncastConfig` grid
+    cell; returns ``(label, flat metrics)`` suitable for merging."""
+    from ..integration.incast import case_label, run_incast
+
+    report = run_incast(config)
+    return case_label(config), report.as_metrics()
 
 
 def fleet_case_metrics(config) -> tuple[str, dict]:

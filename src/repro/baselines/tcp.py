@@ -29,7 +29,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from ..netsim.engine import Timer
-from ..netsim.headers import IpProto, Ipv4Header, TcpHeader
+from ..netsim.headers import ECN_CE, ECN_ECT0, IpProto, Ipv4Header, TcpHeader
 from ..netsim.host import Host
 from ..netsim.packet import Packet
 from ..netsim.units import MILLISECOND, SECOND
@@ -60,6 +60,9 @@ class TcpConfig:
     delayed_ack_ns: int = 40 * MILLISECOND
     #: Duplicate-ACK threshold for fast retransmit.
     dupack_threshold: int = 3
+    #: RFC 3168 ECN: stamp data segments ECT(0), echo CE as ECE, react
+    #: once per window with a congestion-window reduction (no loss needed).
+    ecn: bool = False
 
 
 @dataclass
@@ -76,6 +79,12 @@ class TcpStats:
     segments_received: int = 0
     bytes_delivered: int = 0
     out_of_order_segments: int = 0
+    #: CE-marked data segments seen by the receiver (ECN mode).
+    ce_marks_received: int = 0
+    #: ACKs carrying ECE seen by the sender (ECN mode).
+    ece_acks_received: int = 0
+    #: Congestion-window reductions triggered by ECE (once per window).
+    ecn_reductions: int = 0
 
 
 # ---------------------------------------------------------------------------
@@ -348,6 +357,13 @@ class TcpConnection:
         # message boundaries (cumulative end offsets) for latency probes
         self.message_boundaries: list[tuple[int, int]] = []  # (end offset, queued time)
         self._line_rate_cache: int | None = None
+        # --- ECN state (RFC 3168) ---
+        #: Receiver: echo ECE on outgoing ACKs until the peer's CWR arrives.
+        self._ece_pending = False
+        #: Sender: set CWR on the next data segment after an ECE reaction.
+        self._cwr_pending = False
+        #: Sender: snd_nxt at the last ECE reaction (once-per-window gate).
+        self._ecn_recovery_point = 0
         # --- receiver state ---
         self.rcv_nxt = 0
         self._ooo: list[tuple[int, int]] = []  # disjoint, sorted [start, end)
@@ -405,17 +421,23 @@ class TcpConnection:
         )
 
     def _send_data_segment(self, start: int, size: int, retransmit: bool = False) -> None:
+        cwr = False
+        if self.config.ecn and self._cwr_pending:
+            cwr = True
+            self._cwr_pending = False
         header = TcpHeader(
             src_port=self.local_port,
             dst_port=self.remote_port,
             seq=start,
             ack=self.rcv_nxt,
             flag_ack=True,
+            flag_cwr=cwr,
             window=self.config.recv_buffer_bytes,
         )
         self.stack.host.send_ip(
             self.remote_ip, IpProto.TCP, [header], payload_size=size,
             meta={"flow": f"tcp:{self.local_port}->{self.remote_port}"},
+            ecn=ECN_ECT0 if self.config.ecn else 0,
         )
         self.stats.segments_sent += 1
         self.stats.bytes_sent += size
@@ -529,6 +551,16 @@ class TcpConnection:
     def _process_ack(self, header: TcpHeader) -> None:
         ack = header.ack
         self.stats.acks_received += 1
+        if header.flag_ece and self.config.ecn:
+            self.stats.ece_acks_received += 1
+            # React at most once per window of data (RFC 3168 §6.1.2):
+            # a new reduction only once the window sent at the previous
+            # reduction has been fully acknowledged.
+            if ack > self._ecn_recovery_point or self._ecn_recovery_point == 0:
+                self._ecn_recovery_point = self.snd_nxt
+                self._cwr_pending = True
+                self.stats.ecn_reductions += 1
+                self.cc.on_enter_recovery(self.sim.now)
         for block_start, block_end in header.sack_blocks:
             self._mark_sacked(block_start, block_end)
         if ack > self.snd_una:
@@ -640,7 +672,14 @@ class TcpConnection:
             return
         self.stats.timeouts += 1
         self.cc.on_timeout(self.sim.now)
-        self._in_recovery = False
+        # Everything in flight at the timeout is presumed lost: stay in
+        # recovery until it is all re-acknowledged, retransmitting the
+        # next hole as each ACK returns. Without this, a flow that lost
+        # a full window (deep incast) advances one segment per *doubled*
+        # RTO — ``bytes_unacked`` counts the presumed-lost bytes against
+        # cwnd and no ACKs arrive to clock anything out.
+        self._in_recovery = True
+        self._recovery_point = self.snd_nxt
         self._dupacks = 0
         self._sacked = []  # RFC 6582: timeout clears the scoreboard
         self._retx_done.clear()
@@ -662,6 +701,16 @@ class TcpConnection:
 
     def _process_data(self, packet: Packet, header: TcpHeader) -> None:
         self.stats.segments_received += 1
+        if self.config.ecn:
+            if header.flag_cwr:
+                # Sender reacted; stop echoing ECE (RFC 3168 §6.1.3).
+                self._ece_pending = False
+            ip = packet.find(Ipv4Header)
+            if ip is not None and ip.ecn == ECN_CE:
+                # Checked after CWR so a CE-marked CWR segment still
+                # starts a fresh ECE episode.
+                self._ece_pending = True
+                self.stats.ce_marks_received += 1
         start, end = header.seq, header.seq + packet.payload_size
         if end <= self.rcv_nxt:
             self._emit_ack()  # pure duplicate, re-ACK
@@ -710,6 +759,7 @@ class TcpConnection:
             seq=self.snd_nxt,
             ack=self.rcv_nxt,
             flag_ack=True,
+            flag_ece=self._ece_pending,
             window=self.config.recv_buffer_bytes,
             sack_blocks=sack_blocks,
         )

@@ -13,6 +13,7 @@ Installed as the ``repro`` console script::
     repro chaos --scenario link-flap      # pilot under fault injection
     repro soak --ci                       # ~60 s simulated endurance smoke
     repro soak                            # the full one-hour endurance soak
+    repro incast --grid small             # Fig. 2 incast FCT head-to-head
     repro pilot --trace trace.jsonl       # ... with the causal flight recorder on
     repro trace --timeline 10752:0:7      # one packet's root-cause timeline
     repro trace --chrome trace.json       # Perfetto-loadable export
@@ -24,6 +25,7 @@ so quick shell exploration and recorded experiments stay consistent.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 
 from .analysis import ResultTable, format_duration, format_rate, percentile
@@ -650,6 +652,76 @@ def _cmd_soak(args: argparse.Namespace) -> int:
     return 0 if report.complete else 1
 
 
+def _cmd_incast(args: argparse.Namespace) -> int:
+    """Run the Fig. 2 incast head-to-head grid and write
+    ``BENCH_fct_grid.json``.
+
+    Every cell is a pure function of its seeded config, so the merged
+    artifact is byte-identical across reruns and for every ``--jobs N``.
+    Exit code 0 requires MMT's p99 FCT to be no worse than TCP's in
+    every highest-fan-in cell that both transports completed.
+    """
+    from .integration.incast import (
+        case_label,
+        grid_configs,
+        run_grid,
+        small_grid,
+        write_bench,
+    )
+
+    seeds = tuple(args.seed) if args.seed else (7, 42)
+    if args.grid == "small":
+        configs = small_grid(seeds=seeds)
+    else:
+        configs = grid_configs(seeds=seeds)
+    labeled = run_grid(configs, jobs=max(1, args.jobs))
+    by_label = dict(labeled)
+
+    table = ResultTable(
+        "Incast head-to-head (ECN leaf-spine fan-in, FCT per transport)",
+        ["Cell", "Done", "p50 FCT", "p99 FCT", "CE marks", "Drops"],
+    )
+    for config in configs:
+        row = by_label[case_label(config)]
+        table.add_row(
+            case_label(config),
+            f"{row['completed']}/{row['flows']}",
+            format_duration(row["fct_p50_ns"]) if row["fct_p50_ns"] else "-",
+            format_duration(row["fct_p99_ns"]) if row["fct_p99_ns"] else "-",
+            row["ce_marked"],
+            row["dropped"],
+        )
+    table.show()
+    path = write_bench(labeled, configs, args.out_dir)
+    print(f"\nwrote {path}")
+
+    # The paper's claim, as a gate: once queues dominate (offered load
+    # at or above the bottleneck), MMT's tail at the deepest fan-in is
+    # no worse than TCP's. Underloaded cells stay in the artifact but
+    # out of the gate — with no standing queue there is nothing for
+    # ECN pacing to win.
+    max_n = max(config.senders for config in configs)
+    ok = True
+    for config in configs:
+        if config.transport != "mmt" or config.senders != max_n:
+            continue
+        if config.load < 1.0:
+            continue
+        tcp_label = case_label(dataclasses.replace(config, transport="tcp"))
+        mmt_row, tcp_row = by_label[case_label(config)], by_label.get(tcp_label)
+        if tcp_row is None:
+            continue
+        mmt_p99, tcp_p99 = mmt_row["fct_p99_ns"], tcp_row["fct_p99_ns"]
+        if mmt_p99 is None or (tcp_p99 is not None and mmt_p99 > tcp_p99):
+            print(
+                f"FCT GATE FAILED at {case_label(config)}: "
+                f"mmt p99={mmt_p99} vs tcp p99={tcp_p99}",
+                file=sys.stderr,
+            )
+            ok = False
+    return 0 if ok else 1
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     """Causal tracing: run a traced pilot (or load a trace file) and
     dump, filter, export, or root-cause it.
@@ -1001,6 +1073,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--out-dir", default=".", help="directory for BENCH_soak.json"
     )
 
+    incast = sub.add_parser(
+        "incast", help="ECN leaf-spine incast FCT head-to-head (Fig. 2)"
+    )
+    incast.add_argument(
+        "--grid", choices=("small", "full"), default="small",
+        help="small = CI smoke (one K, N in {4, 16}); full = the whole "
+        "{K, L, N, sym/asym} matrix",
+    )
+    incast.add_argument(
+        "--seed", type=int, action="append", default=None,
+        help="grid seed; repeatable (default: 7 and 42)",
+    )
+    incast.add_argument(
+        "--jobs", type=int, default=1,
+        help="shard grid cells across N worker processes "
+        "(BENCH_fct_grid.json is identical for every N)",
+    )
+    incast.add_argument(
+        "--out-dir", default=".", help="directory for BENCH_fct_grid.json"
+    )
+
     telemetry = sub.add_parser("telemetry", help="render a telemetry snapshot")
     telemetry.add_argument("snapshot", help="JSONL snapshot file (repro pilot --telemetry)")
     telemetry.add_argument(
@@ -1018,6 +1111,7 @@ _COMMANDS = {
     "telemetry": _cmd_telemetry,
     "bench": _cmd_bench,
     "chaos": _cmd_chaos,
+    "incast": _cmd_incast,
     "soak": _cmd_soak,
     "fleet": _cmd_fleet,
     "trace": _cmd_trace,

@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
 from ..netsim.engine import Timer
-from ..netsim.headers import EtherType, IpProto
+from ..netsim.headers import ECN_CE, ECN_ECT0, EtherType, IpProto
 from ..netsim.host import Host
 from ..netsim.packet import Packet
 from ..netsim.units import MBPS, MICROSECOND, MILLISECOND, SECOND
@@ -288,6 +288,11 @@ class SenderConfig:
     min_pace_rate_mbps: int = 100
     #: Multiplicative recovery applied each heartbeat after backpressure.
     pace_recovery_factor: float = 1.05
+    #: Minimum spacing between effective backpressure reductions. A
+    #: standing queue above an ECN mark point echoes continuously; the
+    #: hold-off makes the reaction once-per-window (AIMD) instead of an
+    #: exponential decay to the floor. 0 = legacy immediate reaction.
+    backpressure_holdoff_ns: int = 0
     #: Starting credit balance for FLOW_CONTROL modes (messages the
     #: sender may emit before the first receiver grant arrives).
     initial_credits: int = 64
@@ -397,6 +402,8 @@ class MmtSender:
         self._finished = False
         self._closing_left = self.config.closing_heartbeats
         self._beats_since_send = 0
+        #: Time of the last *effective* backpressure reduction.
+        self._last_backpressure_at: int | None = None
         #: Credit balance for FLOW_CONTROL modes (None = not used).
         self._credits: int | None = (
             self.config.initial_credits if self.mode.has(Feature.FLOW_CONTROL) else None
@@ -525,8 +532,17 @@ class MmtSender:
             return
         if self.pace_rate_mbps is None:
             return
+        holdoff = self.config.backpressure_holdoff_ns
+        if (
+            holdoff
+            and self._last_backpressure_at is not None
+            and self.sim.now - self._last_backpressure_at < holdoff
+        ):
+            return  # already reduced for this window of in-flight data
         advised = max(signal.advised_rate_mbps, self.config.min_pace_rate_mbps)
-        self.pace_rate_mbps = min(self.pace_rate_mbps, advised)
+        if advised < self.pace_rate_mbps:
+            self.pace_rate_mbps = advised
+            self._last_backpressure_at = self.sim.now
 
     # -- internals -------------------------------------------------------------------
 
@@ -628,6 +644,9 @@ class MmtSender:
                 payload_size=payload_size,
                 payload=payload,
                 meta=meta,
+                # CONGESTION_CONTROL modes are ECN-capable: AQMs mark
+                # their packets CE instead of dropping them.
+                ecn=ECN_ECT0 if self.mode.has(Feature.CONGESTION_CONTROL) else 0,
             )
         return self.stack.host.send_l2(
             self.l2_port,
@@ -807,6 +826,11 @@ class ReceiverConfig:
     #: FLOW_CONTROL: grant the sender this many fresh credits after
     #: every ``grant_credits`` deliveries (0 disables granting).
     grant_credits: int = 0
+    #: Multiplicative-decrease factor echoed on a CE mark: the receiver
+    #: advises ``pace_rate × ecn_beta`` via a BACKPRESSURE control.
+    #: Repeat marks from the same pre-reduction window re-advise the
+    #: same (already applied) rate, so the reduction is once per window.
+    ecn_beta: float = 0.5
 
 
 @dataclass
@@ -824,6 +848,10 @@ class ReceiverStats:
     aged_packets: int = 0
     heartbeats_received: int = 0
     windows_granted: int = 0
+    #: CE-marked packets seen (ECN-capable MMT modes).
+    ce_marks_seen: int = 0
+    #: Backpressure controls echoed back in response to CE marks.
+    ce_echoes_sent: int = 0
 
 
 @dataclass
@@ -951,10 +979,48 @@ class MmtReceiver:
                 )
         if header.has(Feature.TIMELINESS):
             self._check_deadline(header)
+        if header.has(Feature.CONGESTION_CONTROL):
+            self._maybe_echo_ce(packet, header)
         if self.config.grant_credits and header.has(Feature.FLOW_CONTROL):
             self._maybe_grant(packet, header)
         if self.on_message is not None:
             self.on_message(packet, header)
+
+    # -- ECN echo (congestion-control modes) ---------------------------------
+
+    def _maybe_echo_ce(self, packet: Packet, header: MmtHeader) -> None:
+        """Echo a CE mark back to the source as a backpressure control.
+
+        The data packet carries its sender's current pacing rate
+        (PACING) and source address (BACKPRESSURE) in-band, so the
+        receiver needs no per-sender state: it advises
+        ``pace_rate × ecn_beta`` and the sender's
+        :meth:`MmtSender.apply_backpressure` (``min(current, advised)``)
+        makes repeat echoes of the same pre-reduction window no-ops —
+        a DCTCP-style once-per-window multiplicative decrease.
+        """
+        from ..netsim.headers import Ipv4Header
+
+        ip = packet.find(Ipv4Header)
+        if ip is None or ip.ecn != ECN_CE:
+            return
+        self.stats.ce_marks_seen += 1
+        if not header.has(Feature.BACKPRESSURE) or not header.has(Feature.PACING):
+            return
+        if header.pace_rate_mbps is None or not header.source_addr:
+            return
+        advised = max(1, int(header.pace_rate_mbps * self.config.ecn_beta))
+        signal = BackpressurePayload(
+            advised_rate_mbps=advised,
+            origin=self.stack.host.ip,
+        )
+        echo = MmtHeader(
+            config_id=header.config_id,
+            msg_type=MsgType.BACKPRESSURE,
+            experiment_id=header.experiment_id,
+        )
+        if self.stack.send_control(header.source_addr, echo, signal.encode()):
+            self.stats.ce_echoes_sent += 1
 
     # -- flow control granting -----------------------------------------------
 

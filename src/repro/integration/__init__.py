@@ -1,5 +1,14 @@
 """Integrated-research-infrastructure scenarios (Req 10)."""
 
+from .incast import (
+    IncastConfig,
+    IncastError,
+    IncastReport,
+    grid_configs,
+    run_grid,
+    run_incast,
+    small_grid,
+)
 from .multiflow import (
     MultiFlowConfig,
     MultiFlowOrchestrator,
@@ -20,6 +29,9 @@ from .supernova import (
 __all__ = [
     "ALERT_TOPIC",
     "CANDIDATE_BYTES",
+    "IncastConfig",
+    "IncastError",
+    "IncastReport",
     "InstrumentRegistration",
     "MmtTriggerTransport",
     "MultiFlowConfig",
@@ -34,5 +46,9 @@ __all__ = [
     "compare",
     "decode_trigger",
     "encode_trigger",
+    "grid_configs",
     "jain_fairness",
+    "run_grid",
+    "run_incast",
+    "small_grid",
 ]

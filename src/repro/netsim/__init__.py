@@ -32,7 +32,13 @@ from .queues import (
     RedQueue,
 )
 from .switch import EthernetSwitch, IpRouter, RoutingTable
-from .topology import Topology, TopologyError
+from .topology import (
+    LeafSpine,
+    LeafSpineSpec,
+    Topology,
+    TopologyError,
+    build_leaf_spine,
+)
 from .trace import FlowRecord, FlowTracker
 from . import units
 
@@ -68,8 +74,11 @@ __all__ = [
     "Timer",
     "TraceEntry",
     "TraceRecorder",
+    "LeafSpine",
+    "LeafSpineSpec",
     "Topology",
     "TopologyError",
+    "build_leaf_spine",
     "UdpHeader",
     "units",
 ]

@@ -115,6 +115,13 @@ class EthernetHeader(Header):
         return EthernetHeader(src=self.src, dst=self.dst, ethertype=self.ethertype)
 
 
+# ECN codepoints for :attr:`Ipv4Header.ecn` (RFC 3168 §5).
+ECN_NOT_ECT = 0
+ECN_ECT1 = 1
+ECN_ECT0 = 2
+ECN_CE = 3
+
+
 @dataclass(slots=True)
 class Ipv4Header(Header):
     """IPv4 header without options (20 bytes)."""
@@ -170,6 +177,8 @@ class TcpHeader(Header):
     flag_ack: bool = False
     flag_fin: bool = False
     flag_rst: bool = False
+    flag_ece: bool = False
+    flag_cwr: bool = False
     window: int = 65535
     sack_blocks: tuple[tuple[int, int], ...] = field(default_factory=tuple)
 

@@ -76,6 +76,7 @@ class Host(Node):
         dscp: int = 0,
         meta: dict | None = None,
         src_ip: str | None = None,
+        ecn: int = 0,
     ) -> bool:
         """Build and transmit an IPv4 packet toward ``dst_ip``.
 
@@ -83,6 +84,8 @@ class Host(Node):
         request on another node's behalf (e.g. forwarding a NAK whose
         answer must go to the original requester); fine inside the
         paper's "limited domain", never on the open Internet (§5.3).
+        ``ecn`` sets the IPv4 ECN codepoint (ECT(0)=2 for ECN-capable
+        transports; AQMs may rewrite it to CE=3 in flight).
         Returns False when no route exists or the egress port dropped it.
         """
         route = self.routes.lookup(dst_ip)
@@ -91,7 +94,7 @@ class Host(Node):
             return False
         headers: list[Header] = [
             EthernetHeader(src=self.mac, dst=route.next_hop_mac, ethertype=EtherType.IPV4),
-            Ipv4Header(src=src_ip or self.ip, dst=dst_ip, proto=proto, dscp=dscp),
+            Ipv4Header(src=src_ip or self.ip, dst=dst_ip, proto=proto, dscp=dscp, ecn=ecn),
         ]
         headers.extend(inner_headers)
         packet = Packet(

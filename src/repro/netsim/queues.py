@@ -21,6 +21,7 @@ import heapq
 from collections import deque
 from typing import Callable, Iterable
 
+from .headers import ECN_CE, ECN_ECT0, ECN_ECT1, Ipv4Header
 from .packet import Packet
 
 
@@ -142,7 +143,20 @@ class PriorityQueue(QueueDiscipline):
 
 
 class RedQueue(QueueDiscipline):
-    """Random Early Detection (gentle RED on byte occupancy EWMA)."""
+    """Random Early Detection (gentle RED on byte occupancy EWMA).
+
+    With ``min_threshold == max_threshold == K`` this degenerates to the
+    Fixed-K step AQM used for DCTCP-style ECN: the mark/drop probability
+    is 0 at or below K and ``max_drop_probability`` above it (set
+    ``max_drop_probability=1.0`` and ``ewma_weight=1.0`` for the
+    instantaneous-occupancy step of the incast grid).
+
+    When ``ecn=True``, packets whose IPv4 header carries an ECT
+    codepoint (ECT(0) or ECT(1)) are CE-marked *instead of* dropped on
+    an early-drop decision; non-ECT packets are dropped as before. The
+    RNG draw is consumed identically in both cases, so an ECT and a
+    non-ECT run over the same stream see the same decision sequence.
+    """
 
     def __init__(
         self,
@@ -152,33 +166,47 @@ class RedQueue(QueueDiscipline):
         max_drop_probability: float = 0.1,
         ewma_weight: float = 0.002,
         rng=None,
+        ecn: bool = False,
     ) -> None:
         super().__init__(capacity_bytes)
-        if not 0 <= min_threshold < max_threshold <= 1:
-            raise ValueError("need 0 <= min_threshold < max_threshold <= 1")
+        if not 0 <= min_threshold <= max_threshold <= 1:
+            raise ValueError("need 0 <= min_threshold <= max_threshold <= 1")
         self.min_threshold = min_threshold
         self.max_threshold = max_threshold
         self.max_drop_probability = max_drop_probability
         self.ewma_weight = ewma_weight
+        self.ecn = ecn
         self._avg = 0.0
         self._rng = rng
         self._fifo: deque[Packet] = deque()
         self.early_drops = 0
+        #: Packets CE-marked instead of dropped (ECN mode only).
+        self.ce_marked = 0
+
+    def mark_probability(self, average_occupancy: float) -> float:
+        """Early mark/drop probability at a given average occupancy."""
+        if average_occupancy <= self.min_threshold:
+            return 0.0
+        if average_occupancy >= self.max_threshold:
+            return self.max_drop_probability
+        span = self.max_threshold - self.min_threshold
+        return (
+            (average_occupancy - self.min_threshold) / span * self.max_drop_probability
+        )
 
     def enqueue(self, packet: Packet) -> bool:
         self._avg += self.ewma_weight * (self.occupancy - self._avg)
         if self._avg > self.min_threshold and self._rng is not None:
-            if self._avg >= self.max_threshold:
-                probability = self.max_drop_probability
-            else:
-                span = self.max_threshold - self.min_threshold
-                probability = (
-                    (self._avg - self.min_threshold) / span * self.max_drop_probability
-                )
+            probability = self.mark_probability(self._avg)
             if self._rng.random() < probability:
-                self.dropped += 1
-                self.early_drops += 1
-                return False
+                ip = packet.find(Ipv4Header) if self.ecn else None
+                if ip is not None and ip.ecn in (ECN_ECT0, ECN_ECT1):
+                    ip.ecn = ECN_CE
+                    self.ce_marked += 1
+                else:
+                    self.dropped += 1
+                    self.early_drops += 1
+                    return False
         if not self._admit(packet):
             return False
         self._fifo.append(packet)

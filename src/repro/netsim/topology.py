@@ -13,6 +13,7 @@ paper) is assembled from; the reference topologies themselves live in
 from __future__ import annotations
 
 import itertools
+from dataclasses import dataclass
 from typing import Callable
 
 import networkx as nx
@@ -94,12 +95,25 @@ class Topology:
         bit_error_rate: float = 0.0,
         queue_factory: Callable[[], QueueDiscipline] | None = None,
         loss_model: "LossModel | None" = None,
+        queue_factory_a: Callable[[], QueueDiscipline] | None = None,
+        queue_factory_b: Callable[[], QueueDiscipline] | None = None,
     ) -> Link:
-        """Create a full-duplex link between two registered nodes."""
+        """Create a full-duplex link between two registered nodes.
+
+        ``queue_factory`` applies to both ends; ``queue_factory_a`` /
+        ``queue_factory_b`` override it per end (``a``'s egress port /
+        ``b``'s egress port) — used to put an AQM on a switch port while
+        the attached host keeps its plain RAM-backed FIFO.
+        """
         node_a = self._resolve(a)
         node_b = self._resolve(b)
 
-        def default_queue(node: Node) -> QueueDiscipline | None:
+        def default_queue(
+            node: Node,
+            specific: Callable[[], QueueDiscipline] | None,
+        ) -> QueueDiscipline | None:
+            if specific is not None:
+                return specific()
             if queue_factory is not None:
                 return queue_factory()
             if isinstance(node, Host):
@@ -109,8 +123,12 @@ class Topology:
                 return DropTailQueue(HOST_QUEUE_BYTES)
             return None
 
-        port_a = node_a.add_port(self._port_name(node_a, node_b), queue=default_queue(node_a))
-        port_b = node_b.add_port(self._port_name(node_b, node_a), queue=default_queue(node_b))
+        port_a = node_a.add_port(
+            self._port_name(node_a, node_b), queue=default_queue(node_a, queue_factory_a)
+        )
+        port_b = node_b.add_port(
+            self._port_name(node_b, node_a), queue=default_queue(node_b, queue_factory_b)
+        )
         link = Link(
             self.sim,
             port_a,
@@ -213,6 +231,123 @@ class Topology:
         if data is None:
             raise TopologyError(f"no link between {node_a.name} and {node_b.name}")
         return data["link"]
+
+
+# ---------------------------------------------------------------------------
+# Leaf-spine fabric (the incast / Fig. 2 head-to-head substrate)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LeafSpineSpec:
+    """Parameters of a two-tier leaf-spine fabric.
+
+    ``bottleneck_rate_bps`` models an asymmetric bottleneck: when set,
+    the *first host of the first leaf* (the canonical incast receiver,
+    :attr:`LeafSpine.receiver`) gets a slower edge link than everyone
+    else, deepening the fan-in queue at its leaf port. ``None`` keeps
+    the fabric symmetric.
+    """
+
+    leaves: int = 2
+    spines: int = 2
+    hosts_per_leaf: int = 4
+    edge_rate_bps: int = 10_000_000_000
+    fabric_rate_bps: int = 40_000_000_000
+    edge_delay_ns: int = 1_000
+    fabric_delay_ns: int = 5_000
+    mtu_bytes: int = 9000
+    bottleneck_rate_bps: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.leaves < 1 or self.spines < 1 or self.hosts_per_leaf < 1:
+            raise TopologyError("leaf-spine needs >= 1 leaf, spine, and host/leaf")
+
+
+class LeafSpine:
+    """A built leaf-spine fabric: topology plus structured node access."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        leaves: list[IpRouter],
+        spines: list[IpRouter],
+        hosts: list[list[Host]],
+        spec: LeafSpineSpec,
+    ) -> None:
+        self.topology = topology
+        self.leaves = leaves
+        self.spines = spines
+        self.hosts = hosts
+        self.spec = spec
+
+    @property
+    def receiver(self) -> Host:
+        """The canonical incast sink: first host of the first leaf."""
+        return self.hosts[0][0]
+
+    @property
+    def all_hosts(self) -> list[Host]:
+        return [h for leaf_hosts in self.hosts for h in leaf_hosts]
+
+    def host(self, leaf: int, index: int) -> Host:
+        return self.hosts[leaf][index]
+
+    def receiver_port_queue(self) -> QueueDiscipline | None:
+        """The fan-in queue: leaf 0's egress port toward the receiver."""
+        leaf = self.leaves[0]
+        name = self.topology._port_toward(leaf, self.receiver)
+        return leaf.ports[name].queue
+
+
+def build_leaf_spine(
+    sim: Simulator,
+    spec: LeafSpineSpec | None = None,
+    switch_queue_factory: Callable[[], QueueDiscipline] | None = None,
+) -> LeafSpine:
+    """Build a leaf-spine fabric with per-port switch queues.
+
+    ``switch_queue_factory`` is called once per *switch-side* port end
+    (leaf→host downlinks and every leaf↔spine port) — pass a seeded
+    :class:`~repro.netsim.queues.RedQueue` factory for an ECN fabric.
+    Host egress keeps the default RAM-backed FIFO. Routes are installed
+    before returning.
+    """
+    spec = spec or LeafSpineSpec()
+    topo = Topology(sim)
+    leaves = [topo.add_router(f"leaf{i}") for i in range(spec.leaves)]
+    spines = [topo.add_router(f"spine{i}") for i in range(spec.spines)]
+    hosts: list[list[Host]] = []
+    for li, leaf in enumerate(leaves):
+        leaf_hosts: list[Host] = []
+        for hi in range(spec.hosts_per_leaf):
+            host = topo.add_host(f"h{li}_{hi}")
+            rate = spec.edge_rate_bps
+            if li == 0 and hi == 0 and spec.bottleneck_rate_bps is not None:
+                rate = spec.bottleneck_rate_bps
+            topo.connect(
+                host,
+                leaf,
+                rate_bps=rate,
+                delay_ns=spec.edge_delay_ns,
+                mtu_bytes=spec.mtu_bytes,
+                queue_factory_b=switch_queue_factory,
+            )
+            leaf_hosts.append(host)
+        hosts.append(leaf_hosts)
+    for leaf in leaves:
+        for spine in spines:
+            topo.connect(
+                leaf,
+                spine,
+                rate_bps=spec.fabric_rate_bps,
+                delay_ns=spec.fabric_delay_ns,
+                mtu_bytes=spec.mtu_bytes,
+                queue_factory_a=switch_queue_factory,
+                queue_factory_b=switch_queue_factory,
+            )
+    topo.install_routes()
+    return LeafSpine(topo, leaves, spines, hosts, spec)
 
 
 def _is_l3(node: Node) -> bool:

@@ -1,0 +1,79 @@
+"""Schema checks for every committed ``BENCH_*.json`` artifact.
+
+The bench files are version-controlled data; a row that loses its seed
+(or a file that drifts off the shared schema) silently breaks the
+reproducibility story these artifacts exist to tell. Null seeds are
+rejected outright — a bench result that cannot say what seed produced
+it cannot be reproduced or compared.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.telemetry.benchfmt import SCHEMA_VERSION
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BENCH_FILES = sorted(REPO_ROOT.glob("BENCH_*.json"))
+
+
+def load(path: Path) -> dict:
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def test_bench_artifacts_are_committed():
+    names = {path.name for path in BENCH_FILES}
+    assert "BENCH_fct_grid.json" in names  # this PR's artifact
+    assert len(names) >= 8
+
+
+@pytest.mark.parametrize("path", BENCH_FILES, ids=lambda p: p.name)
+def test_shared_schema(path):
+    data = load(path)
+    assert data["schema_version"] == SCHEMA_VERSION
+    assert path.name == f"BENCH_{data['name']}.json"
+    assert isinstance(data["params"], dict)
+    assert isinstance(data["metrics"], dict) and data["metrics"]
+    # No null seeds: every committed artifact names the seed (or seed
+    # set, with a representative top-level value) that produced it.
+    assert data["seed"] is not None
+    assert isinstance(data["seed"], int)
+    for case, row in data["metrics"].items():
+        assert isinstance(case, str) and case
+        assert isinstance(row, dict) and row
+
+
+def test_fct_grid_rows_carry_seed_and_grid_coordinates():
+    data = load(REPO_ROOT / "BENCH_fct_grid.json")
+    assert sorted(data["params"]["seeds"]) == data["params"]["seeds"]
+    assert data["seed"] == data["params"]["seeds"][0]
+    for label, row in data["metrics"].items():
+        # Per-row seed, pinned into the label too.
+        assert row["seed"] is not None
+        assert label.startswith(f"seed{row['seed']:06d}_")
+        # Grid coordinates.
+        assert row["transport"] in ("mmt", "tcp", "udp")
+        assert row["senders"] >= 1
+        assert row["load"] > 0
+        assert 0 <= row["mark_threshold"] <= 1
+        assert row["symmetric"] in (0, 1)
+        # FCT percentiles: present for every row, numeric whenever any
+        # flow completed, explicit null when none did.
+        for key in ("fct_p50_ns", "fct_p95_ns", "fct_p99_ns"):
+            assert key in row
+            if row["completed"] > 0:
+                assert isinstance(row[key], (int, float))
+            else:
+                assert row[key] is None
+        assert row["completed"] + row["unfinished"] == row["flows"]
+
+
+def test_fct_grid_covers_every_transport_at_every_depth():
+    data = load(REPO_ROOT / "BENCH_fct_grid.json")
+    combos = {
+        (row["transport"], row["senders"]) for row in data["metrics"].values()
+    }
+    for transport in ("mmt", "tcp", "udp"):
+        for senders in data["params"]["senders"]:
+            assert (transport, senders) in combos

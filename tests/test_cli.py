@@ -1,5 +1,7 @@
 """The ``repro`` console entry point."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -206,3 +208,29 @@ def test_trace_missing_input_file(capsys):
     code = main(["trace", "--input", "/nonexistent/trace.jsonl"])
     assert code == 1
     assert "error" in capsys.readouterr().err
+
+
+def test_incast_small_grid(capsys, tmp_path):
+    code = main([
+        "incast", "--grid", "small", "--seed", "7",
+        "--out-dir", str(tmp_path),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Incast head-to-head" in out
+    assert "seed000007_mmt_n016_k020_l150_sym" in out
+    assert "BENCH_fct_grid.json" in out
+    written = json.loads((tmp_path / "BENCH_fct_grid.json").read_text())
+    assert written["seed"] == 7
+    assert len(written["metrics"]) == 6  # 3 transports x N in {4, 16}
+
+
+def test_incast_jobs_do_not_change_the_artifact(capsys, tmp_path):
+    main(["incast", "--grid", "small", "--seed", "7",
+          "--out-dir", str(tmp_path / "j1")])
+    main(["incast", "--grid", "small", "--seed", "7", "--jobs", "2",
+          "--out-dir", str(tmp_path / "j2")])
+    capsys.readouterr()
+    first = (tmp_path / "j1" / "BENCH_fct_grid.json").read_bytes()
+    second = (tmp_path / "j2" / "BENCH_fct_grid.json").read_bytes()
+    assert first == second
