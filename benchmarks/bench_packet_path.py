@@ -40,6 +40,8 @@ def test_packet_path_throughput(once, bench_result):
     # the tracer hooks compiled in but off — it must emit nothing and
     # keep the exact pre-tracing budget above.
     assert counts["trace_emits"] == 0
+    # Same contract for the sampler hooks: off by default, zero emits.
+    assert counts["sample_emits"] == 0
 
     wall = bench_result.metrics["test_packet_path_throughput"]["wall_time_s"]
     bench_result.params = {"packets": PACKETS, "hops": HOPS, "train": TRAIN}
@@ -70,6 +72,7 @@ def test_packet_path_tracing_enabled(once, bench_result):
     assert counts["encoded_bytes"] == 33 * PACKETS
     assert counts["decodes"] == PACKETS
     assert counts["trace_emits"] == HOPS * PACKETS
+    assert counts["sample_emits"] == 0
     assert tracer.events_emitted == HOPS * PACKETS
     assert tracer.events_retained <= 1024
 
@@ -79,6 +82,39 @@ def test_packet_path_tracing_enabled(once, bench_result):
         packets_per_second=round(counts["packets"] / wall),
         trace_emits=counts["trace_emits"],
         events_retained=tracer.events_retained,
+    )
+
+
+def test_packet_path_sampling_enabled(once, bench_result):
+    """Sampler-enabled twin: same workload with live counter sampling.
+
+    Like tracing, sampling observes and never steers: the non-sample
+    operation budget is identical to the default run, and the emit
+    count is exact — one recorded point per hop per packet, landing in
+    ``HOPS`` bounded ring series."""
+    from repro.netsim.engine import Simulator
+    from repro.obs import Sampler
+
+    sampler = Sampler(Simulator(seed=7), every_ns=1_000, capacity=1024)
+    counts = once(packet_path_churn, packets=PACKETS, hops=HOPS, sampler=sampler, seed=SEED)
+
+    assert counts["packets"] == PACKETS
+    assert counts["pushes"] == counts["pops"] == 3 * PACKETS
+    assert counts["size_checks"] == 2 * HOPS * PACKETS
+    assert counts["size_bytes_total"] == 2 * HOPS * PACKETS * PACKET_BYTES
+    assert counts["encoded_bytes"] == 33 * PACKETS
+    assert counts["decodes"] == PACKETS
+    assert counts["sample_emits"] == HOPS * PACKETS
+    assert sampler.sample_emits == HOPS * PACKETS
+    assert len(sampler.all_series()) == HOPS
+    assert all(len(s.points) <= 1024 for s in sampler.all_series())
+
+    wall = bench_result.metrics["test_packet_path_sampling_enabled"]["wall_time_s"]
+    bench_result.record(
+        "test_packet_path_sampling_enabled",
+        packets_per_second=round(counts["packets"] / wall),
+        sample_emits=counts["sample_emits"],
+        series=len(sampler.all_series()),
     )
 
 
@@ -110,6 +146,7 @@ def test_packet_train_throughput(once, bench_result):
     assert counts["decodes"] == PACKETS
     assert counts["ff_checks"] == counts["ff_hits"] == HOPS * trains
     assert counts["trace_emits"] == 0
+    assert counts["sample_emits"] == 0
 
     wall = bench_result.metrics["test_packet_train_throughput"]["wall_time_s"]
     bench_result.record(

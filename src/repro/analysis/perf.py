@@ -99,7 +99,11 @@ def engine_event_churn(
 
 
 def packet_path_churn(
-    packets: int = 20_000, hops: int = 4, tracer=None, seed: int = 7
+    packets: int = 20_000,
+    hops: int = 4,
+    tracer=None,
+    sampler=None,
+    seed: int = 7,
 ) -> dict[str, int]:
     """Drive the packet path with a pilot-shaped per-packet lifecycle.
 
@@ -114,6 +118,11 @@ def packet_path_churn(
     instrumented component uses, so the default ``tracer=None`` run *is*
     the tracing-disabled product path — its operation budget must stay
     identical to the pre-tracing baseline (``trace_emits == 0``).
+
+    ``sampler`` exercises the observability hook the same way: the
+    per-hop ``is not None`` guard is the only cost a sampler-less run
+    pays, so ``sampler=None`` keeps the budget with ``sample_emits ==
+    0``.
 
     ``seed`` jitters header *values* only (the starting sequence number
     and the per-hop age rewrites go through the LCG), so different
@@ -135,6 +144,7 @@ def packet_path_churn(
     encoded_bytes = 0
     decodes = 0
     trace_emits = 0
+    sample_emits = 0
     for i in range(packets):
         mmt = MmtHeader(
             config_id=1,
@@ -163,6 +173,9 @@ def packet_path_churn(
                     mmt.experiment_id, 0, mmt.seq, config=mmt.config_id,
                 )
                 trace_emits += 1
+            if sampler is not None:
+                sampler.record("packet_path_age_ns", mmt.age_ns, hop=str(hop))
+                sample_emits += 1
         wire = mmt.encode()  # validates once, then packs in one call
         encoded_bytes += len(wire)
         decoded = MmtHeader.decode(wire)
@@ -182,6 +195,7 @@ def packet_path_churn(
         "encoded_bytes": encoded_bytes,
         "decodes": decodes,
         "trace_emits": trace_emits,
+        "sample_emits": sample_emits,
     }
 
 
@@ -190,6 +204,7 @@ def packet_train_churn(
     hops: int = 4,
     train: int = 32,
     tracer=None,
+    sampler=None,
     seed: int = 7,
 ) -> dict[str, int]:
     """Batched twin of :func:`packet_path_churn`: EJ-FAT-style trains.
@@ -263,6 +278,7 @@ def packet_train_churn(
     ff_checks = 0
     ff_hits = 0
     trace_emits = 0
+    sample_emits = 0
     for t in range(trains):
         headers = pool
         base = seq_base + t * train
@@ -289,6 +305,11 @@ def packet_train_churn(
                     (7 << 8) | 1, 0, headers[0].seq, config=1, count=train,
                 )
                 trace_emits += 1
+            if sampler is not None:
+                sampler.record(
+                    "packet_train_seq", headers[0].seq, hop=str(hop)
+                )
+                sample_emits += 1
         decoded = decode_train(wire, count=train)
         decodes += train
         if (  # pragma: no cover - codec invariant
@@ -312,4 +333,5 @@ def packet_train_churn(
         "ff_checks": ff_checks,
         "ff_hits": ff_hits,
         "trace_emits": trace_emits,
+        "sample_emits": sample_emits,
     }

@@ -34,6 +34,7 @@ import hashlib
 import json
 import multiprocessing
 import os
+import sys
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
@@ -45,14 +46,17 @@ __all__ = [
     "available_cores",
     "campaign_digest",
     "fleet_case_metrics",
+    "heartbeat",
     "incast_case_metrics",
     "merge_campaign",
     "merge_counts",
+    "merge_series",
     "multiflow_case_metrics",
     "packet_path_shard",
     "packet_train_shard",
     "run_sharded",
     "run_traced_pilot_case",
+    "sampled_pilot_series_shard",
     "split_evenly",
 ]
 
@@ -81,6 +85,7 @@ def run_sharded(
     worker: Callable[[Any], Any],
     tasks: Sequence[Any],
     jobs: int = 1,
+    progress: Callable[[int, int, Any], None] | None = None,
 ) -> list[Any]:
     """Apply ``worker`` to every task, fanning across ``jobs`` processes.
 
@@ -90,18 +95,53 @@ def run_sharded(
     reproduce. ``worker`` must be a module-level callable and each task
     must be picklable; both are requirements of the ``spawn`` fallback
     and good hygiene under ``fork``.
+
+    ``progress`` (optional) is called as ``progress(index, total,
+    result)`` after each task completes, in task order — the campaign
+    heartbeat hook (:func:`heartbeat`). It runs in the calling process
+    and never touches the results, so it cannot perturb a campaign.
     """
     if jobs < 0:
         raise ShardError(f"jobs must be >= 0, got {jobs}")
     tasks = list(tasks)
     if jobs <= 1 or len(tasks) <= 1:
-        return [worker(task) for task in tasks]
+        results = []
+        for index, task in enumerate(tasks):
+            result = worker(task)
+            if progress is not None:
+                progress(index, len(tasks), result)
+            results.append(result)
+        return results
     processes = min(jobs, len(tasks))
     context = _pool_context()
     with context.Pool(processes=processes) as pool:
         # chunksize=1: tasks are coarse (whole simulations), so favor
-        # balance over batching; order is preserved by map() itself.
-        return pool.map(worker, tasks, chunksize=1)
+        # balance over batching; order is preserved by map()/imap().
+        if progress is None:
+            return pool.map(worker, tasks, chunksize=1)
+        results = []
+        for index, result in enumerate(pool.imap(worker, tasks, chunksize=1)):
+            progress(index, len(tasks), result)
+            results.append(result)
+        return results
+
+
+def heartbeat(prefix: str = "shard", stream=None) -> Callable[[int, int, Any], None]:
+    """A ``progress`` callback printing per-shard heartbeat lines.
+
+    Lines go to stderr (or ``stream``) as ``[shard k/n] label`` — the
+    label is taken from ``(label, ...)`` tuple results when present, so
+    campaign workers get named progress for free.
+    """
+
+    def _progress(index: int, total: int, result: Any) -> None:
+        label = ""
+        if isinstance(result, tuple) and result and isinstance(result[0], str):
+            label = result[0]
+        line = f"[{prefix} {index + 1}/{total}] {label}".rstrip()
+        print(line, file=stream if stream is not None else sys.stderr, flush=True)
+
+    return _progress
 
 
 # -- merge helpers ------------------------------------------------------------
@@ -127,6 +167,36 @@ def merge_campaign(
     for label, metrics in sorted(labeled_metrics, key=lambda pair: pair[0]):
         bench.record(label, **metrics)
     return bench
+
+
+def merge_series(
+    labeled_series: Sequence[tuple[str, list[dict]]],
+) -> list[dict]:
+    """Merge per-shard sample-series records into one campaign set.
+
+    Each shard contributes ``(shard_label, records)`` where records are
+    ``repro.obs.series_records`` output; the shard label becomes a
+    ``shard`` label on every series, and the merge is sorted by
+    ``(metric, labels)`` — the result depends only on the cases, never
+    on the job count (pinned by ``repro.obs.series_digest``).
+    """
+    labels = [label for label, _ in labeled_series]
+    if len(set(labels)) != len(labels):
+        raise ShardError(f"duplicate shard labels: {sorted(labels)}")
+    merged: list[dict] = []
+    for shard_label, records in labeled_series:
+        for record in records:
+            tagged = dict(record["labels"])
+            tagged["shard"] = shard_label
+            merged.append(
+                {
+                    "metric": record["metric"],
+                    "labels": tagged,
+                    "points": [list(point) for point in record["points"]],
+                }
+            )
+    merged.sort(key=lambda r: (r["metric"], sorted(r["labels"].items())))
+    return merged
 
 
 def campaign_digest(results: Any) -> str:
@@ -253,6 +323,8 @@ class TracedPilotCase:
     wan_delay_ns: int = 1_000_000
     wan_loss_rate: float = 0.0
     trace_capacity: int | None = None
+    #: On-clock sampling period (0 = no sampler; the historical build).
+    sample_every_ns: int = 0
     extra: dict = field(default_factory=dict)
 
 
@@ -268,12 +340,15 @@ def run_traced_pilot_case(case: TracedPilotCase) -> tuple[str, dict]:
     from ..netsim.engine import Simulator
     from ..trace import trace_digest
 
+    from ..obs import series_digest
+
     config = PilotConfig(
         wan_delay_ns=case.wan_delay_ns,
         wan_loss_rate=case.wan_loss_rate,
         flows=case.flows,
         trace=True,
         trace_capacity=case.trace_capacity,
+        sample_every_ns=case.sample_every_ns or None,
         **dict(case.extra),
     )
     pilot = PilotTestbed(sim=Simulator(seed=case.seed), config=config)
@@ -288,7 +363,7 @@ def run_traced_pilot_case(case: TracedPilotCase) -> tuple[str, dict]:
         )
     report = pilot.run()
     label = f"seed{case.seed:06d}_msgs{case.messages}_flows{case.flows}"
-    return label, {
+    metrics = {
         "messages_sent": report.messages_sent,
         "delivered": report.delivered,
         "unrecovered": report.unrecovered,
@@ -296,3 +371,43 @@ def run_traced_pilot_case(case: TracedPilotCase) -> tuple[str, dict]:
         "trace_events": len(pilot.tracer.events()),
         "trace_digest": trace_digest(pilot.tracer.events()),
     }
+    if pilot.sampler is not None:
+        metrics["sample_emits"] = pilot.sampler.sample_emits
+        metrics["series_digest"] = series_digest(pilot.sampler)
+    return label, metrics
+
+
+def sampled_pilot_series_shard(case: TracedPilotCase) -> tuple[str, list[dict]]:
+    """Shard worker returning one case's full sample series.
+
+    The records feed :func:`merge_series`; the merged set (and its
+    ``repro.obs.series_digest``) must be identical for every job count.
+    """
+    from ..dataplane.pilot import PilotConfig, PilotTestbed
+    from ..netsim.engine import Simulator
+    from ..obs import series_records
+
+    if not case.sample_every_ns:
+        raise ShardError("sampled_pilot_series_shard needs sample_every_ns > 0")
+    config = PilotConfig(
+        wan_delay_ns=case.wan_delay_ns,
+        wan_loss_rate=case.wan_loss_rate,
+        flows=case.flows,
+        trace=bool(case.trace_capacity),
+        trace_capacity=case.trace_capacity,
+        sample_every_ns=case.sample_every_ns,
+        **dict(case.extra),
+    )
+    pilot = PilotTestbed(sim=Simulator(seed=case.seed), config=config)
+    base, extra = divmod(case.messages, case.flows)
+    for fid in range(case.flows):
+        count = base + (1 if fid < extra else 0)
+        pilot.send_stream(
+            count,
+            payload_size=case.payload_size,
+            interval_ns=case.interval_ns,
+            flow=fid,
+        )
+    pilot.run()
+    label = f"seed{case.seed:06d}_msgs{case.messages}_flows{case.flows}"
+    return label, series_records(pilot.sampler)

@@ -26,7 +26,9 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import json
 import sys
+from pathlib import Path
 
 from .analysis import ResultTable, format_duration, format_rate, percentile
 from .core import MmtHeader, TransitionContext, extended_registry, transition
@@ -57,7 +59,87 @@ def _cmd_catalog(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _pilot_sample_every_ns(args: argparse.Namespace) -> int | None:
+    """Validate the observability flag combination; ns period or None.
+
+    Raises ``ValueError`` when a dependent flag is given without
+    ``--sample-every`` (there would be no sampler to feed it).
+    """
+    sample_every_ns = (
+        round(args.sample_every * 1000) if args.sample_every else None
+    )
+    if sample_every_ns is None:
+        for flag in ("slo", "series", "chrome"):
+            if getattr(args, flag):
+                raise ValueError(f"--{flag} requires --sample-every")
+    return sample_every_ns
+
+
+def _build_watchdog(args: argparse.Namespace, sampler, tracer):
+    """A watchdog over the run's sampler, or None without ``--slo``."""
+    if not args.slo:
+        return None
+    from .obs import Watchdog
+
+    return Watchdog(args.slo, sampler=sampler, tracer=tracer)
+
+
+def _finish_obs(
+    args: argparse.Namespace, sampler, tracer, watchdog, scenario: str
+) -> bool:
+    """Write series/Chrome/health artifacts; True when every SLO held."""
+    if sampler is None:
+        return True
+    from .obs import counter_tracks, write_series
+
+    print(
+        f"\nsampler: {len(sampler)} series, {sampler.ticks} ticks, "
+        f"{sampler.sample_emits} samples"
+    )
+    if args.series is not None:
+        count = write_series(
+            sampler, args.series, meta={"scenario": scenario, "seed": args.seed}
+        )
+        print(f"series: {count} series -> {args.series}")
+    if args.chrome is not None:
+        from .trace import write_chrome_trace
+
+        events = tracer.events() if tracer is not None else []
+        records = write_chrome_trace(
+            events,
+            args.chrome,
+            process_name=f"repro {scenario}",
+            counters=counter_tracks(sampler),
+        )
+        print(f"chrome trace: {records} records -> {args.chrome}")
+    if watchdog is None:
+        return True
+    watchdog.check()
+    health = watchdog.report()
+    print(
+        f"slo: {health.rules} rules, {health.evaluations} evaluations, "
+        f"{health.violations} violations"
+    )
+    for event in health.events:
+        print(
+            f"  VIOLATION {event.rule}: observed {event.observed} "
+            f"at t={event.at_ns}ns ({event.series_name})"
+        )
+    if args.health is not None:
+        Path(args.health).write_text(
+            json.dumps(health.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"health: -> {args.health}")
+    return health.ok
+
+
 def _cmd_pilot(args: argparse.Namespace) -> int:
+    try:
+        sample_every_ns = _pilot_sample_every_ns(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if args.receivers > 1:
         return _pilot_farm(args)
     config = PilotConfig(
@@ -67,9 +149,16 @@ def _cmd_pilot(args: argparse.Namespace) -> int:
         deadline_offset_ns=round(args.deadline_ms * MILLISECOND),
         telemetry=args.telemetry is not None,
         flows=args.flows,
-        trace=args.trace is not None,
+        # --chrome merges spans with counter tracks, so it needs spans.
+        trace=args.trace is not None or args.chrome is not None,
+        sample_every_ns=sample_every_ns,
     )
     pilot = PilotTestbed(sim=Simulator(seed=args.seed), config=config)
+    try:
+        watchdog = _build_watchdog(args, pilot.sampler, pilot.tracer)
+    except ValueError as exc:
+        print(f"error: bad --slo rule: {exc}", file=sys.stderr)
+        return 2
     interval_ns = round(args.interval_us * 1000)
     if args.flows > 1:
         # Split the message budget across the concurrent flows so total
@@ -156,7 +245,8 @@ def _cmd_pilot(args: argparse.Namespace) -> int:
             print(f"error: cannot write trace: {exc}", file=sys.stderr)
             return 1
         print(f"trace: {records - 1} events -> {args.trace}")
-    return 0 if report.complete else 1
+    healthy = _finish_obs(args, pilot.sampler, pilot.tracer, watchdog, "pilot")
+    return 0 if report.complete and healthy else 1
 
 
 def _pilot_farm(args: argparse.Namespace) -> int:
@@ -175,9 +265,17 @@ def _pilot_farm(args: argparse.Namespace) -> int:
         wan_loss_rate=args.loss,
         age_budget_ns=round(args.age_budget_ms * MILLISECOND),
         telemetry=args.telemetry is not None,
-        trace=args.trace is not None,
+        trace=args.trace is not None or args.chrome is not None,
+        sample_every_ns=(
+            round(args.sample_every * 1000) if args.sample_every else None
+        ),
     )
     farm = ReceiverFarm(sim=Simulator(seed=args.seed), config=config)
+    try:
+        watchdog = _build_watchdog(args, farm.sampler, farm.tracer)
+    except ValueError as exc:
+        print(f"error: bad --slo rule: {exc}", file=sys.stderr)
+        return 2
     interval_ns = round(args.interval_us * 1000)
     base, extra = divmod(args.messages, args.flows)
     for fid in range(args.flows):
@@ -246,7 +344,8 @@ def _pilot_farm(args: argparse.Namespace) -> int:
             print(f"error: cannot write trace: {exc}", file=sys.stderr)
             return 1
         print(f"trace: {records - 1} events -> {args.trace}")
-    return 0 if report.complete else 1
+    healthy = _finish_obs(args, farm.sampler, farm.tracer, watchdog, "pilot-farm")
+    return 0 if report.complete and healthy else 1
 
 
 def _cmd_fleet(args: argparse.Namespace) -> int:
@@ -674,7 +773,11 @@ def _cmd_incast(args: argparse.Namespace) -> int:
         configs = small_grid(seeds=seeds)
     else:
         configs = grid_configs(seeds=seeds)
-    labeled = run_grid(configs, jobs=max(1, args.jobs))
+    from .analysis.shard import heartbeat
+
+    labeled = run_grid(
+        configs, jobs=max(1, args.jobs), progress=heartbeat(prefix="incast")
+    )
     by_label = dict(labeled)
 
     table = ResultTable(
@@ -883,6 +986,91 @@ def _cmd_header(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    """``repro report``: bench regression diff + health rendering.
+
+    Exit status is machine-readable: 0 = everything within tolerance
+    and every SLO held, 1 = unusable inputs (missing files, broken
+    provenance) or a violated health report, 3 = at least one timing
+    regression or deterministic-metric drift.
+    """
+    from .obs import (
+        EXIT_ERROR,
+        EXIT_OK,
+        EXIT_REGRESSION,
+        HealthReport,
+        ReportError,
+        diff_bench_files,
+        render_diff,
+    )
+
+    status = EXIT_OK
+    payload: dict = {"benches": [], "health": None}
+
+    health = None
+    if args.health is not None:
+        try:
+            health = HealthReport.from_dict(
+                json.loads(Path(args.health).read_text(encoding="utf-8"))
+            )
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"error: cannot read health report: {exc}", file=sys.stderr)
+            return EXIT_ERROR
+        print(
+            f"health: {health.rules} rules, {health.evaluations} "
+            f"evaluations, {health.violations} violations"
+        )
+        for event in health.events:
+            print(
+                f"  VIOLATION {event.rule}: observed {event.observed} "
+                f"at t={event.at_ns}ns ({event.series_name})"
+            )
+        payload["health"] = health.to_dict()
+        if not health.ok:
+            status = EXIT_ERROR
+
+    fresh_dir, baseline_dir = Path(args.fresh), Path(args.baseline)
+    names = list(args.bench)
+    if not names:
+        fresh_names = {p.name for p in fresh_dir.glob("BENCH_*.json")}
+        base_names = {p.name for p in baseline_dir.glob("BENCH_*.json")}
+        names = sorted(
+            name[len("BENCH_") : -len(".json")]
+            for name in fresh_names & base_names
+        )
+    if not names and health is None:
+        print(
+            "error: nothing to report (no shared BENCH_*.json files and "
+            "no --health)",
+            file=sys.stderr,
+        )
+        return EXIT_ERROR
+
+    for name in names:
+        try:
+            diff = diff_bench_files(
+                fresh_dir / f"BENCH_{name}.json",
+                baseline_dir / f"BENCH_{name}.json",
+                tolerance=args.tolerance,
+            )
+        except ReportError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_ERROR
+        print(render_diff(diff, show_ok=args.all))
+        payload["benches"].append(diff.to_dict())
+        if not diff.ok:
+            status = EXIT_REGRESSION
+
+    payload["status"] = status
+    if args.json is not None:
+        Path(args.json).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"report: -> {args.json}")
+    return status
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``repro`` argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -928,6 +1116,44 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         default=None,
         help="enable causal tracing and write a JSONL trace to FILE",
+    )
+    pilot.add_argument(
+        "--sample-every",
+        type=float,
+        metavar="US",
+        default=None,
+        help="enable the on-clock observability sampler with this "
+        "period in microseconds (off by default: zero overhead)",
+    )
+    pilot.add_argument(
+        "--series",
+        metavar="FILE",
+        default=None,
+        help="write the sampled time series as JSONL to FILE "
+        "(requires --sample-every)",
+    )
+    pilot.add_argument(
+        "--chrome",
+        metavar="FILE",
+        default=None,
+        help="write a Chrome/Perfetto trace merging causal spans with "
+        "sampled counter tracks to FILE (requires --sample-every; "
+        "implies tracing)",
+    )
+    pilot.add_argument(
+        "--slo",
+        action="append",
+        metavar="RULE",
+        default=[],
+        help="declarative SLO rule, e.g. 'queue_bytes p99 <= 262144' "
+        "(repeatable; requires --sample-every; violations pin the "
+        "flight recorder and fail the run)",
+    )
+    pilot.add_argument(
+        "--health",
+        metavar="FILE",
+        default=None,
+        help="write the SLO health report as JSON to FILE",
     )
 
     fleet = sub.add_parser(
@@ -1099,6 +1325,41 @@ def build_parser() -> argparse.ArgumentParser:
     telemetry.add_argument(
         "--all", action="store_true", help="include zero-valued metrics"
     )
+
+    report = sub.add_parser(
+        "report",
+        help="diff fresh BENCH_*.json results against committed "
+        "baselines and render run health",
+    )
+    report.add_argument(
+        "--fresh", default=".", metavar="DIR",
+        help="directory holding the freshly produced BENCH_*.json files",
+    )
+    report.add_argument(
+        "--baseline", default=".", metavar="DIR",
+        help="directory holding the committed baselines (default: repo root)",
+    )
+    report.add_argument(
+        "--bench", action="append", default=[], metavar="NAME",
+        help="bench name to diff, e.g. packet_path (repeatable; default: "
+        "every name present in both directories)",
+    )
+    report.add_argument(
+        "--tolerance", type=float, default=0.2,
+        help="allowed ratio band for timing metrics (default 0.2 = ±20%%; "
+        "deterministic counters always compare exactly)",
+    )
+    report.add_argument(
+        "--health", metavar="FILE", default=None,
+        help="render an SLO health report JSON (repro pilot --health)",
+    )
+    report.add_argument(
+        "--all", action="store_true", help="show within-tolerance rows too"
+    )
+    report.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="write the machine-readable diff (status + rows) to FILE",
+    )
     return parser
 
 
@@ -1115,6 +1376,7 @@ _COMMANDS = {
     "soak": _cmd_soak,
     "fleet": _cmd_fleet,
     "trace": _cmd_trace,
+    "report": _cmd_report,
 }
 
 

@@ -121,6 +121,11 @@ class PilotConfig:
     trace: bool = False
     #: Flight-recorder ring capacity (None = retain every span).
     trace_capacity: int | None = None
+    #: Sampling period for the on-clock observability sampler (None or
+    #: 0 = no sampler object at all — the zero-overhead default; the
+    #: engine's event sequence is byte-identical to a sampler-less
+    #: build except for the sampler's own ticks).
+    sample_every_ns: int | None = None
     #: Number of concurrent flows sharing the pilot path. With 1 (the
     #: default) the build is exactly the historical single-flow pilot:
     #: no FLOW_ID extension on the wire, one sender per hop, FIFO relay
@@ -374,6 +379,15 @@ class PilotTestbed:
             from ..trace import Tracer
 
             self.attach_tracer(Tracer(self.sim, capacity=cfg.trace_capacity))
+
+        # --- sampling -------------------------------------------------------
+        self.sampler = None
+        if cfg.sample_every_ns:
+            from ..obs import Sampler, watch_pilot
+
+            self.sampler = Sampler(self.sim, every_ns=cfg.sample_every_ns)
+            watch_pilot(self.sampler, self)
+            self.sampler.arm()
 
     def attach_tracer(self, tracer) -> None:
         """Install a :class:`~repro.trace.Tracer` on every hook point.

@@ -103,6 +103,14 @@ class ChaosConfig:
     #: ``mode-rewrite-churn`` only: concurrent flows whose in-flight
     #: state must survive the mid-flow mode-map rewrite.
     rewrite_flows: int = 3
+    #: On-clock sampling period for the observability sampler (0 = no
+    #: sampler at all — the byte-identical legacy build). Enabling it
+    #: also enables a bounded flight-recorder tracer so SLO breaches
+    #: have a timeline to pin.
+    sample_every_ns: int = 0
+    #: Declarative SLO rules (``repro.obs.SloRule.parse`` syntax),
+    #: evaluated on samples at engine time; requires ``sample_every_ns``.
+    slo: tuple[str, ...] = ()
 
     @property
     def stream_ns(self) -> int:
@@ -169,9 +177,20 @@ class ChaosRun:
     pilot: object
     injector: FaultInjector | None
     metrics: MetricsRegistry | None
+    #: :class:`repro.obs.HealthReport` when the run carried SLO rules
+    #: (picklable, so it survives sharded campaigns); ``None`` otherwise.
+    health: object | None = None
 
 
 def _pilot_config(cfg: ChaosConfig) -> PilotConfig:
+    # With sampling off (the default, and every committed benchmark)
+    # these kwargs are all defaults, so the build — and BENCH_chaos.json
+    # — is byte-identical to the pre-observability code.
+    obs = dict(
+        sample_every_ns=cfg.sample_every_ns or None,
+        trace=bool(cfg.sample_every_ns),
+        trace_capacity=4096 if cfg.sample_every_ns else None,
+    )
     if cfg.scenario == "buffer-failover":
         return PilotConfig(
             wan_delay_ns=cfg.wan_delay_ns,
@@ -180,8 +199,9 @@ def _pilot_config(cfg: ChaosConfig) -> PilotConfig:
             use_directory=True,
             reliable_from_dtn1=True,
             failover_buffer=cfg.failover,
+            **obs,
         )
-    return PilotConfig(wan_delay_ns=cfg.wan_delay_ns, telemetry=True)
+    return PilotConfig(wan_delay_ns=cfg.wan_delay_ns, telemetry=True, **obs)
 
 
 def _build_plan(cfg: ChaosConfig, pilot: PilotTestbed) -> FaultPlan:
@@ -362,6 +382,13 @@ def run_chaos(cfg: ChaosConfig) -> ChaosRun:
     pilot = PilotTestbed(sim=Simulator(seed=cfg.seed), config=_pilot_config(cfg))
     plan = _build_plan(cfg, pilot)
     injector = FaultInjector(pilot.sim, plan)
+    watchdog = None
+    if cfg.slo:
+        if pilot.sampler is None:
+            raise ValueError("slo rules need sample_every_ns > 0")
+        from ..obs import Watchdog
+
+        watchdog = Watchdog(cfg.slo, sampler=pilot.sampler, tracer=pilot.tracer)
 
     # Observe every delivery at DTN 2 with its time and message type,
     # without disturbing the pilot's own callback.
@@ -427,6 +454,10 @@ def run_chaos(cfg: ChaosConfig) -> ChaosRun:
         content_mismatches=0,
     )
     metrics = _collect_metrics(pilot)
+    health = None
+    if watchdog is not None:
+        watchdog.check()
+        health = watchdog.report()
     return ChaosRun(
         scenario=cfg.scenario,
         config=cfg,
@@ -434,6 +465,7 @@ def run_chaos(cfg: ChaosConfig) -> ChaosRun:
         pilot=pilot,
         injector=injector,
         metrics=metrics,
+        health=health,
     )
 
 
@@ -699,6 +731,7 @@ def _run_detached(item: tuple[str, ChaosConfig]) -> ChaosRun:
         pilot=None,
         injector=None,
         metrics=None,
+        health=run.health,
     )
 
 

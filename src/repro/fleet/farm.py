@@ -109,6 +109,8 @@ class FarmConfig:
     telemetry: bool = False
     trace: bool = False
     trace_capacity: int | None = None
+    #: On-clock sampling period (None/0 = no sampler, zero overhead).
+    sample_every_ns: int | None = None
 
 
 @dataclass
@@ -350,6 +352,13 @@ class ReceiverFarm:
             from ..trace import Tracer
 
             self.attach_tracer(Tracer(self.sim, capacity=cfg.trace_capacity))
+        self.sampler = None
+        if cfg.sample_every_ns:
+            from ..obs import Sampler, watch_farm
+
+            self.sampler = Sampler(self.sim, every_ns=cfg.sample_every_ns)
+            watch_farm(self.sampler, self)
+            self.sampler.arm()
 
     def attach_tracer(self, tracer) -> None:
         """Install a tracer on every hook point (pilot-style)."""

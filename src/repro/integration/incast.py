@@ -497,16 +497,21 @@ def case_label(config: IncastConfig) -> str:
     )
 
 
-def run_grid(configs: list[IncastConfig], jobs: int = 1) -> list[tuple[str, dict]]:
+def run_grid(
+    configs: list[IncastConfig], jobs: int = 1, progress=None
+) -> list[tuple[str, dict]]:
     """Run every grid cell, fanned across ``jobs`` cores.
 
     Each cell is a pure function of its :class:`IncastConfig`, so the
     labeled metrics are identical for every job count; the merge sorts
-    by label, so the artifact is too.
+    by label, so the artifact is too. ``progress`` is forwarded to
+    :func:`repro.analysis.shard.run_sharded` (campaign heartbeats); it
+    observes results without touching them, so it cannot change the
+    artifact.
     """
     from ..analysis.shard import incast_case_metrics, run_sharded
 
-    return run_sharded(incast_case_metrics, configs, jobs=jobs)
+    return run_sharded(incast_case_metrics, configs, jobs=jobs, progress=progress)
 
 
 def write_bench(

@@ -1,0 +1,127 @@
+"""Schema-versioned JSONL export for sampled time series.
+
+Format mirrors ``repro.trace.export``: first line is a ``meta`` record
+carrying the schema version and sampler counters, every further line
+is one ``series`` record::
+
+    {"kind": "meta", "schema_version": 1, "every_ns": ..., ...}
+    {"kind": "series", "metric": ..., "labels": {...}, "points": [[t, v], ...]}
+
+Series are written in ``(metric, labels)`` order and every record is
+``sort_keys`` JSON, so same-seed runs produce byte-identical files —
+:func:`series_digest` pins that in tests across ``--jobs`` counts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from .sampler import Sampler
+
+__all__ = [
+    "OBS_SCHEMA_VERSION",
+    "counter_tracks",
+    "load_series",
+    "series_digest",
+    "series_records",
+    "write_series",
+]
+
+OBS_SCHEMA_VERSION = 1
+
+
+def series_records(sampler: Sampler) -> list[dict]:
+    """Every series as a JSON-ready record, deterministic order."""
+    return [
+        {
+            "metric": series.metric,
+            "labels": dict(series.labels),
+            "points": [[t, v] for t, v in series.points],
+        }
+        for series in sampler.all_series()
+    ]
+
+
+def _record_lines(records: list[dict]) -> list[str]:
+    return [
+        json.dumps({"kind": "series", **record}, sort_keys=True)
+        for record in records
+    ]
+
+
+def write_series(sampler: Sampler, path: str | Path, meta: dict | None = None) -> int:
+    """Write the sample series as JSONL; returns the series count."""
+    records = series_records(sampler)
+    header = {
+        "kind": "meta",
+        "schema_version": OBS_SCHEMA_VERSION,
+        "every_ns": sampler.every_ns,
+        "ticks": sampler.ticks,
+        "sample_emits": sampler.sample_emits,
+        "evictions": sampler.evictions,
+        "series": len(records),
+    }
+    if meta:
+        header.update(meta)
+    lines = [json.dumps(header, sort_keys=True)]
+    lines.extend(_record_lines(records))
+    Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return len(records)
+
+
+def load_series(path: str | Path) -> tuple[dict, list[dict]]:
+    """Read a series JSONL file back; returns ``(meta, records)``."""
+    meta: dict = {}
+    records: list[dict] = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            kind = record.pop("kind", None)
+            if kind == "meta":
+                if record.get("schema_version") != OBS_SCHEMA_VERSION:
+                    raise ValueError(
+                        "unsupported series schema "
+                        f"{record.get('schema_version')!r}"
+                    )
+                meta = record
+            elif kind == "series":
+                records.append(record)
+            else:
+                raise ValueError(f"unknown record kind {kind!r}")
+    return meta, records
+
+
+def series_digest(source) -> str:
+    """SHA-256 over the canonical series records.
+
+    ``source`` may be a :class:`Sampler` or a pre-built record list
+    (e.g. the output of ``merge_series`` across shards).
+    """
+    records = series_records(source) if isinstance(source, Sampler) else source
+    payload = "\n".join(_record_lines(records))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def counter_tracks(source) -> list[tuple[str, list[tuple[int, int]]]]:
+    """Perfetto counter tracks: ``(track_name, [(t_ns, value), ...])``.
+
+    Accepts a :class:`Sampler` or a record list; feed the result to
+    :func:`repro.trace.export.write_chrome_trace` (``counters=``) to
+    merge queue-depth curves into the span timeline.
+    """
+    records = series_records(source) if isinstance(source, Sampler) else source
+    tracks = []
+    for record in records:
+        labels = record["labels"]
+        if labels:
+            inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+            name = f"{record['metric']}{{{inner}}}"
+        else:
+            name = record["metric"]
+        tracks.append((name, [(t, v) for t, v in record["points"]]))
+    return tracks

@@ -44,13 +44,23 @@ from .faults.lossmodels import GilbertElliottLoss
 from .faults.plan import FaultInjector, FaultPlan
 from .netsim.engine import Simulator
 from .netsim.units import MILLISECOND, SECOND
+from .obs import Sampler, SloRule, Watchdog
 from .telemetry.benchfmt import BenchResult
 
 HOUR = 3600 * SECOND
 
 
 class SoakBudgetError(RuntimeError):
-    """A bounded-memory budget was violated during a strict soak."""
+    """A bounded-memory budget was violated during a strict soak.
+
+    ``health`` carries the :class:`repro.obs.HealthReport` behind the
+    message — the same violations, structured, with the engine time of
+    each first breach.
+    """
+
+    def __init__(self, message: str, health=None) -> None:
+        super().__init__(message)
+        self.health = health
 
 
 @dataclass
@@ -337,15 +347,99 @@ def _sample(pilot: PilotTestbed) -> SoakSample:
     )
 
 
-def _growth(samples: list[SoakSample], attr: str) -> int:
+def _growth(values: list[int]) -> int:
     """Final-third peak minus middle-third peak (<= 0 means flat)."""
-    n = len(samples)
+    n = len(values)
     if n < 3:
         return 0
-    middle = samples[n // 3 : 2 * n // 3]
-    final = samples[2 * n // 3 :]
-    peak = lambda part: max(getattr(s, attr) for s in part)  # noqa: E731
-    return peak(final) - peak(middle)
+    middle = values[n // 3 : 2 * n // 3]
+    final = values[2 * n // 3 :]
+    return max(final) - max(middle)
+
+
+def _wire_sampler(cfg: SoakConfig, pilot: PilotTestbed) -> Sampler:
+    """Leak gauges as an (unarmed) on-clock sampler.
+
+    The soak drives :meth:`Sampler.sample_now` manually at each epoch
+    boundary rather than arming it — no extra engine events, so the
+    event sequence (and ``BENCH_soak.json``) is byte-identical to the
+    pre-sampler harness.
+    """
+    assert pilot.dtn1_buffer is not None and pilot.metrics is not None
+    capacity = cfg.buffer_bytes + cfg.dtn1_buffer_bytes
+    sampler = Sampler(
+        pilot.sim, every_ns=cfg.epoch_ns, capacity=cfg.epochs + 16
+    )
+    sampler.watch(
+        "soak_retx_bytes",
+        lambda: pilot.buffer.bytes_used + pilot.dtn1_buffer.bytes_used,
+    )
+    sampler.watch(
+        "soak_retx_entries",
+        lambda: len(pilot.buffer) + len(pilot.dtn1_buffer),
+    )
+    sampler.watch("soak_guard_entries", lambda: _guard_entries(pilot))
+    sampler.watch(
+        "soak_trace_events", lambda: pilot.tracer.events_retained
+    )
+    sampler.watch("soak_registry_series", lambda: len(pilot.metrics))
+    # Floor division by a positive constant is monotone, so the maximum
+    # of the per-epoch occupancy equals the occupancy of the peak bytes
+    # — the exact quantity the legacy budget asserted.
+    sampler.watch(
+        "soak_retx_occupancy_pct",
+        lambda: (pilot.buffer.bytes_used + pilot.dtn1_buffer.bytes_used)
+        * 100
+        // capacity,
+    )
+    return sampler
+
+
+def _budget_rules(cfg: SoakConfig) -> list[SloRule]:
+    """The soak budgets as declarative SLO rules.
+
+    Declaration order matches the legacy bespoke check order, so the
+    rendered violation list — and ``SoakBudgetError``'s message — is
+    unchanged.
+    """
+    return [
+        SloRule("soak_retx_occupancy_pct", "max", "<=",
+                cfg.budget_retx_occupancy_pct),
+        SloRule("soak_guard_entries", "max", "<=", cfg.budget_guard_entries),
+        SloRule("soak_trace_events", "max", "<=", cfg.budget_trace_events),
+        SloRule("soak_registry_series", "max", "<=",
+                cfg.budget_registry_series),
+        SloRule("soak_growth_retx_bytes", "last", "<=",
+                cfg.budget_growth_retx_bytes),
+        SloRule("soak_growth_guard_entries", "last", "<=", cfg.budget_growth),
+        SloRule("soak_growth_trace_events", "last", "<=",
+                cfg.budget_growth_trace_events),
+        SloRule("soak_growth_registry_series", "last", "<=",
+                cfg.budget_growth),
+        SloRule("soak_unrecovered", "last", "==", 0),
+    ]
+
+
+def _legacy_violation(event, pilot_unrecovered: int, fleet_unrecovered: int) -> str:
+    """Render one health event in the historical violation wording."""
+    metric, observed = event.metric, event.observed
+    if metric == "soak_retx_occupancy_pct":
+        return f"retx occupancy {observed}% > {event.threshold}%"
+    if metric == "soak_guard_entries":
+        return f"guard {observed} > {event.threshold}"
+    if metric == "soak_trace_events":
+        return f"trace {observed} > {event.threshold}"
+    if metric == "soak_registry_series":
+        return f"series {observed} > {event.threshold}"
+    if metric.startswith("soak_growth_"):
+        name = metric[len("soak_growth_"):]
+        return f"{name} grew by {observed} in the final third"
+    if metric == "soak_unrecovered":
+        return (
+            f"unrecovered losses: pilot={pilot_unrecovered} "
+            f"fleet={fleet_unrecovered}"
+        )
+    return f"{event.rule} violated (observed {observed})"
 
 
 def _run_fleet_segment(cfg: SoakConfig) -> tuple[int, int, int, int, int]:
@@ -457,12 +551,18 @@ def run_soak(cfg: SoakConfig | None = None, strict: bool = True) -> SoakReport:
     injector.arm()
 
     # -- chunked run with epoch sampling ---------------------------------------
-    samples: list[SoakSample] = []
+    # Budgets live in the observability layer now: the sampler snapshots
+    # every leak gauge at each epoch boundary (driven manually — no
+    # engine events, so seeded runs replay byte-identically) and the
+    # watchdog evaluates the budget rules on each sample as it lands,
+    # pinning the flight recorder at the first breach.
+    sampler = _wire_sampler(cfg, pilot)
+    watchdog = Watchdog(_budget_rules(cfg), sampler=sampler, tracer=pilot.tracer)
     epoch = cfg.epoch_ns
     boundary = epoch
     while boundary <= cfg.duration_ns:
         pilot.sim.run(until_ns=boundary)
-        samples.append(_sample(pilot))
+        sampler.sample_now()
         boundary += epoch
     # Drain: remaining recovery, rechecks, closing heartbeats.
     pilot.run(reconcile=False)
@@ -477,49 +577,43 @@ def run_soak(cfg: SoakConfig | None = None, strict: bool = True) -> SoakReport:
     final = _sample(pilot)
 
     # -- budgets ---------------------------------------------------------------
-    capacity = cfg.buffer_bytes + cfg.dtn1_buffer_bytes
-    peak_retx_bytes = max(s.retx_bytes for s in samples)
-    peak_occupancy = peak_retx_bytes * 100 // capacity
-    peak_guard = max(s.guard_entries for s in samples)
-    peak_trace = max(max(s.trace_events for s in samples), final.trace_events)
-    peak_series = max(max(s.registry_series for s in samples), final.registry_series)
+    # Growth slopes come from the epoch-boundary series alone (the
+    # post-drain snapshot is not an epoch), exactly as before.
+    values = lambda metric: sampler.series(metric).values()  # noqa: E731
+    peak_retx_bytes = max(values("soak_retx_bytes"))
     growths = {
-        "retx_bytes": _growth(samples, "retx_bytes"),
-        "guard_entries": _growth(samples, "guard_entries"),
-        "trace_events": _growth(samples, "trace_events"),
-        "registry_series": _growth(samples, "registry_series"),
+        "retx_bytes": _growth(values("soak_retx_bytes")),
+        "guard_entries": _growth(values("soak_guard_entries")),
+        "trace_events": _growth(values("soak_trace_events")),
+        "registry_series": _growth(values("soak_registry_series")),
     }
-    fleet = _run_fleet_segment(cfg)
-
-    violations: list[str] = []
-    if peak_occupancy > cfg.budget_retx_occupancy_pct:
-        violations.append(
-            f"retx occupancy {peak_occupancy}% > {cfg.budget_retx_occupancy_pct}%"
-        )
-    if peak_guard > cfg.budget_guard_entries:
-        violations.append(f"guard {peak_guard} > {cfg.budget_guard_entries}")
-    if peak_trace > cfg.budget_trace_events:
-        violations.append(f"trace {peak_trace} > {cfg.budget_trace_events}")
-    if peak_series > cfg.budget_registry_series:
-        violations.append(f"series {peak_series} > {cfg.budget_registry_series}")
-    growth_budgets = {
-        "retx_bytes": cfg.budget_growth_retx_bytes,
-        "trace_events": cfg.budget_growth_trace_events,
-    }
+    peak_retx_entries = max(values("soak_retx_entries"))
+    peak_occupancy = max(values("soak_retx_occupancy_pct"))
+    peak_guard = max(values("soak_guard_entries"))
+    # The trace/series peaks include the post-drain state; fold the
+    # final snapshot into those series so the ``max`` rules see it.
+    sampler.record("soak_trace_events", final.trace_events)
+    sampler.record("soak_registry_series", final.registry_series)
+    peak_trace = max(values("soak_trace_events"))
+    peak_series = max(values("soak_registry_series"))
     for name, value in growths.items():
-        if value > growth_budgets.get(name, cfg.budget_growth):
-            violations.append(f"{name} grew by {value} in the final third")
-    if base.unrecovered or fleet[2]:
-        violations.append(
-            f"unrecovered losses: pilot={base.unrecovered} fleet={fleet[2]}"
-        )
+        sampler.record(f"soak_growth_{name}", value)
+    fleet = _run_fleet_segment(cfg)
+    sampler.record("soak_unrecovered", base.unrecovered + fleet[2])
+    watchdog.check()
+    health = watchdog.report()
+
+    violations = [
+        _legacy_violation(event, base.unrecovered, fleet[2])
+        for event in health.events
+    ]
     if strict and violations:
-        raise SoakBudgetError("; ".join(violations))
+        raise SoakBudgetError("; ".join(violations), health=health)
 
     senders = pilot.dtn1_senders
-    return SoakReport(
+    report = SoakReport(
         duration_ns=cfg.duration_ns,
-        samples=len(samples),
+        samples=sampler.ticks,
         messages_sent=base.messages_sent,
         steady_sent=steady_sent,
         poisson_sent=poisson_sent,
@@ -541,7 +635,7 @@ def run_soak(cfg: SoakConfig | None = None, strict: bool = True) -> SoakReport:
         link_delay_changes=pilot.wan_link.stats.delay_changes,
         ge_drifts=model.drifts,
         peak_retx_bytes=peak_retx_bytes,
-        peak_retx_entries=max(s.retx_entries for s in samples),
+        peak_retx_entries=peak_retx_entries,
         peak_retx_occupancy_pct=peak_occupancy,
         peak_guard_entries=peak_guard,
         peak_trace_events=peak_trace,
@@ -559,6 +653,11 @@ def run_soak(cfg: SoakConfig | None = None, strict: bool = True) -> SoakReport:
         fleet_flaps=fleet[3],
         fleet_marks_down=fleet[4],
     )
+    # Structured health rides along for harnesses and the CLI; it is
+    # not a dataclass field, so ``metrics()`` — and the byte-identical
+    # BENCH_soak.json contract — are untouched.
+    report.health = health
+    return report
 
 
 def write_bench(report: SoakReport, cfg: SoakConfig, directory: str | Path = ".") -> Path:

@@ -26,6 +26,7 @@ from .collect import (
     scrape_flow_residency,
     scrape_link,
     scrape_port,
+    scrape_queue,
     scrape_receiver,
     scrape_receiver_flows,
     scrape_sender,
@@ -93,6 +94,7 @@ __all__ = [
     "scrape_flow_residency",
     "scrape_link",
     "scrape_port",
+    "scrape_queue",
     "scrape_receiver",
     "scrape_receiver_flows",
     "scrape_sender",

@@ -42,14 +42,27 @@ def scrape_simulator(sim, registry: MetricsRegistry) -> None:
     registry.gauge("sim_pending_events").set(sim.pending_events())
 
 
+def scrape_queue(queue, registry: MetricsRegistry, **labels) -> None:
+    """Queue depth/drops plus AQM/ECN counters when the discipline has
+    them (``RedQueue`` CE marks and early drops)."""
+    registry.gauge("queue_bytes", **labels).set(queue.bytes_queued)
+    registry.gauge("queue_peak_bytes", **labels).set_max(queue.peak_bytes)
+    registry.counter("queue_dropped_total", **labels).set_total(queue.dropped)
+    ce_marked = getattr(queue, "ce_marked", None)
+    if ce_marked is not None:
+        registry.counter("queue_ce_marked_total", **labels).set_total(ce_marked)
+    early_drops = getattr(queue, "early_drops", None)
+    if early_drops is not None:
+        registry.counter("queue_early_drops_total", **labels).set_total(
+            early_drops
+        )
+
+
 def scrape_port(port, registry: MetricsRegistry, node: str | None = None) -> None:
     """Port tx/rx/drops plus egress-queue occupancy high-water mark."""
     labels = {"node": node or port.node.name, "port": port.name}
     _scrape_dataclass(registry, "port", port.stats, **labels)
-    queue = port.queue
-    registry.gauge("queue_bytes", **labels).set(queue.bytes_queued)
-    registry.gauge("queue_peak_bytes", **labels).set_max(queue.peak_bytes)
-    registry.counter("queue_dropped_total", **labels).set_total(queue.dropped)
+    scrape_queue(port.queue, registry, **labels)
 
 
 def scrape_link(link, registry: MetricsRegistry, now_ns: int | None = None) -> None:

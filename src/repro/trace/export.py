@@ -100,7 +100,10 @@ def trace_digest(events: list[TraceEvent]) -> str:
 
 
 def write_chrome_trace(
-    events: list[TraceEvent], path: str, process_name: str = "repro pilot"
+    events: list[TraceEvent],
+    path: str,
+    process_name: str = "repro pilot",
+    counters=None,
 ) -> int:
     """Write events in Chrome trace-event format (Perfetto-loadable).
 
@@ -108,7 +111,13 @@ def write_chrome_trace(
     the sorted element names); spans become instant events except
     ``queue.wait``, which renders as a real duration slice covering the
     residency window. Timestamps convert ns → µs (the format's unit).
-    Returns the number of trace events written.
+
+    ``counters`` (optional) is an iterable of
+    ``(track_name, [(t_ns, value), ...])`` pairs — sampled gauge series
+    become ``ph: "C"`` counter tracks in the same process, so spans and
+    queue-depth curves share one timebase (``repro.obs.counter_tracks``
+    produces this shape from a sampler). Returns the number of trace
+    records written.
     """
     elements = sorted({event.element for event in events})
     tids = {name: tid for tid, name in enumerate(elements, start=1)}
@@ -156,6 +165,17 @@ def write_chrome_trace(
             record["ph"] = "i"
             record["s"] = "t"
         out.append(record)
+    for track_name, points in counters or ():
+        for t_ns, value in points:
+            out.append(
+                {
+                    "name": track_name,
+                    "ph": "C",
+                    "pid": 1,
+                    "ts": t_ns / 1000,
+                    "args": {"value": value},
+                }
+            )
     with open(path, "w", encoding="utf-8") as handle:
         json.dump({"traceEvents": out}, handle, sort_keys=True)
         handle.write("\n")

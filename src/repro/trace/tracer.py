@@ -157,6 +157,10 @@ class Tracer:
         #: anomalous; kept unsorted, merged by id on read.
         self._pinned: list[TraceEvent] = []
         self._anomalous: set[tuple[int, int, int]] = set()
+        #: Elements whose spans are pinned wholesale (SLO watchdogs pin
+        #: the component that breached an objective; its spans have no
+        #: packet identity to pin by).
+        self._pinned_elements: set[str] = set()
         #: packet_id → enqueue time for queue-residency spans.
         self._enqueued_at: dict[int, int] = {}
 
@@ -190,6 +194,9 @@ class Tracer:
             return event
         if identity is not None and kind in ANOMALY_KINDS:
             self._mark_anomalous(identity)
+            self._pinned.append(event)
+            return event
+        if element in self._pinned_elements:
             self._pinned.append(event)
             return event
         self._ring.append(event)
@@ -244,6 +251,27 @@ class Tracer:
                 keep.append(event)
         self._ring = keep
 
+    def pin_element(self, element: str) -> None:
+        """Pin every retained and future span of one element.
+
+        The SLO watchdog's anomaly identity is the violating metric's
+        labels, not a packet — pinning by element keeps the breached
+        component's whole timeline out of ring eviction, mirroring what
+        ``_mark_anomalous`` does for a packet identity.
+        """
+        if element in self._pinned_elements:
+            return
+        self._pinned_elements.add(element)
+        if not self._ring:
+            return
+        keep: deque[TraceEvent] = deque()
+        for event in self._ring:
+            if event.element == element:
+                self._pinned.append(event)
+            else:
+                keep.append(event)
+        self._ring = keep
+
     # -- reading -------------------------------------------------------------
 
     def events(self) -> list[TraceEvent]:
@@ -261,6 +289,10 @@ class Tracer:
     def anomalous_identities(self) -> set[tuple[int, int, int]]:
         """Identities the flight recorder pinned (copy)."""
         return set(self._anomalous)
+
+    def pinned_elements(self) -> set[str]:
+        """Elements pinned wholesale via :meth:`pin_element` (copy)."""
+        return set(self._pinned_elements)
 
     def timeline(
         self, experiment_id: int, flow_id: int, seq: int

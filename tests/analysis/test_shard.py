@@ -14,13 +14,16 @@ from repro.analysis.shard import (
     TracedPilotCase,
     available_cores,
     campaign_digest,
+    heartbeat,
     merge_campaign,
     merge_counts,
+    merge_series,
     multiflow_case_metrics,
     packet_path_shard,
     packet_train_shard,
     run_sharded,
     run_traced_pilot_case,
+    sampled_pilot_series_shard,
     split_evenly,
 )
 from repro.faults.chaos import ChaosConfig, run_scenarios
@@ -194,3 +197,56 @@ class TestChaosSharding:
         # Detached shards carry no live simulation state.
         assert all(run.pilot is None for run in sharded)
         assert all(run.injector is None for run in sharded)
+
+
+class TestCampaignObservability:
+    SAMPLED = [
+        TracedPilotCase(seed=s, sample_every_ns=100_000) for s in (1, 2, 3, 4)
+    ]
+
+    def test_heartbeat_prints_per_shard_progress(self, capsys):
+        results = run_sharded(
+            _square, [2, 3], jobs=1, progress=heartbeat(prefix="demo")
+        )
+        assert results == [4, 9]
+        err = capsys.readouterr().err
+        assert "[demo 1/2]" in err
+        assert "[demo 2/2]" in err
+
+    def test_heartbeat_labels_tuple_results(self, capsys):
+        run_sharded(
+            lambda n: (f"case{n}", n), [7], jobs=1,
+            progress=heartbeat(prefix="grid"),
+        )
+        assert "[grid 1/1] case7" in capsys.readouterr().err
+
+    def test_merged_series_digest_is_jobs_invariant(self):
+        from repro.obs import series_digest
+
+        one = run_sharded(sampled_pilot_series_shard, self.SAMPLED, jobs=1)
+        four = run_sharded(sampled_pilot_series_shard, self.SAMPLED, jobs=JOBS)
+        merged_one = merge_series(one)
+        merged_four = merge_series(four)
+        assert merged_one == merged_four
+        assert series_digest(merged_one) == series_digest(merged_four)
+        # Every record carries its shard label for later slicing.
+        assert all("shard" in record["labels"] for record in merged_one)
+
+    def test_merge_series_rejects_duplicate_shards(self):
+        records = [{"metric": "m", "labels": {}, "points": [[0, 1]]}]
+        with pytest.raises(ShardError, match="duplicate"):
+            merge_series([("a", records), ("a", records)])
+
+    def test_sampled_shard_requires_sampling_period(self):
+        with pytest.raises(ShardError, match="sample_every_ns"):
+            sampled_pilot_series_shard(TracedPilotCase(seed=1))
+
+    def test_traced_case_reports_series_digest(self):
+        label, metrics = run_traced_pilot_case(self.SAMPLED[0])
+        assert metrics["sample_emits"] > 0
+        assert len(metrics["series_digest"]) == 64
+        # The digest itself is jobs-stable: recompute in a pool.
+        (pooled,) = run_sharded(
+            run_traced_pilot_case, [self.SAMPLED[0]], jobs=1
+        )
+        assert pooled[1]["series_digest"] == metrics["series_digest"]

@@ -1,0 +1,94 @@
+"""Series JSONL export: schema, round-trip, digests, counter tracks."""
+
+import json
+
+import pytest
+
+from repro.netsim import Simulator
+from repro.obs import (
+    OBS_SCHEMA_VERSION,
+    Sampler,
+    counter_tracks,
+    load_series,
+    series_digest,
+    series_records,
+    write_series,
+)
+from repro.trace.export import write_chrome_trace
+
+
+def sampled():
+    sampler = Sampler(Simulator(seed=1), every_ns=10)
+    sampler.record("queue_bytes", 100, node="u280", port="out")
+    sampler.record("queue_bytes", 50, node="u280", port="out")
+    sampler.record("link_current_rate_bps", 10**11, link="wan")
+    return sampler
+
+
+def test_write_and_load_round_trip(tmp_path):
+    path = tmp_path / "series.jsonl"
+    sampler = sampled()
+    count = write_series(sampler, path, meta={"scenario": "unit"})
+    assert count == 2
+    meta, records = load_series(path)
+    assert meta["schema_version"] == OBS_SCHEMA_VERSION
+    assert meta["scenario"] == "unit"
+    assert meta["sample_emits"] == 3
+    assert records == series_records(sampler)
+
+
+def test_every_line_is_sorted_json(tmp_path):
+    path = tmp_path / "series.jsonl"
+    write_series(sampled(), path)
+    for line in path.read_text().splitlines():
+        record = json.loads(line)
+        assert line == json.dumps(record, sort_keys=True)
+        assert record["kind"] in ("meta", "series")
+
+
+def test_identical_samplers_export_identical_bytes(tmp_path):
+    a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+    write_series(sampled(), a)
+    write_series(sampled(), b)
+    assert a.read_bytes() == b.read_bytes()
+    assert series_digest(sampled()) == series_digest(sampled())
+
+
+def test_load_rejects_unknown_schema_version(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text(json.dumps({"kind": "meta", "schema_version": 999}) + "\n")
+    with pytest.raises(ValueError, match="schema"):
+        load_series(path)
+
+
+def test_load_rejects_unknown_record_kind(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text(json.dumps({"kind": "mystery"}) + "\n")
+    with pytest.raises(ValueError, match="kind"):
+        load_series(path)
+
+
+def test_digest_accepts_sampler_or_records():
+    sampler = sampled()
+    assert series_digest(sampler) == series_digest(series_records(sampler))
+
+
+def test_counter_tracks_name_and_points():
+    tracks = dict(counter_tracks(sampled()))
+    assert tracks["queue_bytes{node=u280,port=out}"] == [(0, 100), (0, 50)]
+    assert tracks["link_current_rate_bps{link=wan}"] == [(0, 10**11)]
+
+
+def test_chrome_trace_merges_counter_records(tmp_path):
+    path = tmp_path / "trace.json"
+    write_chrome_trace([], path, counters=counter_tracks(sampled()))
+    data = json.loads(path.read_text())
+    counters = [e for e in data["traceEvents"] if e.get("ph") == "C"]
+    assert len(counters) == 3
+    assert all(e["pid"] == 1 for e in counters)
+    assert {e["name"] for e in counters} == {
+        "queue_bytes{node=u280,port=out}",
+        "link_current_rate_bps{link=wan}",
+    }
+    # Tracks are written in (metric, labels) order: link rate first.
+    assert [e["args"]["value"] for e in counters] == [10**11, 100, 50]

@@ -77,3 +77,39 @@ def test_fct_grid_covers_every_transport_at_every_depth():
     for transport in ("mmt", "tcp", "udp"):
         for senders in data["params"]["senders"]:
             assert (transport, senders) in combos
+
+
+def test_every_committed_bench_diffs_cleanly_against_itself():
+    """The ``repro report`` provenance gate accepts every committed
+    artifact: non-null seed, self-consistent grid coordinates. A file
+    this check rejects could never serve as a regression baseline."""
+    from repro.obs import diff_bench_files
+
+    for path in BENCH_FILES:
+        diff = diff_bench_files(path, path)
+        assert diff.ok, f"{path.name} vs itself: {diff.regressions}"
+        assert all(row.status == "ok" for row in diff.rows)
+
+
+def test_report_rejects_seedless_artifact(tmp_path):
+    from repro.obs import ReportError, diff_bench_files
+
+    data = load(BENCH_FILES[0])
+    data["seed"] = None
+    bad = tmp_path / BENCH_FILES[0].name
+    bad.write_text(json.dumps(data), encoding="utf-8")
+    with pytest.raises(ReportError, match="no seed"):
+        diff_bench_files(bad, BENCH_FILES[0])
+
+
+def test_report_rejects_moved_grid_coordinates(tmp_path):
+    from repro.obs import ReportError, diff_bench_files
+
+    grid = REPO_ROOT / "BENCH_fct_grid.json"
+    data = load(grid)
+    label, row = next(iter(data["metrics"].items()))
+    row["senders"] = row["senders"] + 1
+    moved = tmp_path / grid.name
+    moved.write_text(json.dumps(data), encoding="utf-8")
+    with pytest.raises(ReportError, match="grid coordinate"):
+        diff_bench_files(moved, grid)

@@ -234,3 +234,77 @@ def test_incast_jobs_do_not_change_the_artifact(capsys, tmp_path):
     first = (tmp_path / "j1" / "BENCH_fct_grid.json").read_bytes()
     second = (tmp_path / "j2" / "BENCH_fct_grid.json").read_bytes()
     assert first == second
+
+
+# -- PR 10: observability flags ------------------------------------------------
+
+
+def test_pilot_sampled_run_writes_series_and_chrome(capsys, tmp_path):
+    series = tmp_path / "series.jsonl"
+    chrome = tmp_path / "trace.json"
+    code = main([
+        "pilot", "--messages", "50", "--interval-us", "5",
+        "--sample-every", "100",
+        "--series", str(series), "--chrome", str(chrome),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "sampler:" in out
+    lines = series.read_text().splitlines()
+    meta = json.loads(lines[0])
+    assert meta["kind"] == "meta" and meta["schema_version"] == 1
+    assert meta["scenario"] == "pilot"
+    assert all(json.loads(l)["kind"] == "series" for l in lines[1:])
+    trace = json.loads(chrome.read_text())
+    assert any(e.get("ph") == "C" for e in trace["traceEvents"])
+
+
+def test_pilot_slo_violation_fails_run_and_writes_health(capsys, tmp_path):
+    health = tmp_path / "health.json"
+    code = main([
+        "pilot", "--messages", "50", "--interval-us", "5",
+        "--sample-every", "100",
+        "--slo", "link_current_rate_bps max <= 1",
+        "--health", str(health),
+    ])
+    assert code == 1
+    assert "VIOLATION" in capsys.readouterr().out
+    payload = json.loads(health.read_text())
+    assert payload["ok"] is False
+    assert payload["events"][0]["metric"] == "link_current_rate_bps"
+
+
+def test_pilot_obs_flags_require_sample_every(capsys, tmp_path):
+    for flag, value in (
+        ("--series", str(tmp_path / "s.jsonl")),
+        ("--chrome", str(tmp_path / "c.json")),
+        ("--slo", "queue_bytes max <= 1"),
+    ):
+        code = main(["pilot", "--messages", "10", flag, value])
+        assert code == 2
+        assert "--sample-every" in capsys.readouterr().err
+
+
+def test_pilot_farm_sampled_run(capsys, tmp_path):
+    series = tmp_path / "farm.jsonl"
+    code = main([
+        "pilot", "--receivers", "4", "--messages", "64",
+        "--interval-us", "5", "--sample-every", "500",
+        "--series", str(series),
+        "--slo", "fleet_node_fill_pct max <= 100",
+    ])
+    assert code == 0
+    meta = json.loads(series.read_text().splitlines()[0])
+    assert meta["scenario"] == "pilot-farm"
+    metrics = {
+        json.loads(l)["metric"] for l in series.read_text().splitlines()[1:]
+    }
+    assert "fleet_fill_skew" in metrics
+
+
+def test_incast_jobs_print_heartbeats(capsys, tmp_path):
+    main(["incast", "--grid", "small", "--seed", "7", "--jobs", "2",
+          "--out-dir", str(tmp_path)])
+    err = capsys.readouterr().err
+    assert "[incast 1/6]" in err
+    assert "[incast 6/6]" in err

@@ -82,3 +82,43 @@ class TestBudgetEnforcement:
         report = run_soak(cfg, strict=False)
         assert report.budget_violations >= 1
         assert not report.complete
+
+
+class TestWatchdogHealth:
+    """PR 10: budgets are SLO rules; reports carry a HealthReport."""
+
+    def test_clean_run_attaches_healthy_report(self, ci_report):
+        health = ci_report.health
+        assert health.ok
+        assert health.violations == 0
+        assert health.rules == 9  # one per budget check
+        assert health.evaluations > 0
+
+    def test_strict_error_carries_structured_health(self):
+        cfg = SoakConfig(
+            duration_ns=5 * SECOND,
+            epochs=10,
+            fleet_nodes=0,
+            budget_registry_series=1,
+        )
+        with pytest.raises(SoakBudgetError) as excinfo:
+            run_soak(cfg, strict=True)
+        health = excinfo.value.health
+        assert not health.ok
+        event = next(
+            e for e in health.events if e.metric == "soak_registry_series"
+        )
+        assert event.observed > 1
+        assert event.threshold == 1
+        # The legacy violation strings survive, one per health event.
+        assert str(excinfo.value).count(";") == health.violations - 1
+
+    def test_lenient_health_matches_violation_count(self):
+        cfg = SoakConfig(
+            duration_ns=5 * SECOND,
+            epochs=10,
+            fleet_nodes=0,
+            budget_registry_series=1,
+        )
+        report = run_soak(cfg, strict=False)
+        assert report.health.violations == report.budget_violations
